@@ -1,0 +1,98 @@
+"""Ablation B: lazy class extents (the paper, Section 4.3) vs eager
+maintenance.
+
+Workload: I inserts followed by Q queries over a class with one filtered
+inclusion.  The lazy design pays the inclusion computation per query, the
+eager baseline per insert; the crossover sits where I/Q flips, which the
+recorded series in EXPERIMENTS.md shows.
+"""
+
+import pytest
+
+from repro import Session
+from repro.baselines.eager_class import EagerClassMirror
+
+from workloads import SIZE_QUERY, define_staff_women, populate_people
+
+MIXES = [(20, 1), (10, 10), (1, 20)]  # (inserts, queries)
+
+
+def _session(n=30):
+    s = Session()
+    populate_people(s, n)
+    define_staff_women(s)
+    return s
+
+
+def _fresh_obj(s: Session, i: int) -> str:
+    name = f"fresh{i}"
+    s.exec(f'val {name} = (IDView([Name = "{name}", Age = 1, '
+           f'Sex = "female", Salary := 1]) '
+           f"as fn x => [Name = x.Name, Age = x.Age, "
+           f"Salary := extract(x, Salary)])")
+    return name
+
+
+@pytest.mark.parametrize("inserts,queries", MIXES,
+                         ids=[f"I{i}_Q{q}" for i, q in MIXES])
+def test_lazy_extents(benchmark, inserts, queries):
+    s = _session()
+    names = [_fresh_obj(s, i) for i in range(inserts)]
+    ins_terms = [s.parse(f"insert({n}, Women)") for n in names]
+    del_terms = [s.parse(f"delete({n}, Women)") for n in names]
+    query = s.parse(f"c-query({SIZE_QUERY}, Women)")
+
+    def run():
+        for t in ins_terms:
+            s.machine.eval(t, s.runtime_env)
+        for _ in range(queries):
+            s.machine.eval(query, s.runtime_env)
+        for t in del_terms:  # restore state between rounds
+            s.machine.eval(t, s.runtime_env)
+
+    benchmark(run)
+
+
+@pytest.mark.parametrize("inserts,queries", MIXES,
+                         ids=[f"I{i}_Q{q}" for i, q in MIXES])
+def test_eager_extents(benchmark, inserts, queries):
+    s = _session()
+    mirror = EagerClassMirror(s, "Women")
+    names = [_fresh_obj(s, i) for i in range(inserts)]
+
+    def run():
+        for n in names:
+            mirror.insert(n)
+        for _ in range(queries):
+            mirror.extent()
+        for n in names:
+            mirror.delete(n)
+
+    benchmark(run)
+
+
+def test_extent_computations_accounting():
+    """The mechanism behind the crossover, as counters."""
+    s = _session()
+    s.metrics.reset()
+    for i in range(5):
+        name = _fresh_obj(s, i)
+        s.eval(f"insert({name}, Women)")
+    lazy_after_inserts = s.metrics.extent_computations
+    for _ in range(3):
+        s.eval(f"c-query({SIZE_QUERY}, Women)")
+    lazy_total = s.metrics.extent_computations
+    assert lazy_after_inserts == 0       # inserts are free
+    assert lazy_total == 3               # one computation per query
+
+    s2 = _session()
+    mirror = EagerClassMirror(s2, "Women")
+    base = mirror.recomputations
+    for i in range(5):
+        name = _fresh_obj(s2, i)
+        mirror.insert(name)
+    for _ in range(3):
+        mirror.extent()
+    assert mirror.recomputations - base == 5  # one per insert, none per query
+    print("\nlazy: 0 computations for 5 inserts, 3 for 3 queries; "
+          "eager: 5 for 5 inserts, 0 for 3 queries")

@@ -1,0 +1,84 @@
+"""Ablation A: the paper's lazy function-views vs materialized copies.
+
+The design choice under test (Section 3.3): a view is an unevaluated
+function, so reads pay a view application but updates are always visible;
+the materialized baseline copies once, making reads cheap but requiring a
+refresh per underlying update to stay correct.
+
+Shape result (EXPERIMENTS.md): reads favour materialization, update-heavy
+mixes favour the paper's design — with the baseline's correctness cliff
+(stale reads without refresh) pinned by the baselines test suite.
+"""
+
+import pytest
+
+from repro import Session
+from repro.baselines.materialized import MaterializedView
+
+VIEW = ("fn x => [Name = x.Name, Age = This_year() - x.BirthYear, "
+        "Income = x.Salary]")
+
+
+def _session():
+    s = Session()
+    s.exec('val joe = IDView([Name = "Joe", BirthYear = 1955, '
+           "Salary := 2000])")
+    s.exec(f"val lazy = (joe as {VIEW})")
+    return s
+
+
+@pytest.mark.parametrize("reads", [1, 10, 100])
+def test_lazy_view_reads(benchmark, reads):
+    s = _session()
+    term = s.parse("query(fn v => v.Income, lazy)")
+
+    def run():
+        for _ in range(reads):
+            s.machine.eval(term, s.runtime_env)
+
+    benchmark(run)
+
+
+@pytest.mark.parametrize("reads", [1, 10, 100])
+def test_materialized_view_reads(benchmark, reads):
+    s = _session()
+    mv = MaterializedView(s, "joe", VIEW)
+    term = s.parse(f"{mv._copy_name}.Income")
+
+    def run():
+        for _ in range(reads):
+            s.machine.eval(term, s.runtime_env)
+
+    benchmark(run)
+
+
+@pytest.mark.parametrize("updates", [1, 10, 50])
+def test_lazy_view_update_mix(benchmark, updates):
+    """update raw + read through view: the lazy design pays nothing extra."""
+    s = _session()
+    upd = s.parse("query(fn x => update(x, Salary, 1), joe)")
+    read = s.parse("query(fn v => v.Income, lazy)")
+
+    def run():
+        for _ in range(updates):
+            s.machine.eval(upd, s.runtime_env)
+            s.machine.eval(read, s.runtime_env)
+
+    benchmark(run)
+
+
+@pytest.mark.parametrize("updates", [1, 10, 50])
+def test_materialized_view_update_mix(benchmark, updates):
+    """the baseline must refresh after every update to stay correct."""
+    s = _session()
+    mv = MaterializedView(s, "joe", VIEW)
+    upd = s.parse("query(fn x => update(x, Salary, 1), joe)")
+    read = s.parse(f"{mv._copy_name}.Income")
+
+    def run():
+        for _ in range(updates):
+            s.machine.eval(upd, s.runtime_env)
+            mv.refresh()
+            s.machine.eval(read, s.runtime_env)
+
+    benchmark(run)

@@ -1,0 +1,69 @@
+"""Core set-operation scaling (the Section 2 substrate).
+
+Not a paper figure, but the substrate every experiment stands on; recorded
+so regressions in the set machinery are visible in the series.
+"""
+
+import pytest
+
+from repro import Session
+
+SIZES = [10, 100, 1000]
+
+
+def _set_src(n, start=0):
+    return "{" + ", ".join(str(i) for i in range(start, start + n)) + "}"
+
+
+@pytest.fixture(scope="module")
+def s():
+    return Session()
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_set_literal_construction(benchmark, s, n):
+    term = s.parse(_set_src(n))
+    benchmark(lambda: s.machine.eval(term, s.runtime_env))
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_union_overlapping(benchmark, s, n):
+    term = s.parse(f"union({_set_src(n)}, {_set_src(n, n // 2)})")
+    out = benchmark(lambda: s.machine.eval(term, s.runtime_env))
+    assert len(out) == n + n // 2
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_hom_sum(benchmark, s, n):
+    term = s.parse(f"hom({_set_src(n)}, fn x => x, "
+                   "fn a => fn b => a + b, 0)")
+    out = benchmark(lambda: s.machine.eval(term, s.runtime_env))
+    assert out.value == n * (n - 1) // 2
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_member_hit_and_miss(benchmark, s, n):
+    hit = s.parse(f"member({n - 1}, {_set_src(n)})")
+    miss = s.parse(f"member({n + 5}, {_set_src(n)})")
+
+    def run():
+        s.machine.eval(hit, s.runtime_env)
+        s.machine.eval(miss, s.runtime_env)
+
+    benchmark(run)
+
+
+@pytest.mark.parametrize("n", [10, 40])
+def test_prod_quadratic(benchmark, s, n):
+    term = s.parse(f"size(prod({_set_src(n)}, {_set_src(n)}))")
+    out = benchmark(lambda: s.machine.eval(term, s.runtime_env))
+    assert out.value == n * n
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_map_filter_pipeline(benchmark, s, n):
+    term = s.parse(
+        f"size(filter(fn x => x > {n // 2}, "
+        f"map(fn x => x + 1, {_set_src(n)})))")
+    out = benchmark(lambda: s.machine.eval(term, s.runtime_env))
+    assert out.value == n - n // 2

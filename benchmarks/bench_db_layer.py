@@ -1,0 +1,59 @@
+"""The database layer: catalog operations and snapshot/restore.
+
+Workload shaped like the university example: n people across two base
+classes and one derived privacy view.
+"""
+
+import pytest
+
+from repro.db.catalog import Catalog, IncludeSpec
+from repro.db.persist import restore, snapshot
+
+SIZES = [5, 25, 100]
+
+
+def _build(n: int) -> Catalog:
+    cat = Catalog()
+    for i in range(n):
+        cat.new_object(f"p{i}", Name=f"P{i}",
+                       Sex="female" if i % 2 == 0 else "male",
+                       mutable={"Salary": 1000 + i})
+    cat.define_class("Staff", own=[f"p{i}" for i in range(n)])
+    cat.define_class("Women", includes=[IncludeSpec(
+        ["Staff"], "fn x => [Name = x.Name]",
+        'fn o => query(fn v => v.Sex = "female", o)')])
+    return cat
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_catalog_build(benchmark, n):
+    benchmark(lambda: _build(n))
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_catalog_query(benchmark, n):
+    cat = _build(n)
+    out = benchmark(lambda: cat.extent("Women"))
+    assert len(out) == (n + 1) // 2
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_snapshot(benchmark, n):
+    cat = _build(n)
+    snap = benchmark(lambda: snapshot(cat))
+    assert len(snap["objects"]) == n
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_restore(benchmark, n):
+    snap = snapshot(_build(n))
+    cat2 = benchmark(lambda: restore(snap))
+    assert len(cat2.extent("Staff")) == n
+
+
+def test_round_trip_preserves_extents():
+    cat = _build(10)
+    cat.update_object("p0", "Salary", 99999)
+    cat2 = restore(snapshot(cat))
+    assert cat2.extent("Women") == cat.extent("Women")
+    assert cat2.session.eval_py("query(fn v => v.Salary, p0)") == 99999

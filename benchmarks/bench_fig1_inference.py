@@ -1,0 +1,64 @@
+"""Experiment Fig-1: cost of kinded type inference on record programs.
+
+The paper's Figure 1 is the kinding/typing rule system; this benchmark
+regenerates its *behaviour at scale*: inference time as a function of
+record width, for both concrete records and kinded (polymorphic) field
+access — the core of Ohori-style inference the paper builds on.
+"""
+
+import pytest
+
+from repro.core.env import initial_type_env
+from repro.core.infer import infer, infer_scheme
+from repro.syntax.parser import parse_expression
+
+from workloads import wide_access_fn_src, wide_record_src
+
+WIDTHS = [4, 16, 64]
+
+
+@pytest.mark.parametrize("width", WIDTHS)
+def test_record_literal_inference(benchmark, width):
+    term = parse_expression(wide_record_src(width))
+
+    def run():
+        return infer(term, initial_type_env(), level=1)
+
+    benchmark(run)
+
+
+@pytest.mark.parametrize("width", WIDTHS)
+def test_kinded_field_access_inference(benchmark, width):
+    """fn x => x.f0 + ... + x.fN accumulates an N-field kind constraint."""
+    term = parse_expression(wide_access_fn_src(width))
+
+    def run():
+        return infer_scheme(term, initial_type_env())
+
+    scheme = benchmark(run)
+    assert len(scheme.vars) == 1  # one kinded variable carrying all fields
+
+
+@pytest.mark.parametrize("width", WIDTHS)
+def test_polymorphic_application_inference(benchmark, width):
+    """Instantiating a width-N kinded function at a width-N record."""
+    src = (f"let f = {wide_access_fn_src(width)} in "
+           f"f {wide_record_src(width)} end")
+    term = parse_expression(src)
+
+    def run():
+        return infer(term, initial_type_env(), level=1)
+
+    benchmark(run)
+
+
+def test_update_and_extract_kinds(benchmark):
+    """The (ext)/(upd) rules: mutability constraints during inference."""
+    src = ("fn x => let a = update(x, m0, (x.m0) + 1) in "
+           "[c := extract(x, m1)] end")
+    term = parse_expression(src)
+
+    def run():
+        return infer(term, initial_type_env(), level=1)
+
+    benchmark(run)

@@ -1,0 +1,66 @@
+"""Experiment Fig-2: typing cost of the object/view rules.
+
+Regenerates the behaviour of Figure 2 at scale: chains of view
+compositions (rule (vcomp)), queries (rule (query)) and fused products
+(rule (fuse)) as inference workloads.
+"""
+
+import pytest
+
+from repro.core.env import initial_type_env
+from repro.core.infer import infer
+from repro.syntax.parser import parse_expression
+
+DEPTHS = [2, 8, 32]
+
+
+def _as_chain(depth: int) -> str:
+    src = "IDView([f = 1])"
+    for _ in range(depth):
+        src = f"({src} as fn x => [f = (x.f) + 1])"
+    return f"query(fn x => x.f, {src})"
+
+
+@pytest.mark.parametrize("depth", DEPTHS)
+def test_view_composition_chain_typing(benchmark, depth):
+    term = parse_expression(_as_chain(depth))
+
+    def run():
+        return infer(term, initial_type_env(), level=1)
+
+    benchmark(run)
+
+
+@pytest.mark.parametrize("n", [2, 4, 8])
+def test_nary_fuse_typing(benchmark, n):
+    objs = ", ".join(f"IDView([f{i} = {i}])" for i in range(n))
+    term = parse_expression(f"fuse({objs})")
+
+    def run():
+        return infer(term, initial_type_env(), level=1)
+
+    benchmark(run)
+
+
+@pytest.mark.parametrize("n", [2, 8])
+def test_relobj_typing(benchmark, n):
+    fields = ", ".join(f"l{i} = IDView([f = {i}])" for i in range(n))
+    term = parse_expression(f"relobj({fields})")
+
+    def run():
+        return infer(term, initial_type_env(), level=1)
+
+    benchmark(run)
+
+
+def test_wealthy_query_typing(benchmark):
+    """The paper's most polymorphic example as a typing workload."""
+    src = ("fn S => select as fn x => [Name = x.Name, Age = x.Age] from S "
+           "where fn x => query(fn p => (p.Income) * 12 + p.Bonus, x) "
+           "> 100000")
+    term = parse_expression(src)
+
+    def run():
+        return infer(term, initial_type_env(), level=1)
+
+    benchmark(run)

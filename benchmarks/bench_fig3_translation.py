@@ -1,0 +1,53 @@
+"""Experiment Fig-3: the object translation — cost and runtime overhead.
+
+Measures (a) the source-to-source translation itself, (b) native object
+evaluation vs evaluation of the translated (pair-encoded) program.  The
+shape result recorded in EXPERIMENTS.md: translation is linear and the
+pair encoding evaluates within a small constant factor of the native
+object values.
+"""
+
+import pytest
+
+from repro import Session
+from repro.objects.translate import translate_objects
+from repro.syntax.parser import parse_expression
+
+DEPTHS = [2, 8, 32]
+
+
+def _program(depth: int) -> str:
+    src = "IDView([f = 1, g := 2])"
+    for _ in range(depth):
+        src = f"({src} as fn x => [f = (x.f) + 1, g := extract(x, g)])"
+    return f"query(fn x => (x.f) + x.g, {src})"
+
+
+@pytest.mark.parametrize("depth", DEPTHS)
+def test_translation_time(benchmark, depth):
+    term = parse_expression(_program(depth))
+    benchmark(lambda: translate_objects(term))
+
+
+@pytest.mark.parametrize("depth", DEPTHS)
+def test_native_object_evaluation(benchmark, depth):
+    s = Session()
+    term = s.parse(_program(depth))
+    benchmark(lambda: s.machine.eval(term, s.runtime_env))
+
+
+@pytest.mark.parametrize("depth", DEPTHS)
+def test_translated_pair_evaluation(benchmark, depth):
+    s = Session()
+    core = translate_objects(s.parse(_program(depth)))
+    benchmark(lambda: s.machine.eval(core, s.runtime_env))
+
+
+def test_native_and_translated_agree():
+    s = Session()
+    src = _program(8)
+    native = s.eval_py(src)
+    core = translate_objects(s.parse(src))
+    from repro.lang.pyconv import value_to_python
+    assert native == value_to_python(
+        s.machine.eval(core, s.runtime_env), s.machine) == 11

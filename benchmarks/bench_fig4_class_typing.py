@@ -1,0 +1,56 @@
+"""Experiment Fig-4: typing cost of the class rules.
+
+Regenerates the Figure 4 rule system as inference workloads: class
+definitions with growing numbers of include clauses, multi-source product
+includes, and recursive groups (rule (rec-class) of Figure 6).
+"""
+
+import pytest
+
+from repro.core.env import initial_type_env
+from repro.core.infer import infer
+from repro.syntax.parser import parse_expression
+
+CLAUSES = [1, 4, 16]
+
+
+@pytest.mark.parametrize("n", CLAUSES)
+def test_many_include_clauses_typing(benchmark, n):
+    clauses = "".join(
+        " includes C as fn x => [Name = x.Name] "
+        'where fn o => query(fn v => v.Sex = "female", o)'
+        for _ in range(n))
+    src = f"fn C => class {{}}{clauses} end"
+    term = parse_expression(src)
+    benchmark(lambda: infer(term, initial_type_env(), level=1))
+
+
+@pytest.mark.parametrize("m", [2, 4, 8])
+def test_multi_source_product_typing(benchmark, m):
+    srcs = ", ".join(f"C{i}" for i in range(m))
+    view = ", ".join(f"f{i} = (p.{i + 1}).Name" for i in range(m))
+    params = "".join(f"fn C{i} => " for i in range(m))
+    src = (f"{params}class {{}} includes {srcs} "
+           f"as fn p => [{view}] where fn o => true end")
+    term = parse_expression(src)
+    benchmark(lambda: infer(term, initial_type_env(), level=1))
+
+
+@pytest.mark.parametrize("n", [2, 4, 8])
+def test_recursive_group_typing(benchmark, n):
+    defs = []
+    for i in range(n):
+        defs.append(
+            f"K{i} = class {{}} includes K{(i + 1) % n} "
+            f"as fn x => [Name = x.Name] where fn o => true end")
+    src = ("let " + " and ".join(defs)
+           + " in c-query(fn S => size(S), K0) end")
+    term = parse_expression(src)
+    benchmark(lambda: infer(term, initial_type_env(), level=1))
+
+
+def test_cquery_insert_delete_typing(benchmark):
+    src = ("fn C => fn o => let a = insert(o, C) in "
+           "let b = delete(o, C) in c-query(fn S => size(S), C) end end")
+    term = parse_expression(src)
+    benchmark(lambda: infer(term, initial_type_env(), level=1))

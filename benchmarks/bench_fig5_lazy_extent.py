@@ -1,0 +1,81 @@
+"""Experiment Fig-5: lazy class extents.
+
+Figure 5's translation delays extent materialization behind a thunk.  This
+benchmark regenerates the consequences: (a) class definition and insert are
+O(1) regardless of source sizes, (b) c-query pays the inclusion cost,
+scaling with extent size and include-chain depth.
+"""
+
+import pytest
+
+from repro import Session
+
+from workloads import (SIZE_QUERY, chain_of_classes, define_staff_women,
+                       populate_people)
+
+SIZES = [10, 50, 200]
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_class_definition_is_constant_time(benchmark, n):
+    s = Session()
+    populate_people(s, n)
+    s.exec("val Staff = class people end")
+    term = s.parse(
+        'class {} includes Staff as fn x => [Name = x.Name] '
+        'where fn o => query(fn v => v.Sex = "female", o) end')
+    # definition never touches the extent
+    s.metrics.reset()
+    benchmark(lambda: s.machine.eval(term, s.runtime_env))
+    assert s.metrics.extent_computations == 0
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_cquery_scales_with_extent(benchmark, n):
+    s = Session()
+    populate_people(s, n)
+    define_staff_women(s)
+    term = s.parse(f"c-query({SIZE_QUERY}, Women)")
+
+    def run():
+        return s.machine.eval(term, s.runtime_env)
+
+    out = benchmark(run)
+    assert out.value == n // 2 + n % 2  # the female half
+
+
+@pytest.mark.parametrize("depth", [1, 4, 8])
+def test_cquery_scales_with_include_depth(benchmark, depth):
+    s = Session()
+    populate_people(s, 20)
+    top = chain_of_classes(s, depth)
+    term = s.parse(f"c-query({SIZE_QUERY}, {top})")
+    out = benchmark(lambda: s.machine.eval(term, s.runtime_env))
+    assert out.value == 20
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_insert_is_constant_time(benchmark, n):
+    s = Session()
+    populate_people(s, n)
+    define_staff_women(s)
+    s.exec('val extra = (IDView([Name = "x", Age = 1, Sex = "female", '
+           "Salary := 1]) as fn x => [Name = x.Name, Age = x.Age, "
+           "Salary := extract(x, Salary)])")
+    term = s.parse("insert(extra, Women)")
+    s.metrics.reset()
+    benchmark(lambda: s.machine.eval(term, s.runtime_env))
+    # inserts never force the lazy inclusions
+    assert s.metrics.extent_computations == 0
+
+
+def test_query_observes_lazy_semantics():
+    """The defining behaviour: source inserts after definition are seen."""
+    s = Session()
+    populate_people(s, 10)
+    define_staff_women(s)
+    before = s.eval_py(f"c-query({SIZE_QUERY}, Women)")
+    s.eval('insert(IDView([Name = "new", Age = 20, Sex = "female", '
+           "Salary := 5]), Staff)")
+    after = s.eval_py(f"c-query({SIZE_QUERY}, Women)")
+    assert after == before + 1

@@ -1,0 +1,80 @@
+"""Experiment Fig-6: recursive class extent computation (Proposition 5).
+
+Regenerates the f_i(L) evaluation behaviour: extent computation over rings
+of n mutually recursive classes terminates, with the number of f_i-style
+calls growing with the ring size but bounded (|L| grows along every chain).
+EXPERIMENTS.md records the measured call counts per ring size.
+"""
+
+import pytest
+
+from repro import Session
+
+from workloads import SIZE_QUERY, populate_people, recursive_ring
+
+RING_SIZES = [2, 4, 8]
+
+
+@pytest.mark.parametrize("n", RING_SIZES)
+def test_ring_extent_computation(benchmark, n):
+    s = Session()
+    populate_people(s, 10)
+    recursive_ring(s, n)
+    term = s.parse(f"c-query({SIZE_QUERY}, K0)")
+    out = benchmark(lambda: s.machine.eval(term, s.runtime_env))
+    assert out.value == 10
+
+
+@pytest.mark.parametrize("n", RING_SIZES)
+def test_ring_extent_call_counts(n):
+    """The Prop-5 series: calls per query, printed for EXPERIMENTS.md."""
+    s = Session()
+    populate_people(s, 10)
+    recursive_ring(s, n)
+    s.metrics.reset()
+    s.eval(f"c-query({SIZE_QUERY}, K0)")
+    calls = s.metrics.extent_calls
+    print(f"\nring size {n}: extent calls per query = {calls}")
+    # a ring visits each class at most once per chain: n + 1 calls
+    assert calls == n + 1
+
+
+@pytest.mark.parametrize("n", [6])
+def test_complete_graph_worst_case(n):
+    """All-to-all inclusion: the worst case for the no-memoization
+    semantics; still terminates (Prop 5) with calls <= paths bound."""
+    s = Session()
+    s.exec('val seed = IDView([Name = "seed"])')
+    defs = []
+    for i in range(n):
+        own = "{seed}" if i == 0 else "{}"
+        clauses = "".join(
+            f" includes K{j} as fn x => [Name = x.Name] "
+            "where fn o => true"
+            for j in range(n) if j != i)
+        defs.append(f"K{i} = class {own}{clauses} end")
+    s.exec("val " + " and ".join(defs))
+    s.metrics.reset()
+    out = s.eval_py(f"c-query({SIZE_QUERY}, K0)")
+    assert out == 1
+    print(f"\ncomplete graph n={n}: extent calls = {s.metrics.extent_calls}")
+
+
+@pytest.mark.parametrize("n", RING_SIZES)
+def test_ring_query_after_insert(benchmark, n):
+    """Insert + query through the whole ring (the Figure 7 workload)."""
+    s = Session()
+    populate_people(s, 5)
+    recursive_ring(s, n)
+    s.exec('val fresh = (IDView([Name = "f", Age = 1, Sex = "female", '
+           "Pay := 0]) as fn x => [Name = x.Name, Age = x.Age, "
+           "Sex = x.Sex, Salary := extract(x, Pay)])")
+    insert_term = s.parse(f"insert(fresh, K{n - 1})")
+    query_term = s.parse(f"c-query({SIZE_QUERY}, K0)")
+
+    def run():
+        s.machine.eval(insert_term, s.runtime_env)
+        return s.machine.eval(query_term, s.runtime_env)
+
+    out = benchmark(run)
+    assert out.value == 6

@@ -1,0 +1,59 @@
+"""Experiment Fig-7: the mutually recursive Staff/Student/FemaleMember
+database, scaled over the number of inserted members.
+
+Regenerates the worked example as an end-to-end workload: inserts into
+FemaleMember, queries of all three classes, and the per-query extent-call
+counts that Proposition 5 bounds.
+"""
+
+import pytest
+
+from workloads import NAMES_QUERY, SIZE_QUERY, fig7_session
+
+MEMBERS = [5, 20, 80]
+
+
+@pytest.mark.parametrize("n", MEMBERS)
+def test_query_all_three_classes(benchmark, n):
+    s = fig7_session(n)
+    terms = [s.parse(f"c-query({SIZE_QUERY}, {cls})")
+             for cls in ("Staff", "Student", "FemaleMember")]
+
+    def run():
+        return [s.machine.eval(t, s.runtime_env) for t in terms]
+
+    staff, student, fm = benchmark(run)
+    # 1 seed staff + half the members are staff; the rest students
+    assert staff.value == 1 + (n + 1) // 2
+    assert student.value == n // 2
+    assert fm.value == n + 1  # everyone is female here
+
+
+@pytest.mark.parametrize("n", MEMBERS)
+def test_extent_calls_independent_of_population(n):
+    """Prop 5's bound depends on the class-graph shape, not on data size."""
+    s = fig7_session(n)
+    s.metrics.reset()
+    s.eval(f"c-query({SIZE_QUERY}, FemaleMember)")
+    calls = s.metrics.extent_calls
+    print(f"\nmembers={n}: extent calls = {calls}")
+    assert calls == 5  # FM -> Staff -> (FM cut), FM -> Student -> (FM cut)
+
+
+@pytest.mark.parametrize("n", [20])
+def test_insert_query_cycle(benchmark, n):
+    s = fig7_session(n)
+    s.exec('val probe = (IDView([Name = "probe", Age = 1, Role = "staff"])'
+           " as fn x => [Name = x.Name, Age = x.Age, Category = x.Role])")
+    ins = s.parse("insert(probe, FemaleMember)")
+    dele = s.parse("delete(probe, FemaleMember)")
+    q = s.parse(f"c-query({NAMES_QUERY}, Staff)")
+
+    def run():
+        s.machine.eval(ins, s.runtime_env)
+        out = s.machine.eval(q, s.runtime_env)
+        s.machine.eval(dele, s.runtime_env)
+        return out
+
+    out = benchmark(run)
+    assert len(out) == 1 + (n + 1) // 2 + 1

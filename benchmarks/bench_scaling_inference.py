@@ -1,0 +1,66 @@
+"""Scaling: principal type inference vs program size (Proposition 2).
+
+Regenerates the practical claim behind Proposition 2 — inference is
+effective — as wall-clock series over three program families: nested lets
+(polymorphic instantiation pressure), long application chains, and deep
+record nesting.
+"""
+
+import pytest
+
+from repro.core.env import initial_type_env
+from repro.core.infer import infer, infer_scheme
+from repro.syntax.parser import parse_expression
+
+SIZES = [5, 20, 60]
+
+
+def _nested_lets(depth: int) -> str:
+    # let f0 = fn x => x in let f1 = fn x => f0 (f0 x) in ... f(depth-1) 0
+    src = f"f{depth - 1} 0"
+    for i in range(depth - 1, -1, -1):
+        inner = "fn x => x" if i == 0 else f"fn x => f{i - 1} (f{i - 1} x)"
+        src = f"let f{i} = {inner} in {src} end"
+    return src
+
+
+def _app_chain(n: int) -> str:
+    src = "0"
+    for _ in range(n):
+        src = f"(fn x => x + 1) ({src})"
+    return src
+
+
+def _deep_record(depth: int) -> str:
+    src = "1"
+    for _ in range(depth):
+        src = f"[n = {src}]"
+    return src + "".join(".n" for _ in range(depth))
+
+
+@pytest.mark.parametrize("depth", SIZES)
+def test_nested_let_inference(benchmark, depth):
+    term = parse_expression(_nested_lets(depth))
+    benchmark(lambda: infer(term, initial_type_env(), level=1))
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_application_chain_inference(benchmark, n):
+    term = parse_expression(_app_chain(n))
+    benchmark(lambda: infer(term, initial_type_env(), level=1))
+
+
+@pytest.mark.parametrize("depth", SIZES)
+def test_deep_record_inference(benchmark, depth):
+    term = parse_expression(_deep_record(depth))
+    benchmark(lambda: infer(term, initial_type_env(), level=1))
+
+
+@pytest.mark.parametrize("n", [4, 16])
+def test_generalization_with_many_kinded_vars(benchmark, n):
+    # n independent kinded variables in one scheme
+    fields = " + ".join(f"(x{i}.f)" for i in range(n))
+    params = "".join(f"fn x{i} => " for i in range(n))
+    term = parse_expression(f"{params}{fields} + 0")
+    scheme = benchmark(lambda: infer_scheme(term, initial_type_env()))
+    assert len(scheme.vars) == n

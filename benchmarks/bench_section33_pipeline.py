@@ -1,0 +1,66 @@
+"""Experiment §3.3: the full pipeline on the paper's running example.
+
+Measures each stage — lex+parse, type inference, evaluation — of the
+Section 3.3 program (joe, joe_view, Annual_Income, adjustBonus, wealthy),
+plus the wealthy query over growing employee sets.
+"""
+
+import pytest
+
+from repro import Session
+from repro.core.env import initial_type_env
+from repro.core.infer import infer_scheme
+from repro.syntax.parser import parse_expression
+
+from workloads import populate_people
+
+SECTION33 = '''
+let joe = IDView([Name = "Joe", BirthYear = 1955,
+                  Salary := 2000, Bonus := 5000]) in
+let joe_view = (joe as fn x => [Name = x.Name,
+                                Age = This_year() - x.BirthYear,
+                                Income = x.Salary,
+                                Bonus := extract(x, Bonus)]) in
+let ai = fn p => (p.Income) * 12 + p.Bonus in
+let adjust = fn p => query(fn x => update(x, Bonus, x.Income * 3), p) in
+let u = adjust joe_view in
+query(ai, joe_view)
+end end end end end
+'''
+
+
+def test_parse_section33(benchmark):
+    out = benchmark(lambda: parse_expression(SECTION33))
+    assert out is not None
+
+
+def test_infer_section33(benchmark):
+    term = parse_expression(SECTION33)
+    benchmark(lambda: infer_scheme(term, initial_type_env()))
+
+
+def test_eval_section33(benchmark):
+    s = Session()
+    term = s.parse(SECTION33)
+
+    def run():
+        return s.machine.eval(term, s.runtime_env)
+
+    out = benchmark(run)
+    assert out.value == 30000  # 2000*12 + 2000*3
+
+
+@pytest.mark.parametrize("n", [10, 50, 200])
+def test_wealthy_query_scaling(benchmark, n):
+    s = Session()
+    populate_people(s, n)
+    s.exec("fun monthly o = query(fn v => v.Salary, o)")
+    term = s.parse(
+        "size(select as fn x => [Name = x.Name] from people "
+        f"where fn o => monthly o > {1000 + n // 2})")
+
+    def run():
+        return s.machine.eval(term, s.runtime_env)
+
+    out = benchmark(run)
+    assert out.value == n - n // 2 - 1

@@ -1,0 +1,12 @@
+"""Benchmark suite configuration.
+
+Every benchmark prints the series it measures (sizes, counts, effort
+metrics) in addition to pytest-benchmark's timing table, so the rows
+recorded in EXPERIMENTS.md can be regenerated with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+import sys
+
+sys.path.insert(0, __file__.rsplit("/", 1)[0])

@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Regenerate the non-timing series of EXPERIMENTS.md in one run.
+
+Prints the exact paper outputs (Section 3.3/4.2 numbers), the Proposition 5
+call-count series, and the lazy-vs-eager accounting.  Timing series come
+from ``pytest benchmarks/ --benchmark-only``.
+"""
+
+import math
+
+from repro import Session
+from repro.baselines.eager_class import EagerClassMirror
+
+import sys
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+from workloads import SIZE_QUERY, fig7_session, populate_people, \
+    recursive_ring  # noqa: E402
+
+
+def paper_outputs() -> None:
+    print("== exact paper outputs (Section 3.3) ==")
+    s = Session()
+    s.exec('''
+        val joe = IDView([Name = "Joe", BirthYear = 1955,
+                          Salary := 2000, Bonus := 5000])
+        val joe_view = (joe as fn x => [Name = x.Name,
+                                        Age = This_year() - x.BirthYear,
+                                        Income = x.Salary,
+                                        Bonus := extract(x, Bonus)])
+        fun Annual_Income p = (p.Income) * 12 + p.Bonus
+    ''')
+    income = s.eval_py("query(Annual_Income, joe_view)")
+    print(f"  query(Annual_Income, joe_view) = {income}   (paper: 29000)")
+    s.eval("query(fn x => update(x, Bonus, x.Income * 3), joe_view)")
+    view = s.eval_py("query(fn x => x, joe_view)")
+    print(f"  after adjustBonus: {view}   (paper: Bonus = 6000, Age = 39)")
+    raw = s.eval_py("query(fn x => x, joe)")
+    print(f"  through joe: {raw}")
+    assert income == 29000 and view["Bonus"] == 6000 and view["Age"] == 39
+
+
+def prop5_series() -> None:
+    print("\n== Proposition 5: extent calls per query ==")
+    for n in (2, 4, 8):
+        s = Session()
+        populate_people(s, 10)
+        recursive_ring(s, n)
+        s.metrics.reset()
+        s.eval(f"c-query({SIZE_QUERY}, K0)")
+        print(f"  ring n={n}: {s.metrics.extent_calls} calls "
+              f"(expected n+1 = {n + 1})")
+        assert s.metrics.extent_calls == n + 1
+    for n in (5, 20, 80):
+        s = fig7_session(n)
+        s.metrics.reset()
+        s.eval(f"c-query({SIZE_QUERY}, FemaleMember)")
+        print(f"  Figure 7 with {n} members: {s.metrics.extent_calls} "
+              f"calls (population-independent)")
+        assert s.metrics.extent_calls == 5
+
+
+def laziness_accounting() -> None:
+    print("\n== lazy vs eager extent accounting ==")
+    s = Session()
+    populate_people(s, 30)
+    from workloads import define_staff_women
+    define_staff_women(s)
+    s.metrics.reset()
+    for i in range(5):
+        s.exec(f'val f{i} = (IDView([Name = "f{i}", Age = 1, '
+               f'Sex = "female", Salary := 1]) as fn x => '
+               f"[Name = x.Name, Age = x.Age, "
+               f"Salary := extract(x, Salary)])")
+        s.eval(f"insert(f{i}, Women)")
+    after_inserts = s.metrics.extent_computations
+    for _ in range(3):
+        s.eval(f"c-query({SIZE_QUERY}, Women)")
+    print(f"  lazy (paper): {after_inserts} computations for 5 inserts, "
+          f"{s.metrics.extent_computations - after_inserts} for 3 queries")
+
+    s2 = Session()
+    populate_people(s2, 30)
+    define_staff_women(s2)
+    mirror = EagerClassMirror(s2, "Women")
+    base = mirror.recomputations
+    for i in range(5):
+        s2.exec(f'val g{i} = (IDView([Name = "g{i}", Age = 1, '
+                f'Sex = "female", Salary := 1]) as fn x => '
+                f"[Name = x.Name, Age = x.Age, "
+                f"Salary := extract(x, Salary)])")
+        mirror.insert(f"g{i}")
+    per_insert = mirror.recomputations - base
+    before = mirror.recomputations
+    for _ in range(3):
+        mirror.extent()
+    print(f"  eager baseline: {per_insert} computations for 5 inserts, "
+          f"{mirror.recomputations - before} for 3 queries")
+
+
+def worst_case() -> None:
+    print("\n== worst case: complete inclusion graph (no memoization) ==")
+    n = 6
+    s = Session()
+    s.exec('val seed = IDView([Name = "seed"])')
+    defs = []
+    for i in range(n):
+        own = "{seed}" if i == 0 else "{}"
+        clauses = "".join(
+            f" includes K{j} as fn x => [Name = x.Name] "
+            "where fn o => true" for j in range(n) if j != i)
+        defs.append(f"K{i} = class {own}{clauses} end")
+    s.exec("val " + " and ".join(defs))
+    s.metrics.reset()
+    s.eval(f"c-query({SIZE_QUERY}, K0)")
+    bound = n * n * math.factorial(n)
+    print(f"  n={n}: {s.metrics.extent_calls} calls "
+          f"(terminates; crude bound {bound})")
+
+
+if __name__ == "__main__":
+    paper_outputs()
+    prop5_series()
+    laziness_accounting()
+    worst_case()
+    print("\nAll series regenerated; see EXPERIMENTS.md for the record.")

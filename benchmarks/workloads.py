@@ -1,0 +1,113 @@
+"""Workload generators shared by the benchmark suite.
+
+The paper has no empirical section, so these workloads are synthetic but
+shaped by the paper's motivating scenarios: person databases with
+staff/student classes, privacy views, conditional sharing, and recursive
+class groups (see EXPERIMENTS.md for the experiment definitions)."""
+
+from __future__ import annotations
+
+from repro import Session
+
+NAMES_QUERY = "fn S => map(fn o => query(fn v => v.Name, o), S)"
+SIZE_QUERY = "fn S => size(S)"
+
+
+def populate_people(session: Session, n: int) -> None:
+    """Bind ``people`` to a set of n person objects (half female)."""
+    elems = ", ".join(
+        f'IDView([Name = "p{i}", Age = {20 + i % 50}, '
+        f'Sex = "{"female" if i % 2 == 0 else "male"}", '
+        f"Salary := {1000 + i}])"
+        for i in range(n))
+    session.exec(f"val people = {{{elems}}}")
+
+
+def define_staff_women(session: Session) -> None:
+    """The Section 4.2-shaped classes over ``people``."""
+    session.exec("val Staff = class people end")
+    session.exec('''
+        val Women = class {}
+          includes Staff
+            as fn x => [Name = x.Name, Age = x.Age,
+                        Salary := extract(x, Salary)]
+            where fn o => query(fn v => v.Sex = "female", o)
+        end
+    ''')
+
+
+def chain_of_classes(session: Session, depth: int) -> str:
+    """C0 <- C1 <- ... <- Cdepth, each a full re-viewing inclusion."""
+    session.exec("val C0 = class people end")
+    for i in range(1, depth + 1):
+        session.exec(
+            f"val C{i} = class {{}} includes C{i - 1} "
+            f"as fn x => [Name = x.Name, Age = x.Age, Sex = x.Sex, "
+            f"Salary := extract(x, Salary)] "
+            f"where fn o => true end")
+    return f"C{depth}"
+
+
+def recursive_ring(session: Session, n: int) -> None:
+    """K0 -> K1 -> ... -> Kn-1 -> K0, K0 owning the people."""
+    defs = []
+    for i in range(n):
+        own = "people" if i == 0 else "{}"
+        src = f"K{(i + 1) % n}"
+        defs.append(
+            f"K{i} = class {own} includes {src} "
+            f"as fn x => [Name = x.Name, Age = x.Age, Sex = x.Sex, "
+            f"Salary := extract(x, Salary)] "
+            f"where fn o => true end")
+    session.exec("val " + " and ".join(defs))
+
+
+def wide_record_src(width: int) -> str:
+    fields = ", ".join(f"f{i} = {i}" for i in range(width))
+    return f"[{fields}]"
+
+
+def wide_access_fn_src(width: int) -> str:
+    body = " + ".join([f"(x.f{i})" for i in range(width)] + ["0"])
+    return f"fn x => {body}"
+
+
+def nested_lets_src(depth: int) -> str:
+    src = "0"
+    for i in range(depth):
+        src = f"let v{i} = fn x => (x, v_prev) in {src} end".replace(
+            "v_prev", f"v{i - 1}" if i else "1")
+    return src
+
+
+def fig7_session(n_members: int) -> Session:
+    """A Figure 7 database with n members pre-inserted."""
+    s = Session()
+    s.exec('val ann = IDView([Name = "Ann", Age = 30, Sex = "female"])')
+    s.exec('''
+        val Staff = class {ann}
+          includes FemaleMember
+            as fn f => [Name = f.Name, Age = f.Age, Sex = "female"]
+            where fn f => query(fn x => x.Category = "staff", f)
+        end
+        and Student = class {}
+          includes FemaleMember
+            as fn f => [Name = f.Name, Age = f.Age, Sex = "female"]
+            where fn f => query(fn x => x.Category = "student", f)
+        end
+        and FemaleMember = class {}
+          includes Staff
+            as fn st => [Name = st.Name, Age = st.Age, Category = "staff"]
+            where fn st => query(fn x => x.Sex = "female", st)
+          includes Student
+            as fn st => [Name = st.Name, Age = st.Age, Category = "student"]
+            where fn st => query(fn x => x.Sex = "female", st)
+        end
+    ''')
+    for i in range(n_members):
+        cat = "staff" if i % 2 == 0 else "student"
+        s.exec(f'val m{i} = (IDView([Name = "m{i}", Age = {20 + i}, '
+               f'Role = "{cat}"]) as fn x => [Name = x.Name, Age = x.Age, '
+               f"Category = x.Role])")
+        s.eval(f"insert(m{i}, FemaleMember)")
+    return s

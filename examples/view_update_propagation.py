@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Section 2: L-values, field sharing and the mutability discipline.
+
+Reproduces the joe/Doe/john example: three records sharing one Salary
+L-value through ``extract``, so one update is visible through all of them —
+including through john's *immutable* Salary field.  Also demonstrates the
+two programs the paper marks illegal, showing they are rejected statically.
+"""
+
+from repro import Session
+from repro.errors import KindError, TypeInferenceError
+
+
+def main() -> None:
+    s = Session()
+
+    print("== shared L-values (joe, Doe, john) ==")
+    s.exec('val joe = [Name = "Doe", Salary := 3000]')
+    s.exec('val Doe = [Name = "Doe", Income := extract(joe, Salary)]')
+    s.exec('val john = [Name = "John", Salary = extract(joe, Salary)]')
+    print("joe :", s.typeof_str("joe"))
+    print("Doe :", s.typeof_str("Doe"))
+    print("john:", s.typeof_str("john"))
+
+    s.eval("update(joe, Salary, 4000)")
+    print("\nafter update(joe, Salary, 4000):")
+    print("  joe.Salary  =", s.eval_py("joe.Salary"))
+    print("  Doe.Income  =", s.eval_py("Doe.Income"))
+    print("  john.Salary =", s.eval_py("john.Salary"))
+    assert s.eval_py("Doe.Income") == 4000
+    assert s.eval_py("john.Salary") == 4000  # immutable, yet shared
+
+    print("\nupdating through Doe's Income reaches joe too:")
+    s.eval("update(Doe, Income, 5000)")
+    assert s.eval_py("joe.Salary") == 5000
+    print("  joe.Salary  =", s.eval_py("joe.Salary"))
+
+    print("\n== statically rejected programs (Section 2) ==")
+    # "arithmetic on an extracted L-value"
+    try:
+        s.typeof('[Name = "Joe Doe", Income = extract(joe, Salary) * 2]')
+        raise AssertionError("should have been rejected")
+    except (TypeInferenceError, Exception) as exc:
+        print("  extract(..)*2 rejected:", type(exc).__name__)
+    # "extract the L-value of an immutable field"
+    try:
+        s.typeof("[Name = extract(john, Name), Income := joe.Salary]")
+        raise AssertionError("should have been rejected")
+    except KindError as exc:
+        print("  extract of immutable field rejected:", type(exc).__name__)
+    # "update an immutable field"
+    try:
+        s.typeof('update(joe, Name, "Peter")')
+        raise AssertionError("should have been rejected")
+    except KindError as exc:
+        print("  update of immutable field rejected:", type(exc).__name__)
+    # updating john's Salary is also rejected: sharing an L-value does not
+    # confer the right to update through an immutable field.
+    try:
+        s.typeof("update(john, Salary, 1)")
+        raise AssertionError("should have been rejected")
+    except KindError:
+        print("  update through john's immutable (shared) field rejected")
+
+    print("\nSection 2 sharing and rejection behaviours reproduced.")
+
+
+if __name__ == "__main__":
+    main()

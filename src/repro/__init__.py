@@ -1,0 +1,30 @@
+"""repro — A Polymorphic Calculus for Views and Object Sharing.
+
+An executable reproduction of Ohori & Tajima's PODS paper: a statically
+typed polymorphic database programming language with first-class objects
+(raw record + viewing function), general object sharing among classes, and
+complete type inference.
+
+Quickstart
+----------
+>>> from repro import Session
+>>> s = Session()
+>>> s.exec('val joe = IDView([Name = "Joe", Salary := 2000])')
+>>> s.eval_py('query(fn x => x.Salary, joe)')
+2000
+"""
+
+from .errors import (EvalError, KindError, LexError, OccursCheckError,
+                     ParseError, RecursiveClassError, ReproError,
+                     SourceError, TranslationError, TypeInferenceError,
+                     UnificationError)
+from .lang.api import Session
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Session", "ReproError", "SourceError", "LexError", "ParseError",
+    "KindError", "TypeInferenceError", "UnificationError",
+    "OccursCheckError", "TranslationError", "EvalError",
+    "RecursiveClassError", "__version__",
+]

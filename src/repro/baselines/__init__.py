@@ -1,0 +1,1 @@
+"""Baselines the paper's design is compared against (materialized views, eager extents)."""

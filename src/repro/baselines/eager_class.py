@@ -1,0 +1,79 @@
+"""Baseline: eagerly-maintained class extents.
+
+The paper's classes are "sets of objects that are evaluated lazily so that
+updates to classes propagate properly through sharing predicates"
+(Section 4.3): the extent is recomputed when a ``c-query`` forces it.  This
+baseline maintains the *materialized* extent instead, recomputing it after
+every mutation, which is how systems with eagerly maintained derived classes
+behave.
+
+``benchmarks/bench_ablation_eager_extent.py`` measures the crossover: eager
+maintenance pays the inclusion computation per *update*, the paper's design
+pays it per *query*, so write-heavy workloads favour laziness and read-heavy
+workloads favour eagerness (with staleness hazards the tests pin down: the
+eager extent misses updates made to *source* classes behind its back).
+"""
+
+from __future__ import annotations
+
+from ..eval.values import VClass, VSet
+from ..lang.api import Session
+
+__all__ = ["EagerClassMirror"]
+
+
+class EagerClassMirror:
+    """An eagerly materialized mirror of a class bound in a session."""
+
+    def __init__(self, session: Session, class_name: str):
+        self.session = session
+        self.class_name = class_name
+        self.recomputations = 0
+        self._extent: VSet = VSet([])
+        self._recompute()
+
+    def _class_value(self) -> VClass:
+        value = self.session.runtime_env.lookup(self.class_name)
+        assert isinstance(value, VClass)
+        return value
+
+    def _recompute(self) -> None:
+        self._extent = self.session.machine.class_extent(self._class_value())
+        self.recomputations += 1
+
+    # -- mutations (each pays an extent recomputation) ----------------------
+
+    def insert(self, obj_src: str) -> None:
+        self.session.eval(f"insert({obj_src}, {self.class_name})")
+        self._recompute()
+
+    def delete(self, obj_src: str) -> None:
+        self.session.eval(f"delete({obj_src}, {self.class_name})")
+        self._recompute()
+
+    # -- queries (read the materialized extent; no recomputation) -----------
+
+    def extent(self) -> VSet:
+        return self._extent
+
+    def names(self) -> list[str]:
+        """Materialized name projection, reading the cached extent."""
+        from ..eval.values import VObject, VRecord, VString
+        out = []
+        for obj in self._extent.elems:
+            assert isinstance(obj, VObject)
+            view = self.session.machine.materialize(obj)
+            assert isinstance(view, VRecord)
+            name = view.read("Name")
+            assert isinstance(name, VString)
+            out.append(name.value)
+        return out
+
+    def is_stale(self) -> bool:
+        """Whether the cached extent differs from a fresh computation.
+
+        Source-class mutations invalidate the cache silently — the hazard
+        the paper's lazy design avoids.
+        """
+        fresh = self.session.machine.class_extent(self._class_value())
+        return fresh.keys != self._extent.keys

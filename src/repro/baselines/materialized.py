@@ -1,0 +1,90 @@
+"""Baseline: eagerly *materialized* views.
+
+The paper's central design choice for views is to keep them as unevaluated
+functions attached to raw objects: "view evaluation is done lazily, so that
+an update made through one view is correctly reflected to any other views of
+the same raw object" (Section 3.3).  The classical alternative — which this
+baseline implements — materializes the view into a fresh record at view
+definition time.
+
+Consequences measured by ``benchmarks/bench_ablation_lazy_views.py`` and
+asserted by ``tests/baselines/test_materialized.py``:
+
+* reads on a materialized view are cheap (no view-function application),
+* but updates to the underlying raw object are **not** reflected until an
+  explicit ``refresh()`` — the staleness the paper's design eliminates;
+* update *through* the materialized copy does not reach the raw object
+  (the copy has its own locations), breaking the paper's view-update story.
+"""
+
+from __future__ import annotations
+
+from ..errors import ReproError
+from ..eval.values import VRecord
+from ..lang.api import Session
+
+__all__ = ["MaterializedView"]
+
+
+class MaterializedView:
+    """An eagerly-copied view of an object bound in a session."""
+
+    def __init__(self, session: Session, obj_name: str, view_src: str):
+        self.session = session
+        self.obj_name = obj_name
+        self.view_src = view_src
+        self._copy_name = f"{obj_name}__mat_{id(self):x}"
+        self.refreshes = 0
+        self._materialize()
+
+    def _materialize(self) -> None:
+        """Apply the view function once and *copy* the result.
+
+        The copy is a fresh record literal rebuilt from ground data, so it
+        shares no store locations with the raw object.  Non-ground fields
+        (functions, nested records...) cannot be copied and are rejected.
+        """
+        from ..eval.store import Location
+        from ..eval.values import VBool, VInt, VString
+        value = self.session.eval(f"query({self.view_src}, {self.obj_name})")
+        if not isinstance(value, VRecord):
+            raise ReproError("materialized views require record views")
+        data = {}
+        for label in value.labels():
+            cell = value.cells[label]
+            inner = cell.value if isinstance(cell, Location) else cell
+            if isinstance(inner, VInt) or isinstance(inner, VBool):
+                data[label] = inner.value
+            elif isinstance(inner, VString):
+                data[label] = inner.value
+            else:
+                raise ReproError(
+                    f"cannot materialize non-ground field '{label}' "
+                    f"({type(inner).__name__})")
+        fields = ", ".join(
+            f"{label} := {_lit(value)}" for label, value in data.items())
+        self.session.bind(self._copy_name, f"[{fields}]")
+        self.refreshes += 1
+
+    def refresh(self) -> None:
+        """Re-materialize from the current raw object state."""
+        self._materialize()
+
+    def read(self, label: str):
+        """Read a field from the materialized copy (may be stale)."""
+        return self.session.eval_py(f"{self._copy_name}.{label}")
+
+    def write(self, label: str, value) -> None:
+        """Write to the materialized copy (does NOT reach the raw object)."""
+        self.session.eval(
+            f"update({self._copy_name}, {label}, {_lit(value)})")
+
+
+def _lit(value) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, str):
+        return '"' + value.replace("\\", "\\\\").replace('"', '\\"') + '"'
+    raise ReproError(f"cannot materialize non-ground field value {value!r}")

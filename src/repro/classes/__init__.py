@@ -1,0 +1,1 @@
+"""The class layer (Section 4): recursion discipline and translation."""

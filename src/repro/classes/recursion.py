@@ -1,0 +1,87 @@
+"""The syntactic restriction on recursive class definitions (Section 4.4).
+
+In ``let c1 = class ... and ... and cn = class ... in e end`` the class
+identifiers ``c1 ... cn`` may appear **only as include-clause sources**; the
+own extents ``S_i``, viewing functions ``e_i`` and predicates ``p_i`` must
+not mention them.  The paper's C1/C2 "complement" example shows why: without
+the restriction the class equations need not have a well-founded solution.
+Together with the ``f_i(L)`` evaluation discipline the restriction makes the
+extent computation terminating (Proposition 5) and computes the least
+solution of the equations.
+"""
+
+from __future__ import annotations
+
+from ..core import terms as T
+from ..errors import RecursiveClassError
+
+__all__ = ["free_vars", "check_recursive_restriction",
+           "check_class_bindings"]
+
+
+def free_vars(term: T.Term) -> set[str]:
+    """The free variables of a term (all binders respected)."""
+    if isinstance(term, T.Var):
+        return {term.name}
+    if isinstance(term, (T.Const, T.Unit)):
+        return set()
+    if isinstance(term, T.Lam):
+        return free_vars(term.body) - {term.param}
+    if isinstance(term, T.Fix):
+        return free_vars(term.body) - {term.name}
+    if isinstance(term, T.Let):
+        return free_vars(term.bound) | (free_vars(term.body) - {term.name})
+    if isinstance(term, T.LetClasses):
+        bound = {name for name, _ in term.bindings}
+        inner: set[str] = free_vars(term.body)
+        for _, cls in term.bindings:
+            inner |= free_vars(cls)
+        return inner - bound
+    out: set[str] = set()
+    for sub in T.iter_subterms(term):
+        out |= free_vars(sub)
+    return out
+
+
+def check_class_bindings(names: list[str],
+                         bindings: list[tuple[str, T.ClassExpr]]) -> None:
+    """Enforce the Section 4.4 restriction for a recursive binding group."""
+    group = set(names)
+    if len(group) != len(names):
+        raise RecursiveClassError(
+            "duplicate class identifier in recursive class definition")
+    for name, cls in bindings:
+        offenders = free_vars(cls.own) & group
+        if offenders:
+            raise RecursiveClassError(
+                f"class '{name}': own extent mentions recursive class "
+                f"identifier(s) {sorted(offenders)}")
+        for idx, clause in enumerate(cls.includes, start=1):
+            offenders = free_vars(clause.view) & group
+            if offenders:
+                raise RecursiveClassError(
+                    f"class '{name}', include clause {idx}: viewing "
+                    f"function mentions recursive class identifier(s) "
+                    f"{sorted(offenders)}")
+            offenders = free_vars(clause.pred) & group
+            if offenders:
+                raise RecursiveClassError(
+                    f"class '{name}', include clause {idx}: predicate "
+                    f"mentions recursive class identifier(s) "
+                    f"{sorted(offenders)}")
+            for src in clause.sources:
+                if isinstance(src, T.Var):
+                    continue  # a class identifier (or any other variable)
+                offenders = free_vars(src) & group
+                if offenders:
+                    raise RecursiveClassError(
+                        f"class '{name}', include clause {idx}: a source "
+                        f"expression mentions recursive class "
+                        f"identifier(s) {sorted(offenders)}; sources must "
+                        f"be the identifiers themselves or expressions "
+                        f"not involving them")
+
+
+def check_recursive_restriction(term: T.LetClasses) -> None:
+    """Validate a ``LetClasses`` node (called from type inference)."""
+    check_class_bindings([name for name, _ in term.bindings], term.bindings)

@@ -1,0 +1,264 @@
+"""The translation semantics of classes (Figure 5 and Section 4.4, Prop 4).
+
+A class compiles to a record
+
+    [[class(tau)]] = [OwnExt := {obj(tau)}, Ext = unit -> {obj(tau)}]
+
+whose ``Ext`` thunk delays extent materialization until a ``c-query``
+forces it (the paper: "lambda abstraction of inclusion functions delays the
+materialization of the extent inclusion").
+
+Two modes are provided:
+
+* ``repaired=True`` (default) — ``Ext`` reads the *current* ``OwnExt``
+  through a self-reference (``fix c. [OwnExt := s, Ext = fn u => union(
+  c.OwnExt, ...)]``), so ``insert``/``delete`` are visible to later
+  queries, matching both the native semantics and the prose of Section 4.2.
+* ``repaired=False`` — the letter of Figure 5: ``Ext`` closes over the
+  class-creation-time extent ``S`` (let-bound once), so updates to
+  ``OwnExt`` are *not* seen by ``Ext``.  Kept to state Figure 5 exactly and
+  to test the documented discrepancy (DESIGN.md §2).
+
+Recursive class groups follow Section 4.4: a family of functions
+``f_i = fn L => fn () => union(S_i, inclusions)`` where an include source
+that is one of the recursive identifiers ``c_a`` becomes
+
+    if member(a, L) then {} else (f_a (union(L, {a}))) ()
+
+realized through a single ``fix`` over a record holding the ``f_i`` (and,
+in repaired mode, the class records themselves so the ``f_i`` can read the
+live own extents).
+"""
+
+from __future__ import annotations
+
+from ..core import terms as T
+from ..core.types import INT
+from ..objects.algebra import (gensym, mk_app, mk_intersect, mk_select,
+                               mk_union)
+from .recursion import check_class_bindings
+
+__all__ = ["translate_classes"]
+
+
+def translate_classes(term: T.Term, repaired: bool = True) -> T.Term:
+    """Eliminate every class construct, producing an object-language term."""
+    return _Tr(repaired).tr(term)
+
+
+def _int(n: int) -> T.Term:
+    return T.Const(n, INT)
+
+
+def _delay(body: T.Term) -> T.Term:
+    """``fn () => body`` — with the parameter pinned to type unit."""
+    u = gensym("u")
+    pin = mk_app(T.Var("eq"), T.Var(u), T.Unit())
+    return T.Lam(u, T.Let(gensym("d"), pin, body))
+
+
+def _force(thunk: T.Term) -> T.Term:
+    return T.App(thunk, T.Unit())
+
+
+def _ext_of(cls_term: T.Term) -> T.Term:
+    """``(tr(C).Ext)()`` — force the extent of a translated class."""
+    return _force(T.Dot(cls_term, "Ext"))
+
+
+class _Tr:
+    def __init__(self, repaired: bool):
+        self.repaired = repaired
+
+    def tr(self, term: T.Term) -> T.Term:
+        if isinstance(term, (T.Const, T.Unit, T.Var)):
+            return term
+        if isinstance(term, T.Lam):
+            return T.Lam(term.param, self.tr(term.body))
+        if isinstance(term, T.App):
+            return T.App(self.tr(term.fn), self.tr(term.arg))
+        if isinstance(term, T.RecordExpr):
+            return T.RecordExpr([
+                T.RecordField(f.label, self.tr(f.expr), f.mutable)
+                for f in term.fields])
+        if isinstance(term, T.Dot):
+            return T.Dot(self.tr(term.expr), term.label)
+        if isinstance(term, T.Extract):
+            return T.Extract(self.tr(term.expr), term.label)
+        if isinstance(term, T.Update):
+            return T.Update(self.tr(term.expr), term.label,
+                            self.tr(term.value))
+        if isinstance(term, T.SetExpr):
+            return T.SetExpr([self.tr(e) for e in term.elems])
+        if isinstance(term, T.If):
+            return T.If(self.tr(term.cond), self.tr(term.then),
+                        self.tr(term.else_))
+        if isinstance(term, T.Fix):
+            return T.Fix(term.name, self.tr(term.body))
+        if isinstance(term, T.Let):
+            return T.Let(term.name, self.tr(term.bound), self.tr(term.body))
+        if isinstance(term, T.Ascribe):
+            return self.tr(term.expr)  # checked before translating
+        if isinstance(term, T.Prod):
+            return T.Prod([self.tr(s) for s in term.sets])
+        if isinstance(term, T.IDView):
+            return T.IDView(self.tr(term.expr))
+        if isinstance(term, T.AsView):
+            return T.AsView(self.tr(term.obj), self.tr(term.view))
+        if isinstance(term, T.Query):
+            return T.Query(self.tr(term.fn), self.tr(term.obj))
+        if isinstance(term, T.Fuse):
+            return T.Fuse([self.tr(o) for o in term.objs])
+        if isinstance(term, T.RelObj):
+            return T.RelObj([(l, self.tr(e)) for l, e in term.fields])
+
+        # -- Figure 5 -------------------------------------------------------
+        if isinstance(term, T.ClassExpr):
+            return self._tr_class(term)
+        if isinstance(term, T.CQuery):
+            # tr(c-query(e, C)) = (tr(e) ((tr(C).Ext) ()))
+            return T.App(self.tr(term.fn), _ext_of(self.tr(term.cls)))
+        if isinstance(term, T.Insert):
+            # tr(insert(e, C)) =
+            #   update(tr(C), OwnExt, union(tr(C).OwnExt, {tr(e)}))
+            c = gensym("c")
+            new = mk_union(T.Dot(T.Var(c), "OwnExt"),
+                           T.SetExpr([self.tr(term.obj)]))
+            return T.Let(c, self.tr(term.cls),
+                         T.Update(T.Var(c), "OwnExt", new))
+        if isinstance(term, T.Delete):
+            # tr(delete(e, C)) =
+            #   update(tr(C), OwnExt, remove(tr(C).OwnExt, {tr(e)}))
+            c = gensym("c")
+            new = mk_app(T.Var("remove"), T.Dot(T.Var(c), "OwnExt"),
+                         T.SetExpr([self.tr(term.obj)]))
+            return T.Let(c, self.tr(term.cls),
+                         T.Update(T.Var(c), "OwnExt", new))
+        if isinstance(term, T.LetClasses):
+            return self._tr_let_classes(term)
+        raise AssertionError(
+            f"unknown term node {type(term).__name__}")  # pragma: no cover
+
+    # -- non-recursive classes ----------------------------------------------
+
+    def _inclusion(self, clause: T.IncludeClause,
+                   source_extents: list[T.Term]) -> T.Term:
+        """``select as e from intersect(ext1, ..., extm) where p``."""
+        return mk_select(self.tr(clause.view),
+                         mk_intersect(source_extents),
+                         self.tr(clause.pred))
+
+    def _extent_body(self, own: T.Term,
+                     inclusions: list[T.Term]) -> T.Term:
+        """``union(S, union(inc1, union(..., incn)))`` (Figure 5)."""
+        if not inclusions:
+            return own
+        tail = inclusions[-1]
+        for inc in reversed(inclusions[:-1]):
+            tail = mk_union(inc, tail)
+        return mk_union(own, tail)
+
+    def _tr_class(self, term: T.ClassExpr) -> T.Term:
+        s = gensym("s")
+        inclusions = [
+            self._inclusion(clause,
+                            [_ext_of(self.tr(src))
+                             for src in clause.sources])
+            for clause in term.includes]
+        if self.repaired:
+            # fix c. [OwnExt := s, Ext = fn u => union(c.OwnExt, ...)]
+            c = gensym("cls")
+            body = self._extent_body(T.Dot(T.Var(c), "OwnExt"), inclusions)
+            record = T.Fix(c, T.RecordExpr([
+                T.RecordField("OwnExt", T.Var(s), mutable=True),
+                T.RecordField("Ext", _delay(body), mutable=False)]))
+        else:
+            # Figure 5 verbatim (S let-bound once): Ext closes over the
+            # creation-time extent.
+            body = self._extent_body(T.Var(s), inclusions)
+            record = T.RecordExpr([
+                T.RecordField("OwnExt", T.Var(s), mutable=True),
+                T.RecordField("Ext", _delay(body), mutable=False)])
+        return T.Let(s, self.tr(term.own), record)
+
+    # -- recursive classes (Section 4.4) -----------------------------------
+
+    def _tr_let_classes(self, term: T.LetClasses) -> T.Term:
+        names = [name for name, _ in term.bindings]
+        check_class_bindings(names, term.bindings)
+        index_of = {name: i + 1 for i, name in enumerate(names)}
+        rec = gensym("F")
+
+        def f_name(name: str) -> str:
+            return f"f_{name}"
+
+        def c_name(name: str) -> str:
+            return f"c_{name}"
+
+        own_names = {name: gensym("s") for name in names}
+
+        def source_extent(src: T.Term, lvar: str) -> T.Term:
+            """The guarded extent of one include source inside f_i."""
+            if isinstance(src, T.Var) and src.name in index_of:
+                a = index_of[src.name]
+                call = _force(mk_app(T.Dot(T.Var(rec), f_name(src.name)),
+                                     mk_union(T.Var(lvar),
+                                              T.SetExpr([_int(a)]))))
+                guard = mk_app(T.Var("member"), _int(a), T.Var(lvar))
+                return T.If(guard, T.SetExpr([]), call)
+            return _ext_of(self.tr(src))
+
+        fields: list[T.RecordField] = []
+        for name, cls in term.bindings:
+            lvar = gensym("L")
+            inclusions = [
+                self._inclusion(clause, [source_extent(src, lvar)
+                                         for src in clause.sources])
+                for clause in cls.includes]
+            if self.repaired:
+                own_ref: T.Term = T.Dot(
+                    T.Dot(T.Var(rec), c_name(name)), "OwnExt")
+            else:
+                own_ref = T.Var(own_names[name])
+            body = self._extent_body(own_ref, inclusions)
+            fields.append(T.RecordField(
+                f_name(name), T.Lam(lvar, _delay(body)), mutable=False))
+        if self.repaired:
+            # The class records live inside the same fix so the f_i can
+            # read their live OwnExt; Ext is eta-delayed so the record can
+            # be constructed before the fix is tied.
+            for name in names:
+                i = index_of[name]
+                u = gensym("u")
+                ext = T.Lam(u, T.App(
+                    mk_app(T.Dot(T.Var(rec), f_name(name)),
+                           T.SetExpr([_int(i)])),
+                    T.Var(u)))
+                fields.append(T.RecordField(
+                    c_name(name), T.RecordExpr([
+                        T.RecordField("OwnExt", T.Var(own_names[name]),
+                                      mutable=True),
+                        T.RecordField("Ext", ext, mutable=False)]),
+                    mutable=False))
+        fix_record = T.Fix(rec, T.RecordExpr(fields))
+
+        body: T.Term = self.tr(term.body)
+        if self.repaired:
+            for name in reversed(names):
+                body = T.Let(name, T.Dot(T.Var(rec), c_name(name)), body)
+            body = T.Let(rec, fix_record, body)
+        else:
+            # tr(let ...) = let c1 = [OwnExt := S1, Ext = (f1 {1})] ...
+            for name in reversed(names):
+                i = index_of[name]
+                ext = mk_app(T.Dot(T.Var(rec), f_name(name)),
+                             T.SetExpr([_int(i)]))
+                record = T.RecordExpr([
+                    T.RecordField("OwnExt", T.Var(own_names[name]),
+                                  mutable=True),
+                    T.RecordField("Ext", ext, mutable=False)])
+                body = T.Let(name, record, body)
+            body = T.Let(rec, fix_record, body)
+        for name, cls in reversed(term.bindings):
+            body = T.Let(own_names[name], self.tr(cls.own), body)
+        return body

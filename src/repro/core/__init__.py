@@ -1,0 +1,1 @@
+"""The core polymorphic record-and-set calculus (Section 2 of the paper)."""

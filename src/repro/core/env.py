@@ -1,0 +1,60 @@
+"""The initial typing environment: polymorphic builtin operations.
+
+The paper's primitive set operations (``union``, ``hom``) and equality
+(``eq``) are first-class curried values here, so they can be passed to
+higher-order code exactly as the paper does (e.g. handing ``union`` to
+``hom`` in the definition of ``intersect``).  ``member`` and ``remove`` are
+also primitive: the paper notes they are definable from ``hom`` and ``eq``,
+but making them primitive lets them respect the objeq-based semantics the
+paper chooses for sets of objects (Section 3.1; see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .infer import TypeEnv
+from .types import (BOOL, INT, STRING, TSet, TVar, Type, TypeScheme, UNIT,
+                    fun_type)
+
+__all__ = ["initial_type_env", "BUILTIN_NAMES"]
+
+
+def _poly(nvars: int, build: Callable[..., Type]) -> TypeScheme:
+    vars_ = [TVar(0) for _ in range(nvars)]
+    return TypeScheme(vars_, build(*vars_))
+
+
+def _mono(t: Type) -> TypeScheme:
+    return TypeScheme.mono(t)
+
+
+def _builtin_schemes() -> dict[str, TypeScheme]:
+    schemes: dict[str, TypeScheme] = {
+        # eq : forall t. t -> t -> bool — L-value equality on records and
+        # functions, value equality otherwise (Section 2).
+        "eq": _poly(1, lambda t: fun_type(t, t, BOOL)),
+        "union": _poly(1, lambda t: fun_type(TSet(t), TSet(t), TSet(t))),
+        "remove": _poly(1, lambda t: fun_type(TSet(t), TSet(t), TSet(t))),
+        "member": _poly(1, lambda t: fun_type(t, TSet(t), BOOL)),
+        "size": _poly(1, lambda t: fun_type(TSet(t), INT)),
+        # hom(S, f, op, z) = op(f(e1), op(f(e2), ... op(f(en), z)))
+        "hom": _poly(3, lambda a, b, c: fun_type(
+            TSet(a), fun_type(a, b), fun_type(b, c, c), c, c)),
+        "not": _mono(fun_type(BOOL, BOOL)),
+        "This_year": _mono(fun_type(UNIT, INT)),
+    }
+    for op in ("+", "-", "*", "div", "mod"):
+        schemes[op] = _mono(fun_type(INT, INT, INT))
+    for op in ("<", ">", "<=", ">="):
+        schemes[op] = _mono(fun_type(INT, INT, BOOL))
+    schemes["^"] = _mono(fun_type(STRING, STRING, STRING))
+    return schemes
+
+
+BUILTIN_NAMES: tuple[str, ...] = tuple(_builtin_schemes())
+
+
+def initial_type_env() -> TypeEnv:
+    """A fresh typing environment containing all builtins."""
+    return TypeEnv(_builtin_schemes())

@@ -1,0 +1,329 @@
+"""Type inference for the full calculus (Propositions 2 of the paper).
+
+The algorithm is Milner-style inference with Ohori's kinded type variables:
+record operations constrain the kinds of variables instead of forcing
+concrete record types, which yields the polymorphic typings the paper shows
+for e.g. ``Annual_Income : forall t::[[Income=int, Bonus=int]]. t -> int``.
+
+Let-generalization uses the level discipline together with the ML value
+restriction: only syntactic values generalize.  Record expressions allocate
+identity and therefore do not generalize; this realizes the paper's
+soundness restriction that mutable fields carry ground monotypes (see
+DESIGN.md, "Value restriction").
+
+The extended typing rules of Figures 2, 4 and 6 (objects, classes, recursive
+classes) are implemented directly; they are all syntax-directed, which is
+why the extensions "preserve the existence of a complete type inference
+algorithm" (Sections 3.2 and 4.3).
+"""
+
+from __future__ import annotations
+
+from ..errors import TypeInferenceError
+from . import terms as T
+from .types import (BOOL, KRecord, TClass, TFun, TLval, TObj,
+                    TRecord, TSet, TVar, Type, TypeScheme, UNIT, FieldType,
+                    free_type_vars, product_type, resolve)
+from .unify import ensure_record_field, occurs_adjust, unify
+
+__all__ = ["TypeEnv", "infer", "infer_scheme", "generalize",
+           "is_nonexpansive"]
+
+
+class TypeEnv:
+    """An immutable-by-convention typing environment (name -> scheme)."""
+
+    __slots__ = ("_table",)
+
+    def __init__(self, table: dict[str, TypeScheme] | None = None):
+        self._table: dict[str, TypeScheme] = dict(table or {})
+
+    def lookup(self, name: str) -> TypeScheme | None:
+        return self._table.get(name)
+
+    def extend(self, name: str, scheme: TypeScheme) -> "TypeEnv":
+        child = TypeEnv(self._table)
+        child._table[name] = scheme
+        return child
+
+    def extend_many(self, items: dict[str, TypeScheme]) -> "TypeEnv":
+        child = TypeEnv(self._table)
+        child._table.update(items)
+        return child
+
+    def names(self) -> list[str]:
+        return list(self._table)
+
+
+def is_nonexpansive(term: T.Term) -> bool:
+    """The syntactic value judgement used by the value restriction.
+
+    Constants, variables, lambdas, ``fix`` of a lambda, and sets/lets built
+    from non-expansive parts are values.  Record expressions are *not*: they
+    allocate identity (Section 2), which is precisely the effect the value
+    restriction must fence off.
+    """
+    if isinstance(term, (T.Const, T.Unit, T.Var, T.Lam)):
+        return True
+    if isinstance(term, T.Fix):
+        return isinstance(term.body, T.Lam)
+    if isinstance(term, T.SetExpr):
+        return all(is_nonexpansive(e) for e in term.elems)
+    if isinstance(term, T.Let):
+        return is_nonexpansive(term.bound) and is_nonexpansive(term.body)
+    if isinstance(term, T.Ascribe):
+        return is_nonexpansive(term.expr)
+    return False
+
+
+def generalize(t: Type, level: int) -> TypeScheme:
+    """Quantify every variable of ``t`` deeper than ``level`` (rule (gen))."""
+    gen_vars = [v for v in free_type_vars(t) if v.level > level]
+    return TypeScheme(gen_vars, t)
+
+
+def _demote(t: Type, level: int) -> None:
+    """Lower all variables of ``t`` to ``level`` (expansive let bindings)."""
+    occurs_adjust(None, t, level)
+
+
+def _ensure_record_kinded(t: Type) -> None:
+    """Constrain ``t`` to be of record kind ``[[ ]]`` (rule (id), Figure 2)."""
+    t = resolve(t)
+    if isinstance(t, TRecord):
+        return
+    if isinstance(t, TVar):
+        if not isinstance(t.kind, KRecord):
+            t.kind = KRecord({})
+        return
+    from ..errors import KindError
+    from ..syntax.pretty import pretty_type
+    raise KindError(
+        f"IDView requires a record type, got {pretty_type(t)}")
+
+
+def infer(term: T.Term, env: TypeEnv, level: int = 1) -> Type:
+    """Infer the (principal) monotype of ``term`` under ``env``.
+
+    Raises :class:`~repro.errors.TypeInferenceError` (or one of its
+    subclasses) if the term is not typable.  Errors are annotated with the
+    source position of the nearest enclosing node that carries one.
+    """
+    from ..errors import KindError
+    try:
+        return _infer(term, env, level)
+    except (TypeInferenceError, KindError) as exc:
+        pos = getattr(term, "pos", None)
+        if pos is not None and getattr(exc, "pos", None) is None:
+            exc.pos = pos  # type: ignore[attr-defined]
+            exc.args = (f"{exc.args[0]} (line {pos.line}, "
+                        f"column {pos.column})",) if exc.args else exc.args
+        raise
+
+
+def _infer(term: T.Term, env: TypeEnv, level: int) -> Type:
+    if isinstance(term, T.Const):
+        return term.type
+    if isinstance(term, T.Unit):
+        return UNIT
+    if isinstance(term, T.Var):
+        scheme = env.lookup(term.name)
+        if scheme is None:
+            raise TypeInferenceError(f"unbound variable '{term.name}'")
+        return scheme.instantiate(level)
+    if isinstance(term, T.Lam):
+        param_t = TVar(level)
+        body_t = infer(term.body, env.extend(
+            term.param, TypeScheme.mono(param_t)), level)
+        return TFun(param_t, body_t)
+    if isinstance(term, T.App):
+        fn_t = infer(term.fn, env, level)
+        arg_t = infer(term.arg, env, level)
+        res_t = TVar(level)
+        unify(fn_t, TFun(arg_t, res_t))
+        return res_t
+    if isinstance(term, T.RecordExpr):
+        fields: dict[str, FieldType] = {}
+        for f in term.fields:
+            if f.label in fields:
+                raise TypeInferenceError(
+                    f"duplicate field label '{f.label}' in record")
+            if isinstance(f.expr, T.Extract):
+                # Rule (rec): an initializer of type L(tau) contributes a
+                # field of type tau, sharing the L-value.
+                lval_t = _infer_extract(f.expr, env, level)
+                fields[f.label] = FieldType(lval_t.elem, f.mutable)
+            else:
+                fields[f.label] = FieldType(
+                    infer(f.expr, env, level), f.mutable)
+        return TRecord(fields)
+    if isinstance(term, T.Dot):
+        rec_t = infer(term.expr, env, level)
+        field_t = TVar(level)
+        ensure_record_field(rec_t, term.label, field_t,
+                            mutable_required=False)
+        return field_t
+    if isinstance(term, T.Extract):
+        raise TypeInferenceError(
+            "extract(e, l) may only appear as a record field initializer "
+            "(L-values are second class)")
+    if isinstance(term, T.Update):
+        rec_t = infer(term.expr, env, level)
+        val_t = infer(term.value, env, level)
+        ensure_record_field(rec_t, term.label, val_t, mutable_required=True)
+        return UNIT
+    if isinstance(term, T.SetExpr):
+        elem_t = TVar(level)
+        for e in term.elems:
+            unify(infer(e, env, level), elem_t)
+        return TSet(elem_t)
+    if isinstance(term, T.If):
+        unify(infer(term.cond, env, level), BOOL)
+        then_t = infer(term.then, env, level)
+        unify(then_t, infer(term.else_, env, level))
+        return then_t
+    if isinstance(term, T.Fix):
+        self_t = TVar(level)
+        body_t = infer(term.body, env.extend(
+            term.name, TypeScheme.mono(self_t)), level)
+        unify(body_t, self_t)
+        return self_t
+    if isinstance(term, T.Let):
+        bound_t = infer(term.bound, env, level + 1)
+        if is_nonexpansive(term.bound):
+            scheme = generalize(bound_t, level)
+        else:
+            _demote(bound_t, level)
+            scheme = TypeScheme.mono(bound_t)
+        return infer(term.body, env.extend(term.name, scheme), level)
+    if isinstance(term, T.Ascribe):
+        ascribed = term.type
+        if free_type_vars(ascribed):
+            raise TypeInferenceError(
+                "ascribed types must be ground (no type variables)")
+        unify(infer(term.expr, env, level), ascribed)
+        return ascribed
+    if isinstance(term, T.Prod):
+        elem_ts = []
+        for s in term.sets:
+            et = TVar(level)
+            unify(infer(s, env, level), TSet(et))
+            elem_ts.append(et)
+        return TSet(product_type(elem_ts))
+
+    # -- Section 3: objects and views (Figure 2) --------------------------
+    if isinstance(term, T.IDView):
+        raw_t = infer(term.expr, env, level)
+        _ensure_record_kinded(raw_t)
+        return TObj(raw_t)
+    if isinstance(term, T.AsView):
+        obj_t = infer(term.obj, env, level)
+        in_t = TVar(level)
+        unify(obj_t, TObj(in_t))
+        out_t = TVar(level)
+        unify(infer(term.view, env, level), TFun(in_t, out_t))
+        return TObj(out_t)
+    if isinstance(term, T.Query):
+        in_t = TVar(level)
+        out_t = TVar(level)
+        unify(infer(term.fn, env, level), TFun(in_t, out_t))
+        unify(infer(term.obj, env, level), TObj(in_t))
+        return out_t
+    if isinstance(term, T.Fuse):
+        if len(term.objs) < 2:
+            raise TypeInferenceError("fuse needs at least two objects")
+        view_ts = []
+        for e in term.objs:
+            vt = TVar(level)
+            unify(infer(e, env, level), TObj(vt))
+            view_ts.append(vt)
+        return TSet(TObj(product_type(view_ts)))
+    if isinstance(term, T.RelObj):
+        fields = {}
+        for label, e in term.fields:
+            if label in fields:
+                raise TypeInferenceError(
+                    f"duplicate field label '{label}' in relobj")
+            vt = TVar(level)
+            unify(infer(e, env, level), TObj(vt))
+            fields[label] = FieldType(vt, mutable=False)
+        return TObj(TRecord(fields))
+
+    # -- Section 4: classes (Figures 4 and 6) ------------------------------
+    if isinstance(term, T.ClassExpr):
+        elem_t = TVar(level)
+        unify(infer(term.own, env, level), TSet(TObj(elem_t)))
+        for clause in term.includes:
+            _infer_include_clause(clause, elem_t, env, level)
+        return TClass(elem_t)
+    if isinstance(term, T.CQuery):
+        elem_t = TVar(level)
+        out_t = TVar(level)
+        unify(infer(term.fn, env, level),
+              TFun(TSet(TObj(elem_t)), out_t))
+        unify(infer(term.cls, env, level), TClass(elem_t))
+        return out_t
+    if isinstance(term, (T.Insert, T.Delete)):
+        elem_t = TVar(level)
+        unify(infer(term.obj, env, level), TObj(elem_t))
+        unify(infer(term.cls, env, level), TClass(elem_t))
+        return UNIT
+    if isinstance(term, T.LetClasses):
+        from ..classes.recursion import check_recursive_restriction
+        check_recursive_restriction(term)
+        class_vars = {name: TVar(level) for name, _ in term.bindings}
+        env2 = env.extend_many({
+            name: TypeScheme.mono(TClass(tv))
+            for name, tv in class_vars.items()})
+        for name, cls_expr in term.bindings:
+            unify(infer(cls_expr, env2, level), TClass(class_vars[name]))
+        return infer(term.body, env2, level)
+
+    raise AssertionError(
+        f"unknown term node {type(term).__name__}")  # pragma: no cover
+
+
+def _infer_extract(term: T.Extract, env: TypeEnv, level: int) -> TLval:
+    """Rule (ext) of Figure 1 — only reachable from field position."""
+    rec_t = infer(term.expr, env, level)
+    field_t = TVar(level)
+    ensure_record_field(rec_t, term.label, field_t, mutable_required=True)
+    return TLval(field_t)
+
+
+def _infer_include_clause(clause: T.IncludeClause, class_elem: Type,
+                          env: TypeEnv, level: int) -> None:
+    """Premises of rule (class), Figure 4.
+
+    With ``m`` source classes of element types ``tau_1 ... tau_m``, the
+    viewing function has type ``tau_1 x ... x tau_m -> tau`` and the
+    predicate ``obj(tau_1 x ... x tau_m) -> bool``; for ``m = 1`` the
+    product degenerates to the element type itself (no 1-tuples).
+    """
+    source_ts = []
+    for src in clause.sources:
+        st = TVar(level)
+        unify(infer(src, env, level), TClass(st))
+        source_ts.append(st)
+    if not source_ts:
+        raise TypeInferenceError("include clause needs at least one class")
+    if len(source_ts) == 1:
+        fused_t: Type = source_ts[0]
+    else:
+        fused_t = product_type(source_ts)
+    unify(infer(clause.view, env, level), TFun(fused_t, class_elem))
+    unify(infer(clause.pred, env, level), TFun(TObj(fused_t), BOOL))
+
+
+def infer_scheme(term: T.Term, env: TypeEnv) -> TypeScheme:
+    """Infer and generalize a top-level term.
+
+    Generalization respects the value restriction, so an expansive top-level
+    term yields a monomorphic scheme (possibly with leftover free
+    variables).
+    """
+    t = infer(term, env, level=1)
+    if is_nonexpansive(term):
+        return generalize(t, level=0)
+    _demote(t, 0)
+    return TypeScheme.mono(t)

@@ -1,0 +1,78 @@
+"""Kind satisfaction checks (Figure 1 kinding rules).
+
+The relation ``F < F'`` of the paper: a field requirement ``l = tau`` is
+satisfied by either ``l = tau`` or ``l := tau``, while ``l := tau`` demands a
+mutable field.  These checks are used both during unification (a record type
+substituted for a record-kinded variable must have the kind) and by tests
+that validate the kinding judgements ``K |- tau :: K`` directly.
+"""
+
+from __future__ import annotations
+
+from .types import (FieldReq, FieldType, KRecord, Kind, KUniv, TRecord, TVar,
+                    Type, resolve, types_structurally_equal)
+
+__all__ = [
+    "field_satisfies", "has_kind", "kind_fields_of",
+]
+
+
+def field_satisfies(req: FieldReq, field: FieldType) -> bool:
+    """The paper's ``F < F'`` relation, comparing types structurally.
+
+    Structural comparison is the right notion here because this predicate is
+    the *checking* (non-unifying) form used on already-inferred types; the
+    unifier has its own merging version.
+    """
+    if req.mutable and not field.mutable:
+        return False
+    return types_structurally_equal(req.type, field.type)
+
+
+def has_kind(t: Type, k: Kind) -> bool:
+    """Decide ``|- tau :: K`` for a resolved type (Figure 1).
+
+    * every type has kind ``U``;
+    * a record type has kind ``[[F1, ..., Fn]]`` when it contains a
+      compatible field for each requirement;
+    * a type variable has a record kind when its own kind subsumes the
+      requested one.
+    """
+    if isinstance(k, KUniv):
+        return True
+    assert isinstance(k, KRecord)
+    t = resolve(t)
+    if isinstance(t, TRecord):
+        return all(
+            label in t.fields and field_satisfies(req, t.fields[label])
+            for label, req in k.fields.items())
+    if isinstance(t, TVar):
+        own = t.kind
+        if not isinstance(own, KRecord):
+            return False
+        for label, req in k.fields.items():
+            if label not in own.fields:
+                return False
+            have = own.fields[label]
+            # The variable's own requirement must be at least as strong.
+            if req.mutable and not have.mutable:
+                return False
+            if not types_structurally_equal(req.type, have.type):
+                return False
+        return True
+    return False
+
+
+def kind_fields_of(t: Type) -> dict[str, FieldReq] | None:
+    """The field requirements a type can be *queried* for.
+
+    For a record type these are its own fields (a mutable field satisfies
+    both forms of requirement); for a record-kinded variable they are the
+    kind's requirements.  Returns ``None`` for types with only kind ``U``.
+    """
+    t = resolve(t)
+    if isinstance(t, TRecord):
+        return {l: FieldReq(f.type, f.mutable) for l, f in t.fields.items()}
+    if isinstance(t, TVar) and isinstance(t.kind, KRecord):
+        return dict(t.kind.fields)
+    return None

@@ -1,0 +1,42 @@
+"""Recursion headroom for deeply nested programs.
+
+The front end (recursive descent), the inference algorithm and the
+evaluator are all structurally recursive, so program nesting depth maps to
+Python stack depth with a constant factor of roughly a dozen frames per
+level.  The default CPython limit of 1000 frames caps programs at ~60-80
+nesting levels — far too low for generated code (e.g. long view-composition
+chains).  :func:`deep_recursion` temporarily raises the limit around the
+pipeline entry points, and converts a :class:`RecursionError` that still
+escapes into a :class:`~repro.errors.EvalError` with an actionable message.
+"""
+
+from __future__ import annotations
+
+import sys
+from contextlib import contextmanager
+
+from ..errors import EvalError
+
+__all__ = ["deep_recursion", "RECURSION_LIMIT"]
+
+#: The stack limit enforced while running pipeline entry points; roughly
+#: 4000 levels of program nesting.
+RECURSION_LIMIT = 50_000
+
+
+@contextmanager
+def deep_recursion():
+    """Raise the interpreter recursion limit for the duration of a call."""
+    previous = sys.getrecursionlimit()
+    if previous < RECURSION_LIMIT:
+        sys.setrecursionlimit(RECURSION_LIMIT)
+    try:
+        yield
+    except RecursionError:
+        raise EvalError(
+            "program nesting exceeds the supported depth "
+            f"(~{RECURSION_LIMIT // 12} levels); restructure the program "
+            "or raise repro.core.limits.RECURSION_LIMIT") from None
+    finally:
+        if previous < RECURSION_LIMIT:
+            sys.setrecursionlimit(previous)

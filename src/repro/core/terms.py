@@ -1,0 +1,404 @@
+"""Abstract syntax of the calculus.
+
+The node set covers the three language layers of the paper:
+
+* the **core** calculus of Section 2 (lambda terms, records with mutable and
+  immutable fields, L-value ``extract``, ``update``, sets, ``fix``, ``let``);
+* the **object/view algebra** of Section 3 (``IDView``, ``as``, ``query``,
+  ``fuse``, ``relobj``);
+* the **class layer** of Section 4 (``class ... include ... as ... where``,
+  ``c-query``, ``insert``, ``delete`` and recursive class definitions).
+
+``union``, ``hom``, ``eq``, ``member`` and the arithmetic operators are not
+AST nodes: they are curried builtin *values* bound in the initial
+environment, so they can be passed around first-class exactly as the paper
+does when it hands ``union`` to ``hom``.  The object/class operations, by
+contrast, are genuine expression constructors because the translation
+semantics (Figures 3 and 5) eliminates them syntactically.
+
+``Prod`` (n-ary cartesian product of sets) is the one extra constructor: the
+paper treats ``prod`` as definable, but its arity-indexed type makes it a
+scheme of definitions rather than a single term, so it is primitive here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from .types import TBase
+
+__all__ = [
+    "Term", "Const", "Unit", "Var", "Lam", "App", "RecordField",
+    "RecordExpr", "Dot", "Extract", "Update", "SetExpr", "If", "Fix", "Let",
+    "Ascribe", "Prod", "IDView", "AsView", "Query", "Fuse", "RelObj",
+    "IncludeClause",
+    "ClassExpr", "CQuery", "Insert", "Delete", "LetClasses", "Pos",
+    "iter_subterms",
+]
+
+
+@dataclass(frozen=True)
+class Pos:
+    """A 1-based source position, attached to nodes by the parser."""
+
+    line: int
+    column: int
+
+
+class Term:
+    """Base class of all AST nodes."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        from ..syntax.pretty import pretty_term
+        return pretty_term(self)
+
+
+@dataclass(eq=False, repr=False)
+class Const(Term):
+    """A literal of a base type (``int``, ``string`` or ``bool``)."""
+
+    value: object
+    type: TBase
+    pos: Optional[Pos] = None
+
+
+@dataclass(eq=False, repr=False)
+class Unit(Term):
+    """``()`` — the sole value of type ``unit``."""
+
+    pos: Optional[Pos] = None
+
+
+@dataclass(eq=False, repr=False)
+class Var(Term):
+    """A variable reference."""
+
+    name: str
+    pos: Optional[Pos] = None
+
+
+@dataclass(eq=False, repr=False)
+class Lam(Term):
+    """``fn param => body`` (the paper's lambda abstraction)."""
+
+    param: str
+    body: Term
+    pos: Optional[Pos] = None
+
+
+@dataclass(eq=False, repr=False)
+class App(Term):
+    """Function application ``(fn arg)``."""
+
+    fn: Term
+    arg: Term
+    pos: Optional[Pos] = None
+
+
+@dataclass(eq=False, repr=False)
+class RecordField:
+    """One field of a record expression: ``label = expr`` or ``label := expr``.
+
+    The initializer may be an :class:`Extract` node, in which case the new
+    field shares the L-value of the extracted field (rule (rec) of Figure 1
+    absorbing ``L(tau)`` into ``tau``).
+    """
+
+    label: str
+    expr: Term
+    mutable: bool
+
+
+@dataclass(eq=False, repr=False)
+class RecordExpr(Term):
+    """``[f, ..., f]`` — evaluating it creates a record with new identity."""
+
+    fields: list[RecordField]
+    pos: Optional[Pos] = None
+
+
+@dataclass(eq=False, repr=False)
+class Dot(Term):
+    """Field extraction ``e.l`` — always yields the R-value."""
+
+    expr: Term
+    label: str
+    pos: Optional[Pos] = None
+
+
+@dataclass(eq=False, repr=False)
+class Extract(Term):
+    """``extract(e, l)`` — the L-value of a mutable field.
+
+    Only legal in record-field-initializer position (the paper: "extracted
+    L-values can only be used as field values in a record").
+    """
+
+    expr: Term
+    label: str
+    pos: Optional[Pos] = None
+
+
+@dataclass(eq=False, repr=False)
+class Update(Term):
+    """``update(e, l, e')`` — assign to a mutable field; returns ``()``."""
+
+    expr: Term
+    label: str
+    value: Term
+    pos: Optional[Pos] = None
+
+
+@dataclass(eq=False, repr=False)
+class SetExpr(Term):
+    """``{e1, ..., en}`` — a set literal (duplicates collapse)."""
+
+    elems: list[Term]
+    pos: Optional[Pos] = None
+
+
+@dataclass(eq=False, repr=False)
+class If(Term):
+    """``if c then t else f`` — needed by the translation of ``fuse``."""
+
+    cond: Term
+    then: Term
+    else_: Term
+    pos: Optional[Pos] = None
+
+
+@dataclass(eq=False, repr=False)
+class Fix(Term):
+    """``fix x. e`` — recursive definition; ``x`` may occur free in ``e``."""
+
+    name: str
+    body: Term
+    pos: Optional[Pos] = None
+
+
+@dataclass(eq=False, repr=False)
+class Let(Term):
+    """``let x = e in e' end`` — ML-style polymorphic let."""
+
+    name: str
+    bound: Term
+    body: Term
+    pos: Optional[Pos] = None
+
+
+@dataclass(eq=False, repr=False)
+class Ascribe(Term):
+    """``(e : tau)`` — a checked type ascription (reproduction extension).
+
+    The ascribed type must be *ground* (no type variables); inference
+    unifies it with the expression's type, so the expression must be at
+    least as general.  Ascriptions are erased by the translation layers
+    (they are checked before translating) and by evaluation.
+    """
+
+    expr: Term
+    type: "object"  # a ground repro.core.types.Type
+    pos: Optional[Pos] = None
+
+
+@dataclass(eq=False, repr=False)
+class Prod(Term):
+    """``prod(e1, ..., en)`` — n-ary cartesian product of sets.
+
+    Yields a set of fresh tuple records ``[1 = x1, ..., n = xn]``.
+    """
+
+    sets: list[Term]
+    pos: Optional[Pos] = None
+
+
+# ---------------------------------------------------------------------------
+# Section 3 — objects and views
+# ---------------------------------------------------------------------------
+
+@dataclass(eq=False, repr=False)
+class IDView(Term):
+    """``IDView(e)`` — turn a raw record into an object with identity view."""
+
+    expr: Term
+    pos: Optional[Pos] = None
+
+
+@dataclass(eq=False, repr=False)
+class AsView(Term):
+    """``(e1 as e2)`` — compose a further viewing function onto an object."""
+
+    obj: Term
+    view: Term
+    pos: Optional[Pos] = None
+
+
+@dataclass(eq=False, repr=False)
+class Query(Term):
+    """``query(e1, e2)`` — materialize the view of ``e2``, apply ``e1``."""
+
+    fn: Term
+    obj: Term
+    pos: Optional[Pos] = None
+
+
+@dataclass(eq=False, repr=False)
+class Fuse(Term):
+    """``fuse(e1, ..., en)`` — generalized equality on objects (n >= 2).
+
+    The paper defines the binary form; its n-ary generalization, used by
+    ``intersect``, produces objects whose view is the flat product of the
+    component views.
+    """
+
+    objs: list[Term]
+    pos: Optional[Pos] = None
+
+
+@dataclass(eq=False, repr=False)
+class RelObj(Term):
+    """``relobj(l1 = e1, ..., ln = en)`` — relation object creation.
+
+    Creates a *new* raw object (new identity) whose fields are the raw
+    objects of the arguments, viewed through their viewing functions.
+    """
+
+    fields: list[tuple[str, Term]]
+    pos: Optional[Pos] = None
+
+
+# ---------------------------------------------------------------------------
+# Section 4 — classes and object sharing
+# ---------------------------------------------------------------------------
+
+@dataclass(eq=False, repr=False)
+class IncludeClause:
+    """``include C1, ..., Cm as e where p``.
+
+    ``view`` receives the materialized view of the (m-ary fused) included
+    object; ``pred`` receives the (fused) object itself, so it can ``query``
+    it — exactly the typing of rule (class) in Figure 4.
+    """
+
+    sources: list[Term]
+    view: Term
+    pred: Term
+
+
+@dataclass(eq=False, repr=False)
+class ClassExpr(Term):
+    """``class S include ... as ... where ... ... end``."""
+
+    own: Term
+    includes: list[IncludeClause]
+    pos: Optional[Pos] = None
+
+
+@dataclass(eq=False, repr=False)
+class CQuery(Term):
+    """``c-query(e, C)`` — evaluate a set-level query on a class extent."""
+
+    fn: Term
+    cls: Term
+    pos: Optional[Pos] = None
+
+
+@dataclass(eq=False, repr=False)
+class Insert(Term):
+    """``insert(e, C)`` — add object ``e`` to ``C``'s own extent."""
+
+    obj: Term
+    cls: Term
+    pos: Optional[Pos] = None
+
+
+@dataclass(eq=False, repr=False)
+class Delete(Term):
+    """``delete(e, C)`` — remove object ``e`` from ``C``'s own extent."""
+
+    obj: Term
+    cls: Term
+    pos: Optional[Pos] = None
+
+
+@dataclass(eq=False, repr=False)
+class LetClasses(Term):
+    """``let c1 = class ... and ... and cn = class ... in e end``.
+
+    The (possibly mutually) recursive class definition of Section 4.4.  The
+    class identifiers may appear only in include-source positions of the
+    bound class expressions; this restriction is enforced by
+    :func:`repro.classes.recursion.check_recursive_restriction`.
+    """
+
+    bindings: list[tuple[str, ClassExpr]]
+    body: Term
+    pos: Optional[Pos] = None
+
+
+def iter_subterms(term: Term) -> Iterator[Term]:
+    """Yield the direct sub-terms of ``term`` (generic traversal helper)."""
+    if isinstance(term, (Const, Unit, Var)):
+        return
+    if isinstance(term, Lam):
+        yield term.body
+    elif isinstance(term, App):
+        yield term.fn
+        yield term.arg
+    elif isinstance(term, RecordExpr):
+        for f in term.fields:
+            yield f.expr
+    elif isinstance(term, (Dot, Extract)):
+        yield term.expr
+    elif isinstance(term, Update):
+        yield term.expr
+        yield term.value
+    elif isinstance(term, SetExpr):
+        yield from term.elems
+    elif isinstance(term, If):
+        yield term.cond
+        yield term.then
+        yield term.else_
+    elif isinstance(term, Fix):
+        yield term.body
+    elif isinstance(term, Let):
+        yield term.bound
+        yield term.body
+    elif isinstance(term, Ascribe):
+        yield term.expr
+    elif isinstance(term, Prod):
+        yield from term.sets
+    elif isinstance(term, IDView):
+        yield term.expr
+    elif isinstance(term, AsView):
+        yield term.obj
+        yield term.view
+    elif isinstance(term, Query):
+        yield term.fn
+        yield term.obj
+    elif isinstance(term, Fuse):
+        yield from term.objs
+    elif isinstance(term, RelObj):
+        for _, e in term.fields:
+            yield e
+    elif isinstance(term, ClassExpr):
+        yield term.own
+        for clause in term.includes:
+            yield from clause.sources
+            yield clause.view
+            yield clause.pred
+    elif isinstance(term, CQuery):
+        yield term.fn
+        yield term.cls
+    elif isinstance(term, (Insert, Delete)):
+        yield term.obj
+        yield term.cls
+    elif isinstance(term, LetClasses):
+        for _, cls in term.bindings:
+            yield cls
+        yield term.body
+    else:  # pragma: no cover - exhaustiveness guard
+        raise AssertionError(f"unknown term node {type(term).__name__}")

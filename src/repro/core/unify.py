@@ -1,0 +1,198 @@
+"""Kinded unification for the polymorphic record calculus.
+
+This is the algorithmic core of the type inference of [Ohori, POPL'92] as
+used by the paper (Section 2), extended with the paper's distinction between
+mutable and immutable field requirements:
+
+* unifying two record-kinded variables merges their kinds — common field
+  requirements have their types unified and their mutability requirements
+  joined (``:=`` wins);
+* substituting a record type for a record-kinded variable checks that the
+  record satisfies every requirement (the ``F < F'`` relation of Figure 1)
+  and unifies the corresponding field types;
+* the occurs check also walks the kinds of variables (kinds carry types),
+  and performs the usual level adjustment for let-generalization.
+"""
+
+from __future__ import annotations
+
+from ..errors import KindError, OccursCheckError, UnificationError
+from .types import (FieldReq, KRecord, KUniv, TBase, TClass, TFun, TLval,
+                    TObj, TRecord, TSet, TVar, Type, resolve)
+
+__all__ = ["unify", "ensure_record_field", "occurs_adjust"]
+
+
+def _describe(t: Type) -> str:
+    from ..syntax.pretty import pretty_type
+    return pretty_type(t)
+
+
+def occurs_adjust(var: TVar | None, t: Type, level: int) -> None:
+    """Occurs check of ``var`` in ``t`` combined with level adjustment.
+
+    Every variable reachable from ``t`` — including through the kinds of
+    variables — has its level lowered to at most ``level``.  If ``var``
+    itself is reachable the unification would build an infinite type and
+    :class:`OccursCheckError` is raised.  Pass ``var=None`` to only adjust
+    levels.
+    """
+    seen: set[int] = set()
+    stack = [t]
+    while stack:
+        cur = resolve(stack.pop())
+        if isinstance(cur, TVar):
+            if var is not None and cur is var:
+                raise OccursCheckError(
+                    f"type variable occurs in {_describe(t)}; "
+                    "cannot construct an infinite type")
+            if cur.id in seen:
+                continue
+            seen.add(cur.id)
+            if cur.level > level:
+                cur.level = level
+            if isinstance(cur.kind, KRecord):
+                stack.extend(req.type for req in cur.kind.fields.values())
+        elif isinstance(cur, TFun):
+            stack.append(cur.dom)
+            stack.append(cur.cod)
+        elif isinstance(cur, (TSet, TLval, TObj, TClass)):
+            stack.append(cur.elem)
+        elif isinstance(cur, TRecord):
+            stack.extend(f.type for f in cur.fields.values())
+
+
+def _merge_kinds(t1: TVar, t2: TVar) -> None:
+    """Merge ``t1``'s kind into ``t2`` in preparation for ``t1 := t2``."""
+    k1, k2 = t1.kind, t2.kind
+    if isinstance(k1, KUniv):
+        return
+    if isinstance(k2, KUniv):
+        merged = dict(k1.fields)
+    else:
+        merged = dict(k2.fields)
+        for label, req in k1.fields.items():
+            if label in merged:
+                unify(req.type, merged[label].type)
+                merged[label] = FieldReq(
+                    merged[label].type,
+                    mutable=merged[label].mutable or req.mutable)
+            else:
+                merged[label] = req
+    t2.kind = KRecord(merged)
+    # The merged kind's types must not reach t2 (ill-founded kind) and must
+    # respect t2's level.
+    for req in t2.kind.fields.values():
+        occurs_adjust(t2, req.type, t2.level)
+
+
+def _bind_var(var: TVar, t: Type) -> None:
+    """Substitute ``t`` for ``var`` after kind and occurs checks."""
+    if isinstance(var.kind, KRecord):
+        t = resolve(t)
+        if not isinstance(t, TRecord):
+            raise KindError(
+                f"type {_describe(t)} does not have the record kind "
+                f"required of a variable constrained by field access")
+        for label, req in var.kind.fields.items():
+            if label not in t.fields:
+                raise KindError(
+                    f"record type {_describe(t)} lacks required field "
+                    f"'{label}'")
+            field = t.fields[label]
+            if req.mutable and not field.mutable:
+                raise KindError(
+                    f"field '{label}' of {_describe(t)} is immutable but a "
+                    f"mutable field is required (update/extract)")
+            unify(req.type, field.type)
+    occurs_adjust(var, t, var.level)
+    var.link = t
+
+
+def unify(t1: Type, t2: Type) -> None:
+    """Make ``t1`` and ``t2`` equal by instantiating variables, or raise."""
+    t1, t2 = resolve(t1), resolve(t2)
+    if t1 is t2:
+        return
+    if isinstance(t1, TVar) and isinstance(t2, TVar):
+        _merge_kinds(t1, t2)
+        if t2.level > t1.level:
+            t2.level = t1.level
+        t1.link = t2
+        return
+    if isinstance(t1, TVar):
+        _bind_var(t1, t2)
+        return
+    if isinstance(t2, TVar):
+        _bind_var(t2, t1)
+        return
+    if isinstance(t1, TBase) and isinstance(t2, TBase):
+        if t1.name != t2.name:
+            raise UnificationError(
+                f"cannot unify base types {t1.name} and {t2.name}")
+        return
+    if isinstance(t1, TFun) and isinstance(t2, TFun):
+        unify(t1.dom, t2.dom)
+        unify(t1.cod, t2.cod)
+        return
+    for ctor in (TSet, TLval, TObj, TClass):
+        if isinstance(t1, ctor) and isinstance(t2, ctor):
+            unify(t1.elem, t2.elem)
+            return
+    if isinstance(t1, TRecord) and isinstance(t2, TRecord):
+        if set(t1.fields) != set(t2.fields):
+            missing = set(t1.fields) ^ set(t2.fields)
+            raise UnificationError(
+                f"record types {_describe(t1)} and {_describe(t2)} have "
+                f"different fields (mismatch on {sorted(missing)})")
+        for label in t1.fields:
+            f1, f2 = t1.fields[label], t2.fields[label]
+            if f1.mutable != f2.mutable:
+                raise UnificationError(
+                    f"field '{label}' is mutable on one side and immutable "
+                    f"on the other in {_describe(t1)} vs {_describe(t2)}")
+            unify(f1.type, f2.type)
+        return
+    raise UnificationError(
+        f"cannot unify {_describe(t1)} with {_describe(t2)}")
+
+
+def ensure_record_field(t: Type, label: str, field_type: Type,
+                        mutable_required: bool) -> None:
+    """Constrain ``t`` to have kind ``[[label = field_type]]`` (or ``:=``).
+
+    This implements the kinding premises of the (dot), (ext) and (upd) rules
+    of Figure 1: a record type is checked directly, a variable has the
+    requirement folded into its kind.
+    """
+    t = resolve(t)
+    if isinstance(t, TRecord):
+        if label not in t.fields:
+            raise KindError(
+                f"record type {_describe(t)} has no field '{label}'")
+        field = t.fields[label]
+        if mutable_required and not field.mutable:
+            raise KindError(
+                f"field '{label}' of {_describe(t)} is immutable; "
+                f"update/extract require a mutable field")
+        unify(field_type, field.type)
+        return
+    if isinstance(t, TVar):
+        occurs_adjust(t, field_type, t.level)
+        if isinstance(t.kind, KRecord):
+            fields = dict(t.kind.fields)
+            if label in fields:
+                existing = fields[label]
+                unify(existing.type, field_type)
+                fields[label] = FieldReq(
+                    existing.type,
+                    mutable=existing.mutable or mutable_required)
+            else:
+                fields[label] = FieldReq(field_type, mutable_required)
+            t.kind = KRecord(fields)
+        else:
+            t.kind = KRecord({label: FieldReq(field_type, mutable_required)})
+        return
+    raise KindError(
+        f"type {_describe(t)} is not a record type; it cannot have field "
+        f"'{label}'")

@@ -1,0 +1,1 @@
+"""A small object-database layer (catalog of named classes) built on the calculus."""

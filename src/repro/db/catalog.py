@@ -1,0 +1,191 @@
+"""A small object-database layer built on the calculus.
+
+The paper's motivation is object-oriented *database* programming: named
+classes holding objects, views restricting or recombining them, queries
+against class extents.  :class:`Catalog` packages that workflow:
+
+* named raw objects created from Python data,
+* named classes (optionally mutually recursive) defined by own extents and
+  include specifications written in the surface language,
+* inserts/deletes and set-level queries against extents,
+* a definition log that :mod:`repro.db.persist` uses for snapshots.
+
+Everything goes through a :class:`~repro.lang.api.Session`, so every
+definition is type-checked before it takes effect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ReproError
+from ..lang.api import Session
+
+__all__ = ["Catalog", "IncludeSpec", "ClassSpec", "ObjectSpec"]
+
+
+def _literal(value) -> str:
+    """Render a Python scalar as a surface-language literal."""
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, str):
+        escaped = value.replace("\\", "\\\\").replace('"', '\\"')
+        return f'"{escaped}"'
+    raise ReproError(
+        f"cannot embed Python value {value!r} as a language literal "
+        f"(int, str and bool are supported)")
+
+
+@dataclass
+class IncludeSpec:
+    """One include clause: source class names, view and predicate source."""
+
+    sources: list[str]
+    view: str
+    pred: str = "fn x => true"
+
+    def render(self) -> str:
+        srcs = ", ".join(self.sources)
+        return f"includes {srcs} as {self.view} where {self.pred}"
+
+
+@dataclass
+class ObjectSpec:
+    """The definition of a named raw object (for persistence)."""
+
+    name: str
+    fields: list[tuple[str, object, bool]]  # (label, value, mutable)
+
+    def render(self) -> str:
+        parts = [
+            f"{label} {':=' if mutable else '='} {_literal(value)}"
+            for label, value, mutable in self.fields]
+        return "IDView([" + ", ".join(parts) + "])"
+
+
+@dataclass
+class ClassSpec:
+    """The definition of a named class (for persistence)."""
+
+    name: str
+    own: list[tuple[str, str | None]]  # (object name, optional view source)
+    includes: list[IncludeSpec] = field(default_factory=list)
+    group: list[str] = field(default_factory=list)  # recursive group names
+
+    def render(self) -> str:
+        members = ", ".join(
+            name if view is None else f"({name} as {view})"
+            for name, view in self.own)
+        clauses = " ".join(inc.render() for inc in self.includes)
+        return f"class {{{members}}} {clauses} end".replace("  ", " ")
+
+
+class Catalog:
+    """A registry of named objects and classes over one session."""
+
+    def __init__(self, session: Session | None = None):
+        self.session = session if session is not None else Session()
+        self.objects: dict[str, ObjectSpec] = {}
+        self.classes: dict[str, ClassSpec] = {}
+
+    # -- objects ------------------------------------------------------------
+
+    def new_object(self, name: str, mutable: dict | None = None,
+                   **fields) -> None:
+        """Create and bind a raw object with the identity view.
+
+        Keyword arguments become immutable fields; entries of ``mutable``
+        become mutable fields.  Field order is immutable-then-mutable.
+        """
+        spec = ObjectSpec(name, [
+            *((label, value, False) for label, value in fields.items()),
+            *((label, value, True)
+              for label, value in (mutable or {}).items())])
+        if not spec.fields:
+            raise ReproError("an object needs at least one field")
+        self.session.bind(name, spec.render())
+        self.objects[name] = spec
+
+    # -- classes --------------------------------------------------------
+
+    def define_class(self, name: str, own: list[str] | None = None,
+                     includes: list[IncludeSpec] | None = None,
+                     own_views: dict[str, str] | None = None,
+                     element_type: str | None = None) -> None:
+        """Define a non-recursive class from named objects.
+
+        ``own`` lists member object names; ``own_views`` optionally maps a
+        member to a viewing-function source applied on entry.
+        ``element_type`` (a ground record type in surface syntax, e.g.
+        ``"[Name = string, Salary := int]"``) declares the class schema —
+        the definition is checked against ``class(element_type)`` via type
+        ascription and rejected on mismatch.
+        """
+        views = own_views or {}
+        spec = ClassSpec(name,
+                         [(m, views.get(m)) for m in (own or [])],
+                         list(includes or []))
+        rendered = spec.render()
+        if element_type is not None:
+            rendered = f"({rendered}) : class({element_type})"
+        self.session.exec(f"val {name} = {rendered}")
+        self.classes[name] = spec
+
+    def define_classes(self, specs: dict[str, ClassSpec]) -> None:
+        """Define a mutually recursive class group (Section 4.4)."""
+        group = list(specs)
+        rendered = " and ".join(
+            f"{name} = {spec.render()}" for name, spec in specs.items())
+        self.session.exec(f"val {rendered}")
+        for name, spec in specs.items():
+            spec.group = group
+            self.classes[name] = spec
+
+    # -- updates ------------------------------------------------------------
+
+    def insert(self, class_name: str, object_name: str,
+               view: str | None = None) -> None:
+        """Insert a named object (optionally re-viewed) into a class."""
+        self._require_class(class_name)
+        obj_src = object_name if view is None else f"({object_name} as {view})"
+        self.session.eval(f"insert({obj_src}, {class_name})")
+        self.classes[class_name].own.append((object_name, view))
+
+    def delete(self, class_name: str, object_name: str) -> None:
+        """Remove a named object from a class's own extent (by objeq)."""
+        self._require_class(class_name)
+        self.session.eval(f"delete({object_name}, {class_name})")
+        self.classes[class_name].own = [
+            (m, v) for m, v in self.classes[class_name].own
+            if m != object_name]
+
+    # -- queries --------------------------------------------------------
+
+    def extent(self, class_name: str) -> list[dict]:
+        """The materialized extent as a list of Python dicts."""
+        self._require_class(class_name)
+        return self.session.eval_py(
+            f"c-query(fn S => map(fn o => query(fn v => v, o), S), "
+            f"{class_name})")
+
+    def query(self, class_name: str, fn_src: str):
+        """Run a set-level query (surface syntax) against a class extent."""
+        self._require_class(class_name)
+        return self.session.eval_py(f"c-query({fn_src}, {class_name})")
+
+    def update_object(self, object_name: str, label: str, value) -> None:
+        """Update a mutable field of a named raw object."""
+        if object_name not in self.objects:
+            raise ReproError(f"unknown object '{object_name}'")
+        self.session.eval(
+            f"query(fn x => update(x, {label}, {_literal(value)}), "
+            f"{object_name})")
+
+    def names(self) -> list[str]:
+        return sorted(self.classes)
+
+    def _require_class(self, name: str) -> None:
+        if name not in self.classes:
+            raise ReproError(f"unknown class '{name}'")

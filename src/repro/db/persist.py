@@ -1,0 +1,104 @@
+"""Best-effort persistence for catalogs.
+
+The paper explicitly leaves persistent data to future work (Section 1 and 5:
+it "requires some form of dynamic typing", pointing to Connor et al.'s
+existential-type mechanism).  This module therefore persists *definitions*,
+not arbitrary runtime values: a snapshot records every named object's ground
+field data (reading through the store, so it captures current mutable-field
+values) and every class definition's source text.  Restoring replays the
+definitions through a fresh, fully type-checked session.
+
+What is *not* captured — and diagnosed loudly — are bindings made behind the
+catalog's back and objects reachable only through closures.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from ..errors import ReproError
+from .catalog import Catalog, ClassSpec, IncludeSpec
+
+__all__ = ["snapshot", "restore", "dump_json", "load_json"]
+
+_FORMAT_VERSION = 1
+
+
+def snapshot(catalog: Catalog) -> dict[str, Any]:
+    """A JSON-able snapshot of a catalog's objects and class definitions."""
+    objects = []
+    for name, spec in catalog.objects.items():
+        # Read current field values through the session so mutable-field
+        # updates made after creation are captured.
+        current = catalog.session.eval_py(f"query(fn x => x, {name})")
+        fields = []
+        for label, _original, mutable in spec.fields:
+            if label not in current:
+                raise ReproError(
+                    f"object '{name}' lost field '{label}'")  # pragma: no cover
+            fields.append([label, current[label], mutable])
+        objects.append({"name": name, "fields": fields})
+    classes = []
+    seen_groups: set[frozenset[str]] = set()
+    for name, spec in catalog.classes.items():
+        classes.append({
+            "name": name,
+            "own": [[m, v] for m, v in spec.own],
+            "includes": [
+                {"sources": inc.sources, "view": inc.view, "pred": inc.pred}
+                for inc in spec.includes],
+            "group": spec.group,
+        })
+    return {"version": _FORMAT_VERSION, "objects": objects,
+            "classes": classes}
+
+
+def restore(data: dict[str, Any], catalog: Catalog | None = None) -> Catalog:
+    """Rebuild a catalog (typed, from scratch) from a snapshot."""
+    if data.get("version") != _FORMAT_VERSION:
+        raise ReproError(
+            f"unsupported snapshot version {data.get('version')!r}")
+    cat = catalog if catalog is not None else Catalog()
+    for obj in data["objects"]:
+        immutable = {label: value for label, value, mutable in obj["fields"]
+                     if not mutable}
+        mutable = {label: value for label, value, mutable in obj["fields"]
+                   if mutable}
+        cat.new_object(obj["name"], mutable=mutable, **immutable)
+    # Recursive groups must be defined together, exactly once.
+    done: set[str] = set()
+    by_name = {c["name"]: c for c in data["classes"]}
+    for cls in data["classes"]:
+        if cls["name"] in done:
+            continue
+        group = cls["group"] or [cls["name"]]
+        specs: dict[str, ClassSpec] = {}
+        for member in group:
+            raw = by_name[member]
+            specs[member] = ClassSpec(
+                member,
+                [(m, v) for m, v in raw["own"]],
+                [IncludeSpec(i["sources"], i["view"], i["pred"])
+                 for i in raw["includes"]],
+                group=list(group) if cls["group"] else [])
+        if cls["group"]:
+            cat.define_classes(specs)
+        else:
+            spec = specs[cls["name"]]
+            cat.classes[cls["name"]] = spec
+            cat.session.exec(f"val {cls['name']} = {spec.render()}")
+        done.update(group)
+    return cat
+
+
+def dump_json(catalog: Catalog, path: str) -> None:
+    """Snapshot a catalog to a JSON file."""
+    with open(path, "w") as f:
+        json.dump(snapshot(catalog), f, indent=2)
+
+
+def load_json(path: str) -> Catalog:
+    """Restore a catalog from a JSON file."""
+    with open(path) as f:
+        return restore(json.load(f))

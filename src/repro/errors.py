@@ -1,0 +1,81 @@
+"""Exception hierarchy for the views-and-object-sharing calculus.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one type.  The hierarchy mirrors the pipeline stages:
+lexing/parsing, kind checking, type inference, translation and evaluation.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every error raised by this library."""
+
+
+class SourceError(ReproError):
+    """An error that carries an optional source position.
+
+    Parameters
+    ----------
+    message:
+        Human-readable description of the problem.
+    line, column:
+        1-based position in the source text, when known.
+    """
+
+    def __init__(self, message: str, line: int | None = None,
+                 column: int | None = None):
+        self.message = message
+        self.line = line
+        self.column = column
+        super().__init__(self._format())
+
+    def _format(self) -> str:
+        if self.line is None:
+            return self.message
+        if self.column is None:
+            return f"{self.message} (line {self.line})"
+        return f"{self.message} (line {self.line}, column {self.column})"
+
+
+class LexError(SourceError):
+    """Raised by the lexer on malformed input."""
+
+
+class ParseError(SourceError):
+    """Raised by the parser on a syntax error."""
+
+
+class KindError(ReproError):
+    """A type does not have a required kind (Figure 1 kinding rules)."""
+
+
+class TypeInferenceError(ReproError):
+    """A program is not typable in the polymorphic type system."""
+
+
+class UnificationError(TypeInferenceError):
+    """Two types (or kinds) cannot be unified."""
+
+
+class OccursCheckError(UnificationError):
+    """A type variable occurs inside the type it is unified with."""
+
+
+class TranslationError(ReproError):
+    """The translation of Figure 3 / Figure 5 cannot be applied."""
+
+
+class EvalError(ReproError):
+    """A runtime error in the operational semantics.
+
+    Well-typed programs never raise this for type-shaped reasons
+    (Proposition 1); it still fires for genuine runtime faults such as
+    division by zero.
+    """
+
+
+class RecursiveClassError(ReproError):
+    """A recursive class definition violates the syntactic restriction of
+    Section 4.4 (class identifiers may only appear in include-source
+    positions)."""

@@ -1,0 +1,1 @@
+"""Operational semantics: values, store, equality and the machine."""

@@ -1,0 +1,140 @@
+"""Runtime implementations of the builtin operations.
+
+Each builtin is a curried :class:`~repro.eval.values.VBuiltin`; the
+implementation functions receive the machine first so that higher-order
+builtins (``hom``) can apply language-level functions.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from ..errors import EvalError
+from .equality import eq_values, value_key
+from .values import (FALSE, TRUE, UNIT_VALUE, VBool, VBuiltin, VInt, VSet,
+                     VString, Value)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .machine import Machine
+
+__all__ = ["builtin_values", "make_builtin"]
+
+
+def make_builtin(name: str, arity: int,
+                 fn: Callable[..., Value]) -> VBuiltin:
+    return VBuiltin(name, arity, fn)
+
+
+def _eq(m: "Machine", a: Value, b: Value) -> Value:
+    return TRUE if eq_values(a, b) else FALSE
+
+
+def _union(m: "Machine", s1: Value, s2: Value) -> Value:
+    _expect_set(s1, "union")
+    _expect_set(s2, "union")
+    # Set construction dedups preferring earlier elements (the paper's
+    # left-biased collapse), or enforces the same-view alternative when
+    # the machine is configured for it.
+    return m.make_set(s1.elems + s2.elems)
+
+
+def _remove(m: "Machine", s1: Value, s2: Value) -> Value:
+    _expect_set(s1, "remove")
+    _expect_set(s2, "remove")
+    return m.make_set(
+        [e for e in s1.elems if value_key(e) not in s2.keys])
+
+
+def _member(m: "Machine", x: Value, s: Value) -> Value:
+    _expect_set(s, "member")
+    return TRUE if value_key(x) in s.keys else FALSE
+
+
+def _size(m: "Machine", s: Value) -> Value:
+    _expect_set(s, "size")
+    return VInt(len(s))
+
+
+def _hom(m: "Machine", s: Value, f: Value, op: Value, z: Value) -> Value:
+    """hom({e1,...,en}, f, op, z) = op(f(e1), op(f(e2), ... op(f(en), z)))"""
+    _expect_set(s, "hom")
+    acc = z
+    for e in reversed(s.elems):
+        acc = m.apply(m.apply(op, m.apply(f, e)), acc)
+    return acc
+
+
+def _not(m: "Machine", b: Value) -> Value:
+    if not isinstance(b, VBool):
+        raise EvalError("not expects a bool")
+    return FALSE if b.value else TRUE
+
+
+def _this_year(m: "Machine", _unit: Value) -> Value:
+    return VInt(m.this_year)
+
+
+def _int_op(name: str, fn: Callable[[int, int], int]) -> VBuiltin:
+    def impl(m: "Machine", a: Value, b: Value) -> Value:
+        if not (isinstance(a, VInt) and isinstance(b, VInt)):
+            raise EvalError(f"'{name}' expects integers")
+        return VInt(fn(a.value, b.value))
+    return make_builtin(name, 2, impl)
+
+
+def _cmp_op(name: str, fn: Callable[[int, int], bool]) -> VBuiltin:
+    def impl(m: "Machine", a: Value, b: Value) -> Value:
+        if not (isinstance(a, VInt) and isinstance(b, VInt)):
+            raise EvalError(f"'{name}' expects integers")
+        return TRUE if fn(a.value, b.value) else FALSE
+    return make_builtin(name, 2, impl)
+
+
+def _concat(m: "Machine", a: Value, b: Value) -> Value:
+    if not (isinstance(a, VString) and isinstance(b, VString)):
+        raise EvalError("'^' expects strings")
+    return VString(a.value + b.value)
+
+
+def _div(a: int, b: int) -> int:
+    if b == 0:
+        raise EvalError("division by zero")
+    return a // b
+
+
+def _mod(a: int, b: int) -> int:
+    if b == 0:
+        raise EvalError("modulo by zero")
+    return a % b
+
+
+def _expect_set(v: Value, who: str) -> None:
+    if not isinstance(v, VSet):
+        raise EvalError(f"'{who}' expects a set")
+
+
+def builtin_values() -> dict[str, Value]:
+    """A fresh frame of all builtin values (matches
+    :func:`repro.core.env.initial_type_env`)."""
+    table: dict[str, Value] = {
+        "eq": make_builtin("eq", 2, _eq),
+        "union": make_builtin("union", 2, _union),
+        "remove": make_builtin("remove", 2, _remove),
+        "member": make_builtin("member", 2, _member),
+        "size": make_builtin("size", 1, _size),
+        "hom": make_builtin("hom", 4, _hom),
+        "not": make_builtin("not", 1, _not),
+        "This_year": make_builtin("This_year", 1, _this_year),
+        "+": _int_op("+", lambda a, b: a + b),
+        "-": _int_op("-", lambda a, b: a - b),
+        "*": _int_op("*", lambda a, b: a * b),
+        "div": _int_op("div", _div),
+        "mod": _int_op("mod", _mod),
+        "<": _cmp_op("<", lambda a, b: a < b),
+        ">": _cmp_op(">", lambda a, b: a > b),
+        "<=": _cmp_op("<=", lambda a, b: a <= b),
+        ">=": _cmp_op(">=", lambda a, b: a >= b),
+        "^": make_builtin("^", 2, _concat),
+    }
+    assert UNIT_VALUE is not None
+    return table

@@ -1,0 +1,74 @@
+"""The equality taxonomy of the calculus.
+
+Section 2: ``eq`` uses *L-value (identity) equality* for records and
+functions and ordinary value equality otherwise.  Section 3.1 adds a second
+equality on objects, ``objeq`` (same raw object), and decides that **sets of
+objects are formed under objeq** — a union collapses two views of the same
+raw object, keeping the left one.
+
+Both notions are realized through hashable *keys*:
+
+* :func:`value_key` — the key used by set formation and ``member``/
+  ``remove``.  For objects it is the raw record's identity (objeq); for
+  records and functions it is their own identity; for base values and sets
+  it is structural.
+* :func:`eq_values` — the builtin ``eq``.  It agrees with ``value_key``
+  except on objects, where it is object-value identity: under the pair
+  translation of Figure 3 an object is an ordinary pair record, and ``eq``
+  on it is pair identity.  The split *is* the paper's "two forms of
+  equality on objects".
+"""
+
+from __future__ import annotations
+
+from ..errors import EvalError
+from .values import (Value, VBool, VBuiltin, VClass, VClosure, VInt, VLval,
+                     VObject, VRecord, VSet, VString, VUnit)
+
+__all__ = ["value_key", "eq_values", "objeq_values"]
+
+
+def value_key(v: Value):
+    """A hashable key realizing the set-formation equality (objeq-based)."""
+    if isinstance(v, VInt):
+        return ("int", v.value)
+    if isinstance(v, VBool):
+        return ("bool", v.value)
+    if isinstance(v, VString):
+        return ("string", v.value)
+    if isinstance(v, VUnit):
+        return ("unit",)
+    if isinstance(v, VRecord):
+        return ("record", v.oid)
+    if isinstance(v, VObject):
+        return ("object", v.raw.oid)  # objeq: identity of the raw object
+    if isinstance(v, (VClosure, VBuiltin)):
+        return ("function", id(v))
+    if isinstance(v, VSet):
+        return ("set", frozenset(v.keys))
+    if isinstance(v, VClass):
+        return ("class", v.oid)
+    if isinstance(v, VLval):
+        raise EvalError("L-values cannot be compared or stored in sets")
+    raise AssertionError(f"unknown value {type(v).__name__}")  # pragma: no cover
+
+
+def eq_values(v1: Value, v2: Value) -> bool:
+    """The builtin ``eq``.
+
+    Identity on records/functions/classes, structural on base values and
+    sets, and object-*value* identity on objects (two different views of the
+    same raw object are ``eq``-different but ``objeq``-equal).
+    """
+    if isinstance(v1, VObject) and isinstance(v2, VObject):
+        return v1.oid == v2.oid
+    if isinstance(v1, VSet) and isinstance(v2, VSet):
+        return v1.keys == v2.keys
+    return value_key(v1) == value_key(v2)
+
+
+def objeq_values(v1: Value, v2: Value) -> bool:
+    """``objeq`` — same raw object (derivable via ``fuse``, Section 3.1)."""
+    if not (isinstance(v1, VObject) and isinstance(v2, VObject)):
+        raise EvalError("objeq applies to objects only")
+    return v1.raw.oid == v2.raw.oid

@@ -1,0 +1,47 @@
+"""The store of mutable record fields.
+
+The paper's operational semantics implements records by references; mutable
+fields denote *L-values* that can be shared between records via ``extract``.
+Here an L-value is a :class:`Location` — a first-class mutable cell.  The
+:class:`Store` is the allocator; it exists (rather than bare cells) so that
+allocation metrics are observable by the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any
+
+__all__ = ["Location", "Store"]
+
+_location_ids = itertools.count(1)
+
+
+class Location:
+    """A mutable cell holding the current value of a mutable field.
+
+    Two records that share a location (via ``extract``) observe each other's
+    updates — the joe/Doe/john example of Section 2.
+    """
+
+    __slots__ = ("id", "value")
+
+    def __init__(self, value: Any):
+        self.id = next(_location_ids)
+        self.value = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<loc {self.id}>"
+
+
+class Store:
+    """Allocator for :class:`Location` cells, with an allocation counter."""
+
+    __slots__ = ("allocations",)
+
+    def __init__(self) -> None:
+        self.allocations = 0
+
+    def alloc(self, value: Any) -> Location:
+        self.allocations += 1
+        return Location(value)

@@ -1,0 +1,1 @@
+"""High-level API: sessions, prelude, Python data conversion."""

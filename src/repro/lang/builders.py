@@ -1,0 +1,347 @@
+"""A fluent Python API for constructing calculus terms.
+
+The surface language is the primary interface, but library code often
+wants to assemble programs programmatically.  :class:`X` wraps an AST term
+with Python operator overloading, and the module-level constructors mirror
+the paper's expression formers::
+
+    from repro.lang import builders as B
+
+    joe = B.idview(B.record(Name="Joe", BirthYear=1955,
+                            Salary=B.mut(2000), Bonus=B.mut(5000)))
+    view = B.lam("x", lambda x: B.record(
+        Name=x.Name,
+        Income=x.Salary,
+        Bonus=B.extract(x, "Bonus")))
+    program = B.let("joe", joe,
+                    lambda j: B.query(B.lam("p", lambda p: p.Income), j))
+    session.eval_term(program.term)
+
+Conventions:
+
+* any Python ``int``/``str``/``bool`` is lifted to a literal;
+* ``x.label`` is field extraction, ``f(a)`` is application,
+  ``+ - * < > <= >=`` and ``==`` (as ``eq``) build the builtin calls;
+* binder constructors (``lam``, ``let``, ``fix``) accept either a body
+  expression or a Python callable receiving the bound variable.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from ..core import terms as T
+from ..core.types import BOOL, INT, STRING
+
+__all__ = [
+    "X", "lift", "var", "lit", "unit", "mut", "extract", "record", "set_",
+    "lam", "let", "fix", "if_", "app", "dot", "update", "idview", "as_view",
+    "query", "fuse", "relobj", "prod", "class_", "include", "cquery",
+    "insert", "delete", "let_classes", "union", "member", "remove", "size",
+    "hom", "eq", "not_",
+]
+
+Liftable = Union["X", T.Term, int, str, bool]
+
+
+class _Mut:
+    """Marker: a mutable record field (``label := value``)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Liftable):
+        self.value = value
+
+
+class _Ext:
+    """Marker: a field initialized by ``extract(record, label)``."""
+
+    __slots__ = ("record", "label", "mutable")
+
+    def __init__(self, record: Liftable, label: str, mutable: bool = True):
+        self.record = record
+        self.label = label
+        self.mutable = mutable
+
+
+class X:
+    """An expression under construction (wraps an AST term)."""
+
+    __slots__ = ("term",)
+
+    def __init__(self, term: T.Term):
+        self.term = term
+
+    # -- structure -------------------------------------------------------
+
+    def __getattr__(self, label: str) -> "X":
+        if label.startswith("_"):
+            raise AttributeError(label)
+        return X(T.Dot(self.term, label))
+
+    def field(self, label: str) -> "X":
+        """Field extraction for labels that clash with Python syntax
+        (numeric labels, ``term`` itself...)."""
+        return X(T.Dot(self.term, label))
+
+    def __call__(self, *args: Liftable) -> "X":
+        out = self.term
+        for a in args:
+            out = T.App(out, lift(a).term)
+        return X(out)
+
+    # -- operators ---------------------------------------------------------
+
+    def _bin(self, op: str, other: Liftable, flip: bool = False) -> "X":
+        lhs, rhs = (lift(other), self) if flip else (self, lift(other))
+        return X(T.App(T.App(T.Var(op), lhs.term), rhs.term))
+
+    def __add__(self, other):
+        return self._bin("+", other)
+
+    def __radd__(self, other):
+        return self._bin("+", other, flip=True)
+
+    def __sub__(self, other):
+        return self._bin("-", other)
+
+    def __rsub__(self, other):
+        return self._bin("-", other, flip=True)
+
+    def __mul__(self, other):
+        return self._bin("*", other)
+
+    def __rmul__(self, other):
+        return self._bin("*", other, flip=True)
+
+    def __lt__(self, other):
+        return self._bin("<", other)
+
+    def __gt__(self, other):
+        return self._bin(">", other)
+
+    def __le__(self, other):
+        return self._bin("<=", other)
+
+    def __ge__(self, other):
+        return self._bin(">=", other)
+
+    def __eq__(self, other):  # type: ignore[override]
+        return self._bin("eq", other)
+
+    def __ne__(self, other):  # type: ignore[override]
+        return not_(self._bin("eq", other))
+
+    def __hash__(self):  # keep X usable in sets despite __eq__
+        return id(self)
+
+    def concat(self, other: Liftable) -> "X":
+        return self._bin("^", other)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        from ..syntax.pretty import pretty_term
+        return f"X({pretty_term(self.term)})"
+
+
+def lift(value: Liftable) -> X:
+    """Lift a Python value / raw term to an :class:`X`."""
+    if isinstance(value, X):
+        return value
+    if isinstance(value, T.Term):
+        return X(value)
+    if isinstance(value, bool):
+        return X(T.Const(value, BOOL))
+    if isinstance(value, int):
+        return X(T.Const(value, INT))
+    if isinstance(value, str):
+        return X(T.Const(value, STRING))
+    raise TypeError(f"cannot lift {value!r} into the calculus")
+
+
+def var(name: str) -> X:
+    return X(T.Var(name))
+
+
+def lit(value) -> X:
+    return lift(value)
+
+
+def unit() -> X:
+    return X(T.Unit())
+
+
+def mut(value: Liftable) -> _Mut:
+    """Mark a record field mutable: ``record(Salary=mut(2000))``."""
+    return _Mut(value)
+
+
+def extract(record: Liftable, label: str, mutable: bool = True) -> _Ext:
+    """Share an L-value: ``record(Bonus=extract(x, "Bonus"))``.
+
+    ``mutable=False`` builds an immutable field sharing the location
+    (the paper's john example).
+    """
+    return _Ext(record, label, mutable)
+
+
+def record(**fields) -> X:
+    """``[l = e, l' := e']`` from keyword arguments."""
+    out = []
+    for label, value in fields.items():
+        if isinstance(value, _Mut):
+            out.append(T.RecordField(label, lift(value.value).term,
+                                     mutable=True))
+        elif isinstance(value, _Ext):
+            out.append(T.RecordField(
+                label, T.Extract(lift(value.record).term, value.label),
+                mutable=value.mutable))
+        else:
+            out.append(T.RecordField(label, lift(value).term,
+                                     mutable=False))
+    return X(T.RecordExpr(out))
+
+
+def set_(*elems: Liftable) -> X:
+    return X(T.SetExpr([lift(e).term for e in elems]))
+
+
+def _body(body, param_var: X) -> T.Term:
+    if callable(body) and not isinstance(body, X):
+        return lift(body(param_var)).term
+    return lift(body).term
+
+
+def lam(param: str, body) -> X:
+    """``fn param => body``; ``body`` may be a callable on the variable."""
+    return X(T.Lam(param, _body(body, var(param))))
+
+
+def let(name: str, bound: Liftable, body) -> X:
+    return X(T.Let(name, lift(bound).term, _body(body, var(name))))
+
+
+def fix(name: str, body) -> X:
+    return X(T.Fix(name, _body(body, var(name))))
+
+
+def if_(cond: Liftable, then: Liftable, else_: Liftable) -> X:
+    return X(T.If(lift(cond).term, lift(then).term, lift(else_).term))
+
+
+def app(fn: Liftable, *args: Liftable) -> X:
+    return lift(fn)(*args)
+
+
+def dot(expr: Liftable, label: str) -> X:
+    return X(T.Dot(lift(expr).term, label))
+
+
+def update(expr: Liftable, label: str, value: Liftable) -> X:
+    return X(T.Update(lift(expr).term, label, lift(value).term))
+
+
+# -- objects (Section 3) -------------------------------------------------
+
+def idview(expr: Liftable) -> X:
+    return X(T.IDView(lift(expr).term))
+
+
+def as_view(obj: Liftable, view: Liftable) -> X:
+    return X(T.AsView(lift(obj).term, lift(view).term))
+
+
+def query(fn: Liftable, obj: Liftable) -> X:
+    return X(T.Query(lift(fn).term, lift(obj).term))
+
+
+def fuse(*objs: Liftable) -> X:
+    return X(T.Fuse([lift(o).term for o in objs]))
+
+
+def relobj(**fields: Liftable) -> X:
+    return X(T.RelObj([(label, lift(e).term)
+                       for label, e in fields.items()]))
+
+
+def prod(*sets: Liftable) -> X:
+    return X(T.Prod([lift(s).term for s in sets]))
+
+
+# -- classes (Section 4) ---------------------------------------------------
+
+def include(sources: "list[Liftable] | Liftable", view: Liftable,
+            pred: Liftable | None = None) -> T.IncludeClause:
+    """An ``include ... as ... where ...`` clause."""
+    if not isinstance(sources, list):
+        sources = [sources]
+    if pred is None:
+        pred = lam("o", lambda o: lit(True))
+    return T.IncludeClause([lift(s).term for s in sources],
+                           lift(view).term, lift(pred).term)
+
+
+def class_(own: Liftable | None = None,
+           *includes: T.IncludeClause) -> X:
+    own_term = lift(own).term if own is not None else T.SetExpr([])
+    return X(T.ClassExpr(own_term, list(includes)))
+
+
+def cquery(fn: Liftable, cls: Liftable) -> X:
+    return X(T.CQuery(lift(fn).term, lift(cls).term))
+
+
+def insert(obj: Liftable, cls: Liftable) -> X:
+    return X(T.Insert(lift(obj).term, lift(cls).term))
+
+
+def delete(obj: Liftable, cls: Liftable) -> X:
+    return X(T.Delete(lift(obj).term, lift(cls).term))
+
+
+def let_classes(bindings: dict[str, X], body) -> X:
+    """The recursive class definition of Section 4.4.
+
+    ``body`` may be a callable receiving one variable per class, in
+    binding order.
+    """
+    pairs = []
+    for name, cls in bindings.items():
+        term = lift(cls).term
+        if not isinstance(term, T.ClassExpr):
+            raise TypeError(f"binding '{name}' must be a class_ expression")
+        pairs.append((name, term))
+    if callable(body) and not isinstance(body, X):
+        body_term = lift(body(*[var(n) for n in bindings])).term
+    else:
+        body_term = lift(body).term
+    return X(T.LetClasses(pairs, body_term))
+
+
+# -- builtins --------------------------------------------------------------
+
+def union(a: Liftable, b: Liftable) -> X:
+    return var("union")(a, b)
+
+
+def member(x: Liftable, s: Liftable) -> X:
+    return var("member")(x, s)
+
+
+def remove(a: Liftable, b: Liftable) -> X:
+    return var("remove")(a, b)
+
+
+def size(s: Liftable) -> X:
+    return var("size")(s)
+
+
+def hom(s: Liftable, f: Liftable, op: Liftable, z: Liftable) -> X:
+    return var("hom")(s, f, op, z)
+
+
+def eq(a: Liftable, b: Liftable) -> X:
+    return var("eq")(a, b)
+
+
+def not_(b: Liftable) -> X:
+    return var("not")(b)

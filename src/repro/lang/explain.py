@@ -1,0 +1,113 @@
+"""Query explanation: trace what lazy evaluation actually does.
+
+Because views and class extents are lazy (Sections 3.3 and 4.3), the cost
+of a query is invisible in the program text: a single ``c-query`` may
+cascade through include clauses, recursive ``f_i(L)`` calls and view
+materializations.  :func:`explain` runs an expression with a tracer
+attached to the machine and returns the tree of those events::
+
+    report = explain(session, "c-query(names, FemaleMember)")
+    print(report.render())
+    # c-query ...
+    #   extent class#12 -> 2 objects
+    #     extent class#7 (cut: already on path)   <- the L-set at work
+    #     materialize object#3 (predicate)
+    #     ...
+
+The tracer hooks are free when no trace is active (a ``None`` check).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .api import Session
+
+__all__ = ["ExplainNode", "ExplainReport", "Tracer", "explain"]
+
+
+@dataclass
+class ExplainNode:
+    """One traced event with its nested events."""
+
+    kind: str                 # 'materialize' | 'extent' | 'extent-cut'
+    detail: str
+    children: list["ExplainNode"] = field(default_factory=list)
+
+    def count(self, kind: str | None = None) -> int:
+        own = 1 if (kind is None or self.kind == kind) else 0
+        return own + sum(c.count(kind) for c in self.children)
+
+
+class Tracer:
+    """Collects a forest of events; installed on a machine during explain."""
+
+    def __init__(self) -> None:
+        self.roots: list[ExplainNode] = []
+        self._stack: list[ExplainNode] = []
+
+    def enter(self, kind: str, detail: str) -> ExplainNode:
+        node = ExplainNode(kind, detail)
+        if self._stack:
+            self._stack[-1].children.append(node)
+        else:
+            self.roots.append(node)
+        self._stack.append(node)
+        return node
+
+    def leave(self, suffix: str = "") -> None:
+        node = self._stack.pop()
+        if suffix:
+            node.detail += suffix
+
+    def event(self, kind: str, detail: str) -> None:
+        node = ExplainNode(kind, detail)
+        if self._stack:
+            self._stack[-1].children.append(node)
+        else:
+            self.roots.append(node)
+
+
+@dataclass
+class ExplainReport:
+    """The outcome of an explained evaluation."""
+
+    roots: list[ExplainNode]
+    result: object  # the query result, converted to Python data
+
+    def materializations(self) -> int:
+        return sum(r.count("materialize") for r in self.roots)
+
+    def extent_computations(self) -> int:
+        return sum(r.count("extent") for r in self.roots)
+
+    def cycle_cuts(self) -> int:
+        return sum(r.count("extent-cut") for r in self.roots)
+
+    def render(self) -> str:
+        lines: list[str] = []
+
+        def walk(node: ExplainNode, depth: int) -> None:
+            lines.append("  " * depth + f"{node.kind} {node.detail}")
+            for child in node.children:
+                walk(child, depth + 1)
+
+        for root in self.roots:
+            walk(root, 0)
+        return "\n".join(lines)
+
+
+def explain(session: "Session", src: str) -> ExplainReport:
+    """Evaluate ``src`` in the session with tracing enabled."""
+    from .pyconv import value_to_python
+    machine = session.machine
+    tracer = Tracer()
+    machine.tracer = tracer
+    try:
+        value = session.eval(src)
+    finally:
+        machine.tracer = None
+    return ExplainReport(tracer.roots,
+                         value_to_python(value, machine))

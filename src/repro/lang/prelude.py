@@ -1,0 +1,17 @@
+"""The prelude: derived set operations written *in* the surface language.
+
+The paper defines ``map`` and ``filter`` from ``union`` and ``hom``
+(Section 2); loading them through the normal pipeline exercises the parser,
+the type inference (they infer principal polymorphic types) and the
+evaluator on every session start.
+"""
+
+PRELUDE_SOURCE = """
+fun map f s = hom(s, f, fn x => fn r => union({x}, r), {})
+
+fun filter p s = hom(s, fn x => if p x then {x} else {}, union, {})
+
+fun exists p s = hom(s, p, fn a => fn b => if a then true else b, false)
+
+fun all p s = hom(s, p, fn a => fn b => if a then b else false, true)
+"""

@@ -1,0 +1,53 @@
+"""Conversion of runtime values to plain Python data.
+
+Used by :meth:`Session.eval_py`, the examples and the test-suite: comparing
+query results as dicts/lists is far more readable than comparing value
+objects.  Objects are converted through their *materialized view* — which is
+exactly how the paper says an object presents itself to the user — with the
+raw identity kept under the ``"__oid__"`` key so tests can assert object
+sharing.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..eval.machine import Machine
+from ..eval.store import Location
+from ..eval.values import (VBool, VBuiltin, VClass, VClosure, VInt, VObject,
+                           VRecord, VSet, VString, VUnit, Value)
+
+__all__ = ["value_to_python", "record_to_python"]
+
+
+def record_to_python(rec: VRecord, machine: Machine) -> dict[str, Any]:
+    out: dict[str, Any] = {}
+    for label in rec.labels():
+        cell = rec.cells[label]
+        inner = cell.value if isinstance(cell, Location) else cell
+        out[label] = value_to_python(inner, machine)
+    return out
+
+
+def value_to_python(v: Value, machine: Machine) -> Any:
+    if isinstance(v, VUnit):
+        return None
+    if isinstance(v, (VInt, VBool, VString)):
+        return v.value
+    if isinstance(v, VRecord):
+        return record_to_python(v, machine)
+    if isinstance(v, VSet):
+        return [value_to_python(e, machine) for e in v.elems]
+    if isinstance(v, VObject):
+        materialized = machine.materialize(v)
+        out = value_to_python(materialized, machine)
+        if isinstance(out, dict):
+            out["__oid__"] = v.raw.oid
+        return out
+    if isinstance(v, VClass):
+        extent = machine.class_extent(v)
+        return {"__class__": v.oid,
+                "extent": value_to_python(extent, machine)}
+    if isinstance(v, (VClosure, VBuiltin)):
+        return f"<function {getattr(v, 'name', getattr(v, 'param', '?'))}>"
+    raise AssertionError(f"unconvertible value {type(v).__name__}")

@@ -1,0 +1,96 @@
+"""A small interactive REPL for the calculus.
+
+Run with ``python -m repro.lang.repl``.  Each input line (or ``;;``-
+terminated block) goes through the full pipeline; values print with their
+inferred types, errors print without killing the session.
+
+Commands: ``:type e`` shows a type without evaluating, ``:translate e``
+shows the Figure 3+5 compilation of an expression, ``:quit`` exits.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from ..errors import ReproError
+from ..syntax.pretty import pretty_scheme, pretty_term, pretty_value
+from .api import Session
+
+__all__ = ["main", "run_line"]
+
+_BANNER = (
+    "repro — A Polymorphic Calculus for Views and Object Sharing\n"
+    "Type :help for commands; end multi-line input with ';;'.\n")
+
+_HELP = (
+    ":type <expr>       infer a type without evaluating\n"
+    ":translate <expr>  show the class+object compilation into the core\n"
+    ":explain <expr>    evaluate, tracing materializations and extents\n"
+    ":metrics           show evaluator effort counters\n"
+    ":quit              exit\n"
+    "val x = <expr> / fun f x = <expr> / bare expressions are evaluated.\n")
+
+
+def run_line(session: Session, line: str) -> str | None:
+    """Process one REPL input; returns the text to print (None for quiet)."""
+    stripped = line.strip()
+    if not stripped:
+        return None
+    if stripped in (":q", ":quit"):
+        raise EOFError
+    if stripped == ":help":
+        return _HELP
+    if stripped == ":metrics":
+        return str(session.metrics)
+    if stripped.startswith(":type "):
+        return pretty_scheme(session.typeof(stripped[len(":type "):]))
+    if stripped.startswith(":translate "):
+        term = session.translate_full(stripped[len(":translate "):])
+        return pretty_term(term)
+    if stripped.startswith(":explain "):
+        from .explain import explain
+        report = explain(session, stripped[len(":explain "):])
+        trace = report.render() or "(no lazy evaluation happened)"
+        return f"{trace}\n=> {report.result!r}"
+    value = session.exec(stripped)
+    if value is None:
+        return "ok"
+    try:
+        scheme = session.typeof("it")
+        return f"{pretty_value(value)} : {pretty_scheme(scheme)}"
+    except ReproError:  # pragma: no cover - defensive
+        return pretty_value(value)
+
+
+def main(argv: list[str] | None = None) -> int:
+    session = Session()
+    sys.stdout.write(_BANNER)
+    buffer: list[str] = []
+    while True:
+        prompt = "... " if buffer else "> "
+        try:
+            line = input(prompt)
+        except EOFError:
+            break
+        buffer.append(line)
+        text = "\n".join(buffer)
+        # Multi-line entry: keep reading until ';;' or a balanced one-liner.
+        if buffer and not text.rstrip().endswith(";;") and (
+                text.count("let") > text.count("end")
+                or text.count("class") > text.count("end")):
+            continue
+        buffer = []
+        text = text.rstrip().removesuffix(";;")
+        try:
+            out = run_line(session, text)
+        except EOFError:
+            break
+        except ReproError as exc:
+            out = f"error: {exc}"
+        if out is not None:
+            print(out)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,1 @@
+"""The object/view layer (Section 3): derived algebra and translation."""

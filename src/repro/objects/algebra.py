@@ -1,0 +1,152 @@
+"""AST builders for the derived view operations of Section 3.1.
+
+The paper shows that a family of useful operations is *definable* from the
+primitive algebra (``IDView``, ``as``, ``query``, ``fuse``, ``relobj``) plus
+``hom``/``union``.  These builders construct exactly those definitions as
+core+object terms; they are shared by the parser (surface sugar), the class
+translation of Figure 5 (which needs ``select``/``intersect``) and user code
+that assembles programs programmatically.
+
+* ``objeq(e1, e2)``       =  ``not(eq(fuse(e1, e2), {}))``
+* ``select as e from S where p``  =  ``map(fn x => (x as e), filter(p, S))``
+  (built fused into a single ``hom``)
+* ``intersect(e1, ..., en)``  =  ``hom(prod(e1, ..., en),
+  fn x => fuse(x.1, ..., x.n), union, {})``
+* ``relation [l=e,...] from x1 in S1, ... where P``  =  a ``hom`` over the
+  product that builds ``relobj`` tuples for the bindings satisfying ``P``
+  (observationally the paper's map/filter/map pipeline).
+* ``map``/``filter`` via ``hom`` as in the paper.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from ..core import terms as T
+
+__all__ = [
+    "gensym", "mk_app", "mk_lam", "mk_union", "mk_not", "mk_eq",
+    "mk_map", "mk_filter", "mk_select", "mk_objeq", "mk_intersect",
+    "mk_relation", "mk_seq", "mk_pair",
+]
+
+_gensym_counter = itertools.count(1)
+
+
+def gensym(prefix: str = "x") -> str:
+    """A fresh variable name; '%' keeps it out of the surface namespace."""
+    return f"{prefix}%{next(_gensym_counter)}"
+
+
+def mk_app(fn: T.Term, *args: T.Term) -> T.Term:
+    out = fn
+    for a in args:
+        out = T.App(out, a)
+    return out
+
+
+def mk_lam(params: list[str], body: T.Term) -> T.Term:
+    out = body
+    for p in reversed(params):
+        out = T.Lam(p, out)
+    return out
+
+
+def mk_union(e1: T.Term, e2: T.Term) -> T.Term:
+    return mk_app(T.Var("union"), e1, e2)
+
+
+def mk_not(e: T.Term) -> T.Term:
+    return mk_app(T.Var("not"), e)
+
+
+def mk_eq(e1: T.Term, e2: T.Term) -> T.Term:
+    return mk_app(T.Var("eq"), e1, e2)
+
+
+def mk_pair(e1: T.Term, e2: T.Term) -> T.Term:
+    """``(e1, e2)`` — a two-field record with numeric labels (Section 2)."""
+    return T.RecordExpr([T.RecordField("1", e1, mutable=False),
+                         T.RecordField("2", e2, mutable=False)])
+
+
+def mk_map(fn: T.Term, set_expr: T.Term) -> T.Term:
+    """``map(f, S)`` = ``hom(S, f, fn x => fn r => union({x}, r), {})``."""
+    x, r = gensym("m"), gensym("r")
+    cons = mk_lam([x, r], mk_union(T.SetExpr([T.Var(x)]), T.Var(r)))
+    return mk_app(T.Var("hom"), set_expr, fn, cons, T.SetExpr([]))
+
+
+def mk_filter(pred: T.Term, set_expr: T.Term) -> T.Term:
+    """``filter(p, S)`` = ``hom(S, fn x => if p x then {x} else {}, union, {})``."""
+    x = gensym("f")
+    step = T.Lam(x, T.If(mk_app(pred, T.Var(x)),
+                         T.SetExpr([T.Var(x)]), T.SetExpr([])))
+    return mk_app(T.Var("hom"), set_expr, step, T.Var("union"),
+                  T.SetExpr([]))
+
+
+def mk_select(view: T.Term, set_expr: T.Term, pred: T.Term) -> T.Term:
+    """``select as e from S where p`` — map-after-filter fused into one hom.
+
+    The paper's definition is ``map(fn x => (x as e), filter(p, S))``; the
+    fusion is observationally identical and traverses ``S`` once.
+    """
+    x = gensym("s")
+    step = T.Lam(x, T.If(
+        mk_app(pred, T.Var(x)),
+        T.SetExpr([T.AsView(T.Var(x), view)]),
+        T.SetExpr([])))
+    return mk_app(T.Var("hom"), set_expr, step, T.Var("union"),
+                  T.SetExpr([]))
+
+
+def mk_objeq(e1: T.Term, e2: T.Term) -> T.Term:
+    """``objeq(e1, e2)`` = ``not(eq(fuse(e1, e2), {}))`` (Section 3.1)."""
+    return mk_not(mk_eq(T.Fuse([e1, e2]), T.SetExpr([])))
+
+
+def mk_intersect(sets: list[T.Term]) -> T.Term:
+    """n-ary ``intersect`` over sets of objects (Section 3.1).
+
+    ``intersect(e)`` is ``e`` itself; for n >= 2 it is
+    ``hom(prod(e1,...,en), fn x => fuse(x.1,...,x.n), union, {})``.
+    """
+    if not sets:
+        raise ValueError("intersect needs at least one set")
+    if len(sets) == 1:
+        return sets[0]
+    x = gensym("i")
+    fuse = T.Fuse([T.Dot(T.Var(x), str(i + 1)) for i in range(len(sets))])
+    return mk_app(T.Var("hom"), T.Prod(list(sets)), T.Lam(x, fuse),
+                  T.Var("union"), T.SetExpr([]))
+
+
+def mk_relation(fields: list[tuple[str, T.Term]],
+                binders: list[tuple[str, T.Term]],
+                pred: T.Term) -> T.Term:
+    """``relation [l1=e1,...] from x1 in S1, ..., xm in Sm where P``.
+
+    Builds ``hom(prod(S1,...,Sm), step, union, {})`` where ``step`` binds
+    each ``xi`` to the i-th tuple component and yields a singleton
+    ``relobj`` when ``P`` holds.  Observationally the paper's
+    map/filter/map implementation (Section 3.1), traversing the product
+    once and never keeping rejected relation objects.
+    """
+    if not binders:
+        raise ValueError("relation needs at least one 'from' binder")
+    tup = gensym("t")
+    body: T.Term = T.If(pred,
+                        T.SetExpr([T.RelObj(list(fields))]),
+                        T.SetExpr([]))
+    for i in reversed(range(len(binders))):
+        name = binders[i][0]
+        body = T.Let(name, T.Dot(T.Var(tup), str(i + 1)), body)
+    sets = [s for _, s in binders]
+    return mk_app(T.Var("hom"), T.Prod(sets), T.Lam(tup, body),
+                  T.Var("union"), T.SetExpr([]))
+
+
+def mk_seq(first: T.Term, second: T.Term) -> T.Term:
+    """``e1; e2`` — evaluate ``e1`` for effect, return ``e2``."""
+    return T.Let(gensym("seq"), first, second)

@@ -1,0 +1,1 @@
+"""Surface syntax: lexer, parser, desugaring and pretty printing."""

@@ -1,0 +1,62 @@
+"""Desugaring of the ``fun ... and ...`` form (Section 2).
+
+The paper notes that mutually recursive function definitions are definable
+"by combining fix, let, lambda abstraction, and record".  That is exactly
+the encoding used here:
+
+* a single ``fun f x1 ... xn = e`` becomes ``fix f. fn x1 => ... => e`` —
+  a syntactic value, so it let-generalizes and stays polymorphic;
+* a mutual group ``fun f x = e1 and g y = e2`` becomes a ``fix`` over a
+  record of closures; each body rebinds the group names from the record's
+  fields *inside* its outermost lambda, so the record is never dereferenced
+  before it exists.  The group is expansive (the record allocates), so the
+  bound names are monomorphic in the let body — the usual price of the
+  record encoding, noted in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from ..core import terms as T
+from ..objects.algebra import gensym, mk_lam
+
+__all__ = ["FunBinding", "desugar_fun_group"]
+
+
+class FunBinding:
+    """One ``fun`` binding: ``name param1 ... paramN = body``."""
+
+    __slots__ = ("name", "params", "body")
+
+    def __init__(self, name: str, params: list[str], body: T.Term):
+        if not params:
+            raise ValueError("fun binding needs at least one parameter")
+        self.name = name
+        self.params = params
+        self.body = body
+
+
+def desugar_fun_group(bindings: list[FunBinding], body: T.Term) -> T.Term:
+    """Elaborate ``let fun ... (and ...)* in body end`` into the core."""
+    if len(bindings) == 1:
+        b = bindings[0]
+        fn = T.Fix(b.name, mk_lam(b.params, b.body))
+        return T.Let(b.name, fn, body)
+
+    rec_name = gensym("mutrec")
+    names = [b.name for b in bindings]
+
+    def rebind(inner: T.Term) -> T.Term:
+        out = inner
+        for name in reversed(names):
+            out = T.Let(name, T.Dot(T.Var(rec_name), name), out)
+        return out
+
+    fields = []
+    for b in bindings:
+        # The rebinding lets live under the first lambda so the record is
+        # only dereferenced at call time.
+        inner = rebind(mk_lam(b.params[1:], b.body))
+        fields.append(T.RecordField(b.name, T.Lam(b.params[0], inner),
+                                    mutable=False))
+    record = T.Fix(rec_name, T.RecordExpr(fields))
+    return T.Let(rec_name, record, rebind(body))

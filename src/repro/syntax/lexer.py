@@ -1,0 +1,140 @@
+"""Lexer for the surface language.
+
+The concrete syntax is ML-flavoured (the paper's language is "similar to
+Machiavelli").  Notable tokens:
+
+* ``:=`` for mutable record fields, ``=>`` for lambda bodies;
+* ``c-query`` is lexed as a single keyword token (the paper's spelling);
+* ``(* ... *)`` comments nest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import LexError
+
+__all__ = ["Token", "tokenize", "KEYWORDS"]
+
+KEYWORDS = frozenset({
+    "fn", "let", "in", "end", "val", "fun", "and", "rec", "fix",
+    "if", "then", "else", "true", "false", "andalso", "orelse",
+    "as", "class", "include", "includes", "where", "select", "from",
+    "relation", "insert", "delete", "extract", "update", "query",
+    "fuse", "relobj", "IDView", "c-query", "intersect", "objeq", "prod",
+})
+
+_PUNCT = [
+    ":=", "=>", "->", "<=", ">=", "<", ">", "=", "(", ")", "[", "]",
+    "{", "}", ",", ".", ";", ":", "+", "-", "*", "^",
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str      # 'int' | 'string' | 'ident' | 'keyword' | 'punct' | 'eof'
+    value: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind}, {self.value!r})"
+
+
+def tokenize(src: str) -> list[Token]:
+    """Tokenize ``src``; raises :class:`LexError` on malformed input."""
+    tokens: list[Token] = []
+    i = 0
+    line = 1
+    col = 1
+    n = len(src)
+
+    def advance(k: int) -> None:
+        nonlocal i, line, col
+        for _ in range(k):
+            if i < n and src[i] == "\n":
+                line += 1
+                col = 1
+            else:
+                col += 1
+            i += 1
+
+    while i < n:
+        ch = src[i]
+        if ch in " \t\r\n":
+            advance(1)
+            continue
+        if src.startswith("(*", i):
+            depth = 1
+            start_line, start_col = line, col
+            advance(2)
+            while i < n and depth:
+                if src.startswith("(*", i):
+                    depth += 1
+                    advance(2)
+                elif src.startswith("*)", i):
+                    depth -= 1
+                    advance(2)
+                else:
+                    advance(1)
+            if depth:
+                raise LexError("unterminated comment", start_line, start_col)
+            continue
+        if ch == '"':
+            start_line, start_col = line, col
+            advance(1)
+            buf: list[str] = []
+            while i < n and src[i] != '"':
+                if src[i] == "\\":
+                    if i + 1 >= n:
+                        break
+                    esc = src[i + 1]
+                    mapped = {"n": "\n", "t": "\t", '"': '"',
+                              "\\": "\\"}.get(esc)
+                    if mapped is None:
+                        raise LexError(f"bad escape '\\{esc}'", line, col)
+                    buf.append(mapped)
+                    advance(2)
+                else:
+                    buf.append(src[i])
+                    advance(1)
+            if i >= n:
+                raise LexError("unterminated string literal",
+                               start_line, start_col)
+            advance(1)  # closing quote
+            tokens.append(Token("string", "".join(buf),
+                                start_line, start_col))
+            continue
+        if ch.isdigit():
+            start_line, start_col = line, col
+            j = i
+            while j < n and src[j].isdigit():
+                j += 1
+            tokens.append(Token("int", src[i:j], start_line, start_col))
+            advance(j - i)
+            continue
+        if ch.isalpha() or ch == "_":
+            start_line, start_col = line, col
+            j = i
+            while j < n and (src[j].isalnum() or src[j] in "_'"):
+                j += 1
+            word = src[i:j]
+            # 'c-query' — a keyword containing a hyphen.
+            if word == "c" and src.startswith("c-query", i):
+                word = "c-query"
+                j = i + len(word)
+            kind = "keyword" if word in KEYWORDS else "ident"
+            tokens.append(Token(kind, word, start_line, start_col))
+            advance(j - i)
+            continue
+        matched = False
+        for p in _PUNCT:
+            if src.startswith(p, i):
+                tokens.append(Token("punct", p, line, col))
+                advance(len(p))
+                matched = True
+                break
+        if not matched:
+            raise LexError(f"unexpected character {ch!r}", line, col)
+    tokens.append(Token("eof", "", line, col))
+    return tokens

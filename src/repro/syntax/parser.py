@@ -1,0 +1,690 @@
+"""Recursive-descent parser for the surface language.
+
+Produces :mod:`repro.core.terms` AST, desugaring the derived forms of the
+paper on the way:
+
+* ``select as e from S where p``, ``relation [..] from .. where ..``,
+  ``intersect(..)`` and ``objeq(..)`` via :mod:`repro.objects.algebra`;
+* ``(e1, e2)`` pairs as numeric-labelled records, ``e.1`` projections;
+* ``e1 andalso e2`` / ``e1 orelse e2`` as conditionals;
+* infix ``=`` as ``eq`` (the paper writes ``x.Sex = "female"``);
+* ``e1; e2`` sequencing as a throwaway ``let``;
+* ``fun f x = e (and g y = e')*`` via :mod:`repro.syntax.desugar`;
+* a ``let`` whose bindings are all ``class`` expressions becomes the
+  recursive class definition of Section 4.4 (:class:`LetClasses`).
+
+Operator precedence, loosest to tightest::
+
+    ;   as   orelse   andalso   (= < > <= >=)   (+ - ^)   (* div mod)
+    application   .label   atoms
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core import terms as T
+from ..core.types import BOOL, INT, STRING
+from ..errors import ParseError
+from ..objects import algebra as A
+from .desugar import FunBinding, desugar_fun_group
+from .lexer import Token, tokenize
+
+__all__ = ["parse_expression", "parse_program", "Decl", "ValDecl",
+           "RecClassDecl", "FunDecl", "ExprDecl"]
+
+
+# ---------------------------------------------------------------------------
+# Top-level declarations (used by Session.exec)
+# ---------------------------------------------------------------------------
+
+class Decl:
+    """Base class of top-level declarations."""
+
+
+@dataclass
+class ValDecl(Decl):
+    name: str
+    expr: T.Term
+
+
+@dataclass
+class RecClassDecl(Decl):
+    """``val c1 = class ... and c2 = class ...`` — mutually recursive."""
+
+    bindings: list[tuple[str, T.ClassExpr]]
+
+
+@dataclass
+class FunDecl(Decl):
+    bindings: list[FunBinding]
+
+
+@dataclass
+class ExprDecl(Decl):
+    expr: T.Term
+
+
+# Keyword-headed atoms that are self-delimiting and may therefore appear as
+# application arguments without parentheses.
+_CALL_KEYWORDS = frozenset({
+    "IDView", "query", "fuse", "relobj", "extract", "update", "prod",
+    "intersect", "objeq", "c-query", "insert", "delete", "true", "false",
+})
+
+_CMP_OPS = ("<", ">", "<=", ">=", "=")
+_ADD_OPS = ("+", "-", "^")
+
+# The paper writes its builtins in call style — ``union(e, e)``,
+# ``hom(S, f, op, z)``, ``eq(e1, e2)`` — while they are curried first-class
+# values.  When one of these names is directly followed by ``(`` the
+# argument list is parsed as a multi-argument call and curried; a bare
+# occurrence still denotes the function value (as when handing ``union``
+# to ``hom``).
+_BUILTIN_CALLS = frozenset({
+    "union", "hom", "member", "remove", "eq", "size", "not", "This_year",
+    # prelude functions, which the paper also writes in call style
+    "map", "filter", "exists", "all",
+})
+
+
+class _Parser:
+    def __init__(self, src: str):
+        self.tokens = tokenize(src)
+        self.pos = 0
+
+    # -- token plumbing ----------------------------------------------------
+
+    def peek(self, ahead: int = 0) -> Token:
+        return self.tokens[min(self.pos + ahead, len(self.tokens) - 1)]
+
+    def next(self) -> Token:
+        tok = self.tokens[self.pos]
+        if tok.kind != "eof":
+            self.pos += 1
+        return tok
+
+    def at_punct(self, value: str) -> bool:
+        tok = self.peek()
+        return tok.kind == "punct" and tok.value == value
+
+    def at_keyword(self, *values: str) -> bool:
+        tok = self.peek()
+        return tok.kind == "keyword" and tok.value in values
+
+    def expect_punct(self, value: str) -> Token:
+        tok = self.next()
+        if tok.kind != "punct" or tok.value != value:
+            raise ParseError(f"expected '{value}', found {tok.value!r}",
+                             tok.line, tok.column)
+        return tok
+
+    def expect_keyword(self, value: str) -> Token:
+        tok = self.next()
+        if tok.kind != "keyword" or tok.value != value:
+            raise ParseError(f"expected '{value}', found {tok.value!r}",
+                             tok.line, tok.column)
+        return tok
+
+    def expect_ident(self) -> Token:
+        tok = self.next()
+        if tok.kind != "ident":
+            raise ParseError(f"expected an identifier, found {tok.value!r}",
+                             tok.line, tok.column)
+        return tok
+
+    def expect_label(self) -> str:
+        tok = self.next()
+        if tok.kind in ("ident", "int"):
+            return tok.value
+        raise ParseError(f"expected a field label, found {tok.value!r}",
+                         tok.line, tok.column)
+
+    def pos_of(self, tok: Token) -> T.Pos:
+        return T.Pos(tok.line, tok.column)
+
+    # -- expressions ---------------------------------------------------
+
+    def expression(self) -> T.Term:
+        # ';' is a *declaration* separator (see program()), not expression
+        # sequencing; sequence effects with ``let u = e1 in e2 end``.
+        e = self.as_expr()
+        if self.at_punct(":"):
+            tok = self.next()
+            return T.Ascribe(e, self.type_expr(), pos=self.pos_of(tok))
+        return e
+
+    # -- type expressions (for ascriptions) -----------------------------
+
+    def type_expr(self):
+        """Parse a ground type: ``t -> t`` right-associative over atoms."""
+        t = self.type_atom()
+        if self.at_punct("->"):
+            self.next()
+            from ..core.types import TFun
+            return TFun(t, self.type_expr())
+        return t
+
+    def type_atom(self):
+        from ..core.types import (BOOL, FieldType, INT, STRING, TClass,
+                                  TObj, TRecord, TSet, UNIT)
+        tok = self.peek()
+        if tok.kind == "ident":
+            base = {"int": INT, "string": STRING, "bool": BOOL,
+                    "unit": UNIT}.get(tok.value)
+            if base is not None:
+                self.next()
+                return base
+            if tok.value == "obj":
+                self.next()
+                self.expect_punct("(")
+                inner = self.type_expr()
+                self.expect_punct(")")
+                return TObj(inner)
+            raise ParseError(f"unknown type name '{tok.value}' "
+                             "(ascribed types must be ground)",
+                             tok.line, tok.column)
+        if tok.kind == "keyword" and tok.value == "class":
+            self.next()
+            self.expect_punct("(")
+            inner = self.type_expr()
+            self.expect_punct(")")
+            return TClass(inner)
+        if tok.kind == "punct" and tok.value == "{":
+            self.next()
+            inner = self.type_expr()
+            self.expect_punct("}")
+            return TSet(inner)
+        if tok.kind == "punct" and tok.value == "(":
+            self.next()
+            inner = self.type_expr()
+            self.expect_punct(")")
+            return inner
+        if tok.kind == "punct" and tok.value == "[":
+            self.next()
+            fields = {}
+            while True:
+                label = self.expect_label()
+                sep = self.next()
+                if sep.kind != "punct" or sep.value not in ("=", ":="):
+                    raise ParseError(
+                        "expected '=' or ':=' in record type field",
+                        sep.line, sep.column)
+                fields[label] = FieldType(self.type_expr(),
+                                          mutable=sep.value == ":=")
+                if self.at_punct(","):
+                    self.next()
+                    continue
+                break
+            self.expect_punct("]")
+            return TRecord(fields)
+        raise ParseError(f"expected a type, found {tok.value!r}",
+                         tok.line, tok.column)
+
+    def as_expr(self) -> T.Term:
+        e = self.orelse_expr()
+        while self.at_keyword("as"):
+            tok = self.next()
+            view = self.orelse_expr()
+            e = T.AsView(e, view, pos=self.pos_of(tok))
+        return e
+
+    def orelse_expr(self) -> T.Term:
+        e = self.andalso_expr()
+        while self.at_keyword("orelse"):
+            self.next()
+            rhs = self.andalso_expr()
+            e = T.If(e, T.Const(True, BOOL), rhs)
+        return e
+
+    def andalso_expr(self) -> T.Term:
+        e = self.cmp_expr()
+        while self.at_keyword("andalso"):
+            self.next()
+            rhs = self.cmp_expr()
+            e = T.If(e, rhs, T.Const(False, BOOL))
+        return e
+
+    def cmp_expr(self) -> T.Term:
+        e = self.add_expr()
+        tok = self.peek()
+        if tok.kind == "punct" and tok.value in _CMP_OPS:
+            self.next()
+            rhs = self.add_expr()
+            if tok.value == "=":
+                out = A.mk_eq(e, rhs)
+            else:
+                out = A.mk_app(T.Var(tok.value), e, rhs)
+            out.pos = self.pos_of(tok)
+            return out
+        return e
+
+    def add_expr(self) -> T.Term:
+        e = self.mul_expr()
+        while True:
+            tok = self.peek()
+            if tok.kind == "punct" and tok.value in _ADD_OPS:
+                self.next()
+                rhs = self.mul_expr()
+                e = A.mk_app(T.Var(tok.value), e, rhs)
+                e.pos = self.pos_of(tok)
+            else:
+                return e
+
+    def mul_expr(self) -> T.Term:
+        e = self.app_expr()
+        while True:
+            tok = self.peek()
+            if tok.kind == "punct" and tok.value == "*":
+                self.next()
+                e = A.mk_app(T.Var("*"), e, self.app_expr())
+                e.pos = self.pos_of(tok)
+            elif tok.kind == "ident" and tok.value in ("div", "mod"):
+                self.next()
+                e = A.mk_app(T.Var(tok.value), e, self.app_expr())
+                e.pos = self.pos_of(tok)
+            else:
+                return e
+
+    def _starts_atom(self) -> bool:
+        tok = self.peek()
+        if tok.kind in ("int", "string", "ident"):
+            # 'div'/'mod' in operand position are operators, not atoms.
+            return not (tok.kind == "ident" and tok.value in ("div", "mod"))
+        if tok.kind == "punct":
+            return tok.value in ("(", "[", "{")
+        if tok.kind == "keyword":
+            return tok.value in _CALL_KEYWORDS
+        return False
+
+    def app_expr(self) -> T.Term:
+        tok = self.peek()
+        e = self.postfix_expr()
+        while self._starts_atom():
+            e = T.App(e, self.postfix_expr(), pos=self.pos_of(tok))
+        return e
+
+    def postfix_expr(self) -> T.Term:
+        e = self.atom()
+        while self.at_punct("."):
+            dot = self.next()
+            label = self.expect_label()
+            e = T.Dot(e, label, pos=self.pos_of(dot))
+        return e
+
+    # -- atoms ---------------------------------------------------------
+
+    def atom(self) -> T.Term:
+        tok = self.peek()
+        pos = self.pos_of(tok)
+        if tok.kind == "int":
+            self.next()
+            return T.Const(int(tok.value), INT, pos=pos)
+        if tok.kind == "string":
+            self.next()
+            return T.Const(tok.value, STRING, pos=pos)
+        if tok.kind == "ident":
+            self.next()
+            if (tok.value in _BUILTIN_CALLS and self.at_punct("(")):
+                return self._builtin_call(tok.value, pos)
+            return T.Var(tok.value, pos=pos)
+        if tok.kind == "punct":
+            if tok.value == "(":
+                return self._parens()
+            if tok.value == "[":
+                return self._record()
+            if tok.value == "{":
+                return self._set()
+            if tok.value == "-" and self.peek(1).kind == "int":
+                self.next()
+                num = self.next()
+                return T.Const(-int(num.value), INT, pos=pos)
+        if tok.kind == "keyword":
+            return self._keyword_atom(tok, pos)
+        raise ParseError(f"unexpected token {tok.value!r}",
+                         tok.line, tok.column)
+
+    def _keyword_atom(self, tok: Token, pos: T.Pos) -> T.Term:
+        kw = tok.value
+        if kw == "true":
+            self.next()
+            return T.Const(True, BOOL, pos=pos)
+        if kw == "false":
+            self.next()
+            return T.Const(False, BOOL, pos=pos)
+        if kw == "fn":
+            self.next()
+            param = self.expect_ident().value
+            self.expect_punct("=>")
+            return T.Lam(param, self.expression(), pos=pos)
+        if kw == "if":
+            self.next()
+            cond = self.expression()
+            self.expect_keyword("then")
+            then = self.expression()
+            self.expect_keyword("else")
+            else_ = self.expression()
+            return T.If(cond, then, else_, pos=pos)
+        if kw == "fix":
+            self.next()
+            name = self.expect_ident().value
+            self.expect_punct(".")
+            return T.Fix(name, self.expression(), pos=pos)
+        if kw == "let":
+            return self._let(pos)
+        if kw == "class":
+            return self._class(pos)
+        if kw == "select":
+            self.next()
+            self.expect_keyword("as")
+            view = self.orelse_expr()
+            self.expect_keyword("from")
+            source = self.expression()
+            self.expect_keyword("where")
+            pred = self.expression()
+            return A.mk_select(view, source, pred)
+        if kw == "relation":
+            return self._relation(pos)
+        if kw == "IDView":
+            self.next()
+            args = self._call_args(1, 1, "IDView")
+            return T.IDView(args[0], pos=pos)
+        if kw == "query":
+            self.next()
+            args = self._call_args(2, 2, "query")
+            return T.Query(args[0], args[1], pos=pos)
+        if kw == "fuse":
+            self.next()
+            args = self._call_args(2, None, "fuse")
+            return T.Fuse(args, pos=pos)
+        if kw == "relobj":
+            self.next()
+            return T.RelObj(self._labelled_args("relobj"), pos=pos)
+        if kw == "extract":
+            self.next()
+            self.expect_punct("(")
+            e = self.expression()
+            self.expect_punct(",")
+            label = self.expect_label()
+            self.expect_punct(")")
+            return T.Extract(e, label, pos=pos)
+        if kw == "update":
+            self.next()
+            self.expect_punct("(")
+            e = self.expression()
+            self.expect_punct(",")
+            label = self.expect_label()
+            self.expect_punct(",")
+            value = self.expression()
+            self.expect_punct(")")
+            return T.Update(e, label, value, pos=pos)
+        if kw == "prod":
+            self.next()
+            return T.Prod(self._call_args(1, None, "prod"), pos=pos)
+        if kw == "intersect":
+            self.next()
+            return A.mk_intersect(self._call_args(1, None, "intersect"))
+        if kw == "objeq":
+            self.next()
+            args = self._call_args(2, 2, "objeq")
+            return A.mk_objeq(args[0], args[1])
+        if kw == "c-query":
+            self.next()
+            args = self._call_args(2, 2, "c-query")
+            return T.CQuery(args[0], args[1], pos=pos)
+        if kw == "insert":
+            self.next()
+            args = self._call_args(2, 2, "insert")
+            return T.Insert(args[0], args[1], pos=pos)
+        if kw == "delete":
+            self.next()
+            args = self._call_args(2, 2, "delete")
+            return T.Delete(args[0], args[1], pos=pos)
+        raise ParseError(f"unexpected keyword '{kw}'", tok.line, tok.column)
+
+    def _builtin_call(self, name: str, pos: T.Pos) -> T.Term:
+        self.expect_punct("(")
+        args: list[T.Term] = []
+        if self.at_punct(")"):
+            args.append(T.Unit())  # e.g. This_year()
+        else:
+            args.append(self.expression())
+            while self.at_punct(","):
+                self.next()
+                args.append(self.expression())
+        self.expect_punct(")")
+        return A.mk_app(T.Var(name, pos=pos), *args)
+
+    def _call_args(self, min_n: int, max_n: int | None,
+                   who: str) -> list[T.Term]:
+        self.expect_punct("(")
+        args = [self.expression()]
+        while self.at_punct(","):
+            self.next()
+            args.append(self.expression())
+        close = self.expect_punct(")")
+        if len(args) < min_n or (max_n is not None and len(args) > max_n):
+            raise ParseError(
+                f"'{who}' takes "
+                + (f"{min_n}" if max_n == min_n else f"at least {min_n}")
+                + f" argument(s), got {len(args)}", close.line, close.column)
+        return args
+
+    def _labelled_args(self, who: str) -> list[tuple[str, T.Term]]:
+        self.expect_punct("(")
+        fields: list[tuple[str, T.Term]] = []
+        while True:
+            label = self.expect_label()
+            self.expect_punct("=")
+            fields.append((label, self.expression()))
+            if self.at_punct(","):
+                self.next()
+                continue
+            break
+        self.expect_punct(")")
+        return fields
+
+    def _parens(self) -> T.Term:
+        self.expect_punct("(")
+        if self.at_punct(")"):
+            self.next()
+            return T.Unit()
+        first = self.expression()
+        if self.at_punct(","):
+            elems = [first]
+            while self.at_punct(","):
+                self.next()
+                elems.append(self.expression())
+            close = self.expect_punct(")")
+            return T.RecordExpr([
+                T.RecordField(str(i), e, mutable=False)
+                for i, e in enumerate(elems, start=1)],
+                pos=self.pos_of(close))
+        self.expect_punct(")")
+        return first
+
+    def _record(self) -> T.Term:
+        open_tok = self.expect_punct("[")
+        fields: list[T.RecordField] = []
+        if self.at_punct("]"):
+            raise ParseError("a record needs at least one field",
+                             open_tok.line, open_tok.column)
+        while True:
+            label = self.expect_label()
+            tok = self.next()
+            if tok.kind != "punct" or tok.value not in ("=", ":="):
+                raise ParseError("expected '=' or ':=' in record field",
+                                 tok.line, tok.column)
+            fields.append(T.RecordField(label, self.expression(),
+                                        mutable=tok.value == ":="))
+            if self.at_punct(","):
+                self.next()
+                continue
+            break
+        self.expect_punct("]")
+        return T.RecordExpr(fields, pos=self.pos_of(open_tok))
+
+    def _set(self) -> T.Term:
+        open_tok = self.expect_punct("{")
+        elems: list[T.Term] = []
+        if not self.at_punct("}"):
+            elems.append(self.expression())
+            while self.at_punct(","):
+                self.next()
+                elems.append(self.expression())
+        self.expect_punct("}")
+        return T.SetExpr(elems, pos=self.pos_of(open_tok))
+
+    def _let(self, pos: T.Pos) -> T.Term:
+        self.expect_keyword("let")
+        if self.at_keyword("fun"):
+            bindings = self._fun_bindings()
+            self.expect_keyword("in")
+            body = self.expression()
+            self.expect_keyword("end")
+            return desugar_fun_group(bindings, body)
+        bindings: list[tuple[str, T.Term]] = []
+        while True:
+            name = self.expect_ident().value
+            self.expect_punct("=")
+            bindings.append((name, self.expression()))
+            if self.at_keyword("and"):
+                self.next()
+                continue
+            break
+        self.expect_keyword("in")
+        body = self.expression()
+        self.expect_keyword("end")
+        if all(isinstance(e, T.ClassExpr) for _, e in bindings):
+            # Section 4.4: a (possibly mutually) recursive class definition.
+            return T.LetClasses(
+                [(n, e) for n, e in bindings], body, pos=pos)  # type: ignore
+        if len(bindings) > 1:
+            tok = self.peek()
+            raise ParseError(
+                "'and' bindings in let are only for mutually recursive "
+                "class definitions (use 'let fun ... and ...' for "
+                "functions)", tok.line, tok.column)
+        name, bound = bindings[0]
+        return T.Let(name, bound, body, pos=pos)
+
+    def _fun_bindings(self) -> list[FunBinding]:
+        bindings: list[FunBinding] = []
+        while True:
+            self.expect_keyword("fun") if not bindings else None
+            name = self.expect_ident().value
+            params = [self.expect_ident().value]
+            while self.peek().kind == "ident":
+                params.append(self.next().value)
+            self.expect_punct("=")
+            bindings.append(FunBinding(name, params, self.expression()))
+            if self.at_keyword("and"):
+                self.next()
+                continue
+            break
+        return bindings
+
+    def _class(self, pos: T.Pos) -> T.Term:
+        self.expect_keyword("class")
+        own = self.as_expr()
+        includes: list[T.IncludeClause] = []
+        while self.at_keyword("include", "includes"):
+            self.next()
+            sources = [self.orelse_expr()]
+            while self.at_punct(","):
+                self.next()
+                sources.append(self.orelse_expr())
+            self.expect_keyword("as")
+            view = self.orelse_expr()
+            self.expect_keyword("where")
+            pred = self.orelse_expr()
+            includes.append(T.IncludeClause(sources, view, pred))
+        self.expect_keyword("end")
+        return T.ClassExpr(own, includes, pos=pos)
+
+    def _relation(self, pos: T.Pos) -> T.Term:
+        self.expect_keyword("relation")
+        self.expect_punct("[")
+        fields: list[tuple[str, T.Term]] = []
+        while True:
+            label = self.expect_label()
+            self.expect_punct("=")
+            fields.append((label, self.expression()))
+            if self.at_punct(","):
+                self.next()
+                continue
+            break
+        self.expect_punct("]")
+        self.expect_keyword("from")
+        binders: list[tuple[str, T.Term]] = []
+        while True:
+            name = self.expect_ident().value
+            self.expect_keyword("in")
+            binders.append((name, self.orelse_expr()))
+            if self.at_punct(","):
+                self.next()
+                continue
+            break
+        self.expect_keyword("where")
+        pred = self.expression()
+        return A.mk_relation(fields, binders, pred)
+
+    # -- programs --------------------------------------------------------
+
+    def program(self) -> list[Decl]:
+        decls: list[Decl] = []
+        while self.peek().kind != "eof":
+            if self.at_keyword("val"):
+                decls.append(self._val_decl())
+            elif self.at_keyword("fun"):
+                decls.append(FunDecl(self._fun_bindings()))
+            else:
+                decls.append(ExprDecl(self.expression()))
+            if self.at_punct(";"):
+                self.next()
+        return decls
+
+    def _val_decl(self) -> Decl:
+        self.expect_keyword("val")
+        bindings: list[tuple[str, T.Term]] = []
+        while True:
+            name = self.expect_ident().value
+            self.expect_punct("=")
+            bindings.append((name, self.expression()))
+            if self.at_keyword("and"):
+                self.next()
+                continue
+            break
+        if len(bindings) == 1 and not isinstance(bindings[0][1], T.ClassExpr):
+            return ValDecl(*bindings[0])
+        if all(isinstance(e, T.ClassExpr) for _, e in bindings):
+            return RecClassDecl(
+                [(n, e) for n, e in bindings])  # type: ignore[misc]
+        if len(bindings) == 1:
+            return ValDecl(*bindings[0])
+        tok = self.peek()
+        raise ParseError(
+            "'val ... and ...' is only for mutually recursive class "
+            "definitions", tok.line, tok.column)
+
+    def finish_expression(self) -> T.Term:
+        e = self.expression()
+        tok = self.peek()
+        if tok.kind != "eof":
+            raise ParseError(f"trailing input starting at {tok.value!r}",
+                             tok.line, tok.column)
+        return e
+
+
+def parse_expression(src: str) -> T.Term:
+    """Parse a single expression; raises :class:`ParseError` on failure."""
+    from ..core.limits import deep_recursion
+    with deep_recursion():
+        return _Parser(src).finish_expression()
+
+
+def parse_program(src: str) -> list[Decl]:
+    """Parse a sequence of top-level declarations and expressions."""
+    from ..core.limits import deep_recursion
+    with deep_recursion():
+        return _Parser(src).program()

@@ -1,0 +1,52 @@
+"""The materialized-view baseline: staleness the paper's design avoids."""
+
+import pytest
+
+from repro import Session
+from repro.baselines.materialized import MaterializedView
+
+
+@pytest.fixture()
+def s():
+    sess = Session()
+    sess.exec('val joe = IDView([Name = "Joe", Salary := 2000])')
+    return sess
+
+
+def test_materialized_read(s):
+    mv = MaterializedView(s, "joe", "fn x => [Income = x.Salary]")
+    assert mv.read("Income") == 2000
+
+
+def test_materialized_view_goes_stale(s):
+    mv = MaterializedView(s, "joe", "fn x => [Income = x.Salary]")
+    s.eval("query(fn x => update(x, Salary, 9999), joe)")
+    assert mv.read("Income") == 2000  # stale!
+    # the paper's lazy view sees the update immediately
+    s.exec("val lazy = (joe as fn x => [Income = x.Salary])")
+    assert s.eval_py("query(fn v => v.Income, lazy)") == 9999
+
+
+def test_refresh_resynchronizes(s):
+    mv = MaterializedView(s, "joe", "fn x => [Income = x.Salary]")
+    s.eval("query(fn x => update(x, Salary, 5), joe)")
+    mv.refresh()
+    assert mv.read("Income") == 5
+    assert mv.refreshes == 2
+
+
+def test_write_through_copy_does_not_reach_raw(s):
+    mv = MaterializedView(s, "joe", "fn x => [Income = x.Salary]")
+    mv.write("Income", 1)
+    assert s.eval_py("query(fn x => x.Salary, joe)") == 2000
+    # whereas the paper's extract-based view writes through:
+    s.exec("val through = (joe as fn x => [Income := extract(x, Salary)])")
+    s.eval("query(fn v => update(v, Income, 1), through)")
+    assert s.eval_py("query(fn x => x.Salary, joe)") == 1
+
+
+def test_non_ground_fields_rejected(s):
+    from repro.errors import ReproError
+    s.exec("val fancy = IDView([F = fn x => x, N = 1])")
+    with pytest.raises(Exception):
+        MaterializedView(s, "fancy", "fn x => [F = x.F]")

@@ -1,0 +1,181 @@
+"""Evaluation of classes: lazy extents, sharing, insert/delete, priority."""
+
+import pytest
+
+from repro import Session
+
+EXTENT = "fn S => map(fn o => query(fn v => v, o), S)"
+NAMES = "fn S => map(fn o => query(fn v => v.Name, o), S)"
+
+
+@pytest.fixture()
+def s():
+    return Session()
+
+
+def test_own_extent_only(s):
+    s.exec('val C = class {IDView([Name = "a"]), IDView([Name = "b"])} end')
+    assert s.eval_py(f"c-query({NAMES}, C)") == ["a", "b"]
+
+
+def test_include_with_predicate_and_view(s):
+    s.exec('val p1 = IDView([Name = "p1", N = 1])')
+    s.exec('val p2 = IDView([Name = "p2", N = 2])')
+    s.exec("val Base = class {p1, p2} end")
+    s.exec("val Big = class {} includes Base "
+           "as fn x => [Name = x.Name, Doubled = (x.N) * 2] "
+           "where fn o => query(fn x => x.N > 1, o) end")
+    out = s.eval_py(f"c-query({EXTENT}, Big)")
+    assert out == [{"Name": "p2", "Doubled": 4}]
+
+
+def test_extents_are_lazy(s):
+    # no extent computation happens at class definition time
+    s.exec('val Base = class {IDView([Name = "x", N = 1])} end')
+    s.metrics.reset()
+    s.exec("val Derived = class {} includes Base as fn x => [Name = x.Name] "
+           "where fn o => true end")
+    assert s.metrics.extent_computations == 0
+    s.eval_py(f"c-query({NAMES}, Derived)")
+    assert s.metrics.extent_computations == 1
+
+
+def test_updates_to_source_visible_after_definition(s):
+    # lazy extents: objects inserted into the source class later are shared
+    s.exec('val Base = class {IDView([Name = "old", N = 1])} end')
+    s.exec("val Derived = class {} includes Base as fn x => [Name = x.Name] "
+           "where fn o => true end")
+    assert s.eval_py(f"c-query({NAMES}, Derived)") == ["old"]
+    s.eval('insert(IDView([Name = "new", N = 2]), Base)')
+    assert s.eval_py(f"c-query({NAMES}, Derived)") == ["old", "new"]
+
+
+def test_insert_visible_to_queries(s):
+    # the prose of Section 4.2 (and our Figure 5 repair)
+    s.exec("val C = class {} end")
+    s.eval('insert(IDView([Name = "n"]), C)')
+    assert s.eval_py(f"c-query({NAMES}, C)") == ["n"]
+
+
+def test_insert_duplicate_objeq_is_noop(s):
+    s.exec('val o = IDView([Name = "n"])')
+    s.exec("val C = class {o} end")
+    s.eval('insert((o as fn x => [Name = "other"]), C)')
+    # the original object (and its view) wins
+    assert s.eval_py(f"c-query({NAMES}, C)") == ["n"]
+
+
+def test_delete_removes_by_objeq(s):
+    s.exec('val o = IDView([Name = "n"])')
+    s.exec('val p = IDView([Name = "m"])')
+    s.exec("val C = class {o, p} end")
+    # delete via a different view of the same raw object
+    s.eval('delete((o as fn x => [Name = "zzz"]), C)')
+    assert s.eval_py(f"c-query({NAMES}, C)") == ["m"]
+
+
+def test_delete_does_not_block_inclusion(s):
+    # the paper's chosen delete semantics: it removes from the *own*
+    # extent only; an object still included from a source class remains.
+    s.exec('val o = IDView([Name = "n"])')
+    s.exec("val Base = class {o} end")
+    s.exec("val C = class {} includes Base as fn x => [Name = x.Name] "
+           "where fn x => true end")
+    s.eval("delete((o as fn x => [Name = x.Name]), C)")
+    assert s.eval_py(f"c-query({NAMES}, C)") == ["n"]
+
+
+def test_own_extent_wins_over_inclusion(s):
+    s.exec('val o = IDView([Name = "raw"])')
+    s.exec("val Base = class {o} end")
+    s.exec('''val C = class {(o as fn x => [Name = "own-view"])}
+        includes Base as fn x => [Name = "included-view"]
+        where fn x => true end''')
+    assert s.eval_py(f"c-query({NAMES}, C)") == ["own-view"]
+
+
+def test_earlier_include_clause_wins(s):
+    s.exec('val o = IDView([Name = "raw"])')
+    s.exec("val B1 = class {o} end")
+    s.exec("val B2 = class {o} end")
+    s.exec('''val C = class {}
+        includes B1 as fn x => [Name = "first"] where fn x => true
+        includes B2 as fn x => [Name = "second"] where fn x => true end''')
+    assert s.eval_py(f"c-query({NAMES}, C)") == ["first"]
+
+
+def test_multi_source_include_is_intersection(s):
+    s.exec('val both = IDView([Name = "both"])')
+    s.exec('val only1 = IDView([Name = "only1"])')
+    s.exec('val only2 = IDView([Name = "only2"])')
+    s.exec("val C1 = class {both, only1} end")
+    s.exec("val C2 = class {both, only2} end")
+    s.exec("val Both = class {} includes C1, C2 "
+           "as fn p => [Name = (p.1).Name] where fn o => true end")
+    assert s.eval_py(f"c-query({NAMES}, Both)") == ["both"]
+
+
+def test_multi_source_pred_can_query_product(s):
+    s.exec('val o = IDView([Name = "o", N = 5])')
+    s.exec("val C1 = class {o} end")
+    s.exec("val C2 = class {o} end")
+    s.exec("val Sel = class {} includes C1, C2 "
+           "as fn p => [Name = (p.1).Name] "
+           "where fn f => query(fn p => (p.1).N > 10, f) end")
+    assert s.eval_py(f"c-query({NAMES}, Sel)") == []
+
+
+def test_chained_inclusion(s):
+    s.exec('val o = IDView([Name = "x", N = 1])')
+    s.exec("val A = class {o} end")
+    s.exec("val B = class {} includes A as fn x => [Name = x.Name, M = 2] "
+           "where fn o => true end")
+    s.exec("val C = class {} includes B as fn x => [Name = x.Name, K = 3] "
+           "where fn o => true end")
+    out = s.eval_py(f"c-query({EXTENT}, C)")
+    assert out == [{"Name": "x", "K": 3}]
+
+
+def test_included_objects_keep_identity(s):
+    s.exec('val o = IDView([Name = "x"])')
+    s.exec("val A = class {o} end")
+    s.exec("val B = class {} includes A as fn x => [Name = x.Name] "
+           "where fn o => true end")
+    assert s.eval_py("c-query(fn S => exists(fn m => objeq(m, o), S), B)") \
+        is True
+
+
+def test_class_creating_function(s):
+    # classes are first-class: a function that builds classes
+    s.exec("val mk = fn S => class S end")
+    s.exec('val C = mk {IDView([Name = "z"])}')
+    assert s.eval_py(f"c-query({NAMES}, C)") == ["z"]
+
+
+def test_class_query_arbitrary_aggregation(s):
+    s.exec("val C = class {IDView([Name = \"a\", N = 1]), "
+           "IDView([Name = \"b\", N = 2])} end")
+    total = s.eval_py(
+        "c-query(fn S => hom(S, fn o => query(fn v => v.N, o), "
+        "fn a => fn b => a + b, 0), C)")
+    assert total == 3
+
+
+def test_update_through_included_view(s):
+    # mutability transferred through an include clause's view
+    s.exec('val o = IDView([Name = "x", Pay := 10])')
+    s.exec("val A = class {o} end")
+    s.exec("val B = class {} includes A "
+           "as fn x => [Name = x.Name, Pay := extract(x, Pay)] "
+           "where fn o => true end")
+    s.eval("c-query(fn S => map(fn m => "
+           "query(fn v => update(v, Pay, 99), m), S), B)")
+    assert s.eval_py("query(fn v => v.Pay, o)") == 99
+
+
+def test_insert_then_delete_roundtrip(s):
+    s.exec("val C = class {} end")
+    s.exec('val o = IDView([Name = "t"])')
+    s.eval("insert(o, C)")
+    s.eval("delete(o, C)")
+    assert s.eval_py(f"c-query({NAMES}, C)") == []

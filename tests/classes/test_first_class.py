@@ -1,0 +1,94 @@
+"""Classes as first-class values: "various powerful programming styles
+with classes, such as using class creating functions" (Section 4.1)."""
+
+import pytest
+
+from repro import Session
+
+NAMES = "fn S => map(fn o => query(fn v => v.Name, o), S)"
+
+
+@pytest.fixture()
+def s():
+    return Session()
+
+
+def test_class_creating_function(s):
+    s.exec("fun singleton o = class {o} end")
+    assert s.typeof_str("singleton") == \
+        "forall t1::U. obj(t1) -> class(t1)"
+    s.exec('val C = singleton (IDView([Name = "n"]))')
+    assert s.eval_py(f"c-query({NAMES}, C)") == ["n"]
+
+
+def test_restriction_class_factory(s):
+    # a function that derives a filtered, re-viewed class from any class
+    s.exec('''
+        fun women C = class {}
+          includes C as fn x => [Name = x.Name]
+          where fn o => query(fn v => v.Sex = "female", o)
+        end
+    ''')
+    s.exec('val Base = class {IDView([Name = "a", Sex = "female"]), '
+           'IDView([Name = "b", Sex = "male"])} end')
+    s.exec("val W = women Base")
+    assert s.eval_py(f"c-query({NAMES}, W)") == ["a"]
+
+
+def test_factory_is_polymorphic_over_extra_fields(s):
+    s.exec('''
+        fun women C = class {}
+          includes C as fn x => [Name = x.Name]
+          where fn o => query(fn v => v.Sex = "female", o)
+        end
+    ''')
+    # a source with extra fields works too — kinded polymorphism
+    s.exec('val Rich = class {IDView([Name = "z", Sex = "female", '
+           "Pay := 9])} end")
+    assert s.eval_py(f"c-query({NAMES}, women Rich)") == ["z"]
+
+
+def test_classes_in_records_and_sets(s):
+    s.exec('val C1 = class {IDView([Name = "x"])} end')
+    s.exec('val C2 = class {IDView([Name = "y"])} end')
+    s.exec("val pair = [first = C1, second = C2]")
+    assert s.eval_py(f"c-query({NAMES}, pair.second)") == ["y"]
+    # classes have identity: sets of classes dedup by it
+    assert s.eval_py("size({C1, C1, C2})") == 2
+
+
+def test_class_returned_from_query(s):
+    # a function choosing between classes
+    s.exec('val A = class {IDView([Name = "a"])} end')
+    s.exec('val B = class {IDView([Name = "b"])} end')
+    s.exec("fun pick b = if b then A else B")
+    assert s.eval_py(f"c-query({NAMES}, pick true)") == ["a"]
+    assert s.eval_py(f"c-query({NAMES}, pick false)") == ["b"]
+
+
+def test_chain_factory_applied_repeatedly(s):
+    s.exec('''
+        fun narrow C = class {}
+          includes C as fn x => [Name = x.Name, N = x.N]
+          where fn o => query(fn v => v.N > 1, o)
+        end
+    ''')
+    s.exec('val Base = class {IDView([Name = "p", N = 5]), '
+           'IDView([Name = "q", N = 0])} end')
+    assert s.eval_py(
+        f"c-query({NAMES}, narrow (narrow (narrow Base)))") == ["p"]
+
+
+def test_factory_with_parameterized_predicate(s):
+    # "parametric classes" in the sense of Section 5's outlook
+    s.exec('''
+        fun at_least n = fn C => class {}
+          includes C as fn x => [Name = x.Name, N = x.N]
+          where fn o => query(fn v => v.N >= n, o)
+        end
+    ''')
+    s.exec('val Base = class {IDView([Name = "lo", N = 1]), '
+           'IDView([Name = "hi", N = 10])} end')
+    assert s.eval_py(f"c-query({NAMES}, (at_least 5) Base)") == ["hi"]
+    assert s.eval_py(f"c-query({NAMES}, (at_least 0) Base)") == \
+        ["lo", "hi"]

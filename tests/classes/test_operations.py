@@ -1,0 +1,111 @@
+"""The paper's alternative delete semantics (Section 4.1), as derived ops."""
+
+import pytest
+
+from repro import Session
+from repro.classes.operations import (block_object, blocking_class_source,
+                                      cascade_delete, unblock_object)
+
+NAMES = "fn S => map(fn o => query(fn v => v.Name, o), S)"
+
+
+@pytest.fixture()
+def s():
+    sess = Session()
+    sess.exec('val o1 = IDView([Name = "o1", Sex = "f"])')
+    sess.exec('val o2 = IDView([Name = "o2", Sex = "f"])')
+    sess.exec("val Base = class {o1, o2} end")
+    sess.exec("val Derived = class {} includes Base "
+              "as fn x => [Name = x.Name, Sex = x.Sex] "
+              "where fn i => true end")
+    return sess
+
+
+def _val(s, name):
+    return s.runtime_env.lookup(name)
+
+
+def test_plain_delete_does_not_cascade(s):
+    # the paper's chosen semantics, for contrast
+    s.eval("delete((o1 as fn x => [Name = x.Name, Sex = x.Sex]), Derived)")
+    assert s.eval_py(f"c-query({NAMES}, Derived)") == ["o1", "o2"]
+
+
+def test_cascade_delete_removes_from_source(s):
+    removed = cascade_delete(s.machine, _val(s, "Derived"), _val(s, "o1"))
+    assert removed == 1  # only Base's own extent held o1
+    assert s.eval_py(f"c-query({NAMES}, Derived)") == ["o2"]
+    assert s.eval_py(f"c-query({NAMES}, Base)") == ["o2"]
+
+
+def test_cascade_delete_through_chain(s):
+    s.exec("val Top = class {} includes Derived "
+           "as fn x => [Name = x.Name, Sex = x.Sex] "
+           "where fn i => true end")
+    cascade_delete(s.machine, _val(s, "Top"), _val(s, "o2"))
+    assert s.eval_py(f"c-query({NAMES}, Top)") == ["o1"]
+    assert s.eval_py(f"c-query({NAMES}, Base)") == ["o1"]
+
+
+def test_cascade_delete_handles_cycles(s):
+    s.exec('val seed = IDView([Name = "seed"])')
+    s.exec("val A = class {seed} includes B as fn x => [Name = x.Name] "
+           "where fn i => true end "
+           "and B = class {} includes A as fn x => [Name = x.Name] "
+           "where fn i => true end")
+    removed = cascade_delete(s.machine, _val(s, "B"), _val(s, "seed"))
+    assert removed == 1
+    assert s.eval_py(f"c-query({NAMES}, A)") == []
+
+
+def test_cascade_delete_counts_multiple_extents(s):
+    # the object sits in two own extents (Derived's own + Base's own)
+    s.eval("insert((o1 as fn x => [Name = x.Name, Sex = x.Sex]), Derived)")
+    removed = cascade_delete(s.machine, _val(s, "Derived"), _val(s, "o1"))
+    assert removed == 2
+
+
+def test_blocking_class_in_language(s):
+    decl = blocking_class_source(
+        "Visible", "Base", "fn x => [Name = x.Name, Sex = x.Sex]")
+    s.exec(decl)
+    assert s.eval_py(f"c-query({NAMES}, Visible)") == ["o1", "o2"]
+    # blocking delete: insert into the exclusion class
+    s.eval("insert((o1 as fn x => [Name = x.Name, Sex = x.Sex]), "
+           "Visible_blocked)")
+    assert s.eval_py(f"c-query({NAMES}, Visible)") == ["o2"]
+    # the source class is untouched (unlike cascading delete)
+    assert s.eval_py(f"c-query({NAMES}, Base)") == ["o1", "o2"]
+    # unblock by deleting from the exclusion class
+    s.eval("delete((o1 as fn x => [Name = x.Name, Sex = x.Sex]), "
+           "Visible_blocked)")
+    assert s.eval_py(f"c-query({NAMES}, Visible)") == ["o1", "o2"]
+
+
+def test_blocking_class_with_predicate(s):
+    decl = blocking_class_source(
+        "Fs", "Base", "fn x => [Name = x.Name]",
+        'fn o => query(fn v => v.Sex = "f", o)')
+    s.exec(decl)
+    assert s.eval_py(f"c-query({NAMES}, Fs)") == ["o1", "o2"]
+
+
+def test_block_object_runtime_helpers(s):
+    decl = blocking_class_source(
+        "V2", "Base", "fn x => [Name = x.Name, Sex = x.Sex]")
+    s.exec(decl)
+    blocked = _val(s, "V2_blocked")
+    block_object(s.machine, blocked, _val(s, "o2"))
+    assert s.eval_py(f"c-query({NAMES}, V2)") == ["o1"]
+    unblock_object(s.machine, blocked, _val(s, "o2"))
+    assert s.eval_py(f"c-query({NAMES}, V2)") == ["o1", "o2"]
+
+
+def test_blocking_respects_objeq(s):
+    # blocking any view of the object blocks the object
+    decl = blocking_class_source(
+        "V3", "Base", "fn x => [Name = x.Name, Sex = x.Sex]")
+    s.exec(decl)
+    s.eval("insert((o1 as fn x => [Name = \"alias\", Sex = x.Sex]), "
+           "V3_blocked)")
+    assert s.eval_py(f"c-query({NAMES}, V3)") == ["o2"]

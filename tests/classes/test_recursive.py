@@ -1,0 +1,229 @@
+"""Section 4.4: recursive class definitions — restriction, semantics,
+termination (Proposition 5) and the least-solution reading."""
+
+import pytest
+
+from repro import Session
+from repro.classes.recursion import check_class_bindings, free_vars
+from repro.errors import RecursiveClassError
+from repro.syntax.parser import parse_expression
+
+NAMES = "fn S => map(fn o => query(fn v => v.Name, o), S)"
+
+
+@pytest.fixture()
+def s():
+    return Session()
+
+
+# -- the syntactic restriction ------------------------------------------------
+
+def test_free_vars_respects_binders():
+    e = parse_expression("fn x => x y")
+    assert free_vars(e) == {"y"}
+    e2 = parse_expression("let x = z in x end")
+    assert free_vars(e2) == {"z"}
+    e3 = parse_expression("fix f. fn n => f n")
+    assert free_vars(e3) == set()
+
+
+def test_restriction_rejects_identifier_in_own_extent(s):
+    with pytest.raises(RecursiveClassError):
+        s.exec("val A = class c-query(fn S => S, A) end")
+
+
+def test_restriction_rejects_identifier_in_view(s):
+    src = ("let A = class {} includes B "
+           "as fn x => [N = c-query(fn S => size(S), A)] "
+           "where fn o => true end "
+           "and B = class {} end in 0 end")
+    with pytest.raises(RecursiveClassError):
+        s.eval(src)
+
+
+def test_restriction_rejects_identifier_in_pred(s):
+    # the paper's ill-founded C1 = C \\ C2, C2 = C \\ C1 example shape
+    src = ("let C = class {} end in "
+           "let C1 = class {} includes C as fn x => x "
+           "where fn c => c-query(fn S => not(member(c, S)), C2) end "
+           "and C2 = class {} includes C as fn x => x "
+           "where fn c => c-query(fn S => not(member(c, S)), C1) end "
+           "in 0 end end")
+    with pytest.raises(RecursiveClassError):
+        s.eval(src)
+
+
+def test_restriction_rejects_identifier_inside_source_expression(s):
+    # a source may BE an identifier but not an expression computing with one
+    src = ("let A = class {} includes (let z = B in z end) as fn x => x "
+           "where fn o => true end "
+           "and B = class {} end in 0 end")
+    with pytest.raises(RecursiveClassError):
+        s.eval(src)
+
+
+def test_restriction_allows_external_class_expressions(s):
+    s.exec("val Ext = class {IDView([Name = \"e\"])} end")
+    out = s.eval_py(
+        "let A = class {} includes Ext as fn x => [Name = x.Name] "
+        "where fn o => true end in "
+        f"c-query({NAMES}, A) end")
+    assert out == ["e"]
+
+
+def test_duplicate_identifiers_rejected():
+    from repro.core import terms as T
+    cls = T.ClassExpr(T.SetExpr([]), [])
+    with pytest.raises(RecursiveClassError):
+        check_class_bindings(["A", "A"], [("A", cls), ("A", cls)])
+
+
+# -- semantics ----------------------------------------------------------------
+
+def test_self_recursive_class_terminates(s):
+    # A includes itself: the L-set cuts the cycle; extent = own extent.
+    s.exec('val o = IDView([Name = "self"])')
+    out = s.eval_py(
+        "let A = class {o} includes A as fn x => [Name = x.Name] "
+        "where fn i => true end "
+        f"in c-query({NAMES}, A) end")
+    assert out == ["self"]
+
+
+def test_two_cycle_mutual_import(s):
+    s.exec('val a = IDView([Name = "a"])')
+    s.exec('val b = IDView([Name = "b"])')
+    out = s.eval_py(
+        "let A = class {a} includes B as fn x => [Name = x.Name] "
+        "where fn i => true end "
+        "and B = class {b} includes A as fn x => [Name = x.Name] "
+        "where fn i => true end "
+        f"in (c-query({NAMES}, A), c-query({NAMES}, B)) end")
+    assert sorted(out["1"]) == ["a", "b"]
+    assert sorted(out["2"]) == ["a", "b"]
+
+
+def test_three_cycle(s):
+    s.exec('val x = IDView([Name = "x"])')
+    out = s.eval_py(
+        "let A = class {x} includes C as fn v => [Name = v.Name] "
+        "where fn i => true end "
+        "and B = class {} includes A as fn v => [Name = v.Name] "
+        "where fn i => true end "
+        "and C = class {} includes B as fn v => [Name = v.Name] "
+        "where fn i => true end "
+        f"in (c-query({NAMES}, A), c-query({NAMES}, C)) end")
+    assert out["1"] == ["x"]
+    assert out["2"] == ["x"]
+
+
+def test_least_solution_empty_cycle(s):
+    # no own extents anywhere: the least solution is everything empty
+    out = s.eval_py(
+        "let A = class {} includes B as fn x => x where fn i => true end "
+        "and B = class {} includes A as fn x => x where fn i => true end "
+        "in (c-query(fn S => size(S), A), c-query(fn S => size(S), B)) end")
+    assert out == {"1": 0, "2": 0}
+
+
+def test_insert_propagates_through_cycle(s):
+    s.exec('val seed = IDView([Name = "seed", Cat = "x"])')
+    s.exec('''
+        val A = class {}
+          includes B as fn v => [Name = v.Name, Cat = v.Cat]
+          where fn i => true
+        end
+        and B = class {} end
+    ''')
+    assert s.eval_py(f"c-query({NAMES}, A)") == []
+    s.eval("insert(seed, B)")
+    assert s.eval_py(f"c-query({NAMES}, A)") == ["seed"]
+
+
+def test_fig7_category_splitting(s):
+    # the Figure 7 example: objects inserted into FemaleMember are shared
+    # back to Staff or Student by Category
+    s.exec('''
+        val Staff = class {}
+          includes FemaleMember
+            as fn f => [Name = f.Name, Sex = "female"]
+            where fn f => query(fn x => x.Category = "staff", f)
+        end
+        and Student = class {}
+          includes FemaleMember
+            as fn f => [Name = f.Name, Sex = "female"]
+            where fn f => query(fn x => x.Category = "student", f)
+        end
+        and FemaleMember = class {}
+          includes Staff
+            as fn st => [Name = st.Name, Category = "staff"]
+            where fn st => query(fn x => x.Sex = "female", st)
+          includes Student
+            as fn st => [Name = st.Name, Category = "student"]
+            where fn st => query(fn x => x.Sex = "female", st)
+        end
+    ''')
+    s.exec('val f1 = (IDView([Name = "f1", Role = "staff"]) '
+           'as fn x => [Name = x.Name, Category = x.Role])')
+    s.exec('val f2 = (IDView([Name = "f2", Role = "student"]) '
+           'as fn x => [Name = x.Name, Category = x.Role])')
+    s.eval("insert(f1, FemaleMember)")
+    s.eval("insert(f2, FemaleMember)")
+    assert s.eval_py(f"c-query({NAMES}, Staff)") == ["f1"]
+    assert s.eval_py(f"c-query({NAMES}, Student)") == ["f2"]
+    assert s.eval_py(f"c-query({NAMES}, FemaleMember)") == ["f1", "f2"]
+
+
+def test_termination_bound_proposition5(s):
+    # |L| grows by one along every nested call chain, so call chains are
+    # bounded by the number of classes in the group (Prop 5).
+    s.exec('''
+        val A = class {}
+          includes B as fn x => x where fn i => true
+          includes C as fn x => x where fn i => true
+        end
+        and B = class {}
+          includes A as fn x => x where fn i => true
+          includes C as fn x => x where fn i => true
+        end
+        and C = class {}
+          includes A as fn x => x where fn i => true
+          includes B as fn x => x where fn i => true
+        end
+    ''')
+    s.metrics.reset()
+    s.eval("c-query(fn S => size(S), A)")
+    # worst case for n=3, two clauses each: well under n! * clauses bound
+    assert 0 < s.metrics.extent_calls <= 30
+
+
+def test_recursive_group_objects_shared_not_copied(s):
+    s.exec('val o = IDView([Name = "o", Cat = "staff"])')
+    s.exec('''
+        val P = class {o}
+          includes Q as fn v => [Name = v.Name, Cat = v.Cat]
+          where fn i => true
+        end
+        and Q = class {}
+          includes P as fn v => [Name = v.Name, Cat = v.Cat]
+          where fn i => true
+        end
+    ''')
+    assert s.eval_py(
+        "c-query(fn S => exists(fn m => objeq(m, o), S), Q)") is True
+
+
+def test_top_level_val_and_group_matches_let_form(s):
+    s.exec('val seed = IDView([Name = "n"])')
+    out_let = s.eval_py(
+        "let A = class {seed} includes B as fn x => [Name = x.Name] "
+        "where fn i => true end "
+        "and B = class {} includes A as fn x => [Name = x.Name] "
+        "where fn i => true end "
+        f"in c-query({NAMES}, B) end")
+    s.exec("val A2 = class {seed} includes B2 as fn x => [Name = x.Name] "
+           "where fn i => true end "
+           "and B2 = class {} includes A2 as fn x => [Name = x.Name] "
+           "where fn i => true end")
+    out_val = s.eval_py(f"c-query({NAMES}, B2)")
+    assert out_let == out_val == ["n"]

@@ -1,0 +1,171 @@
+"""Figure 5 / Section 4.4: translation of classes (Proposition 4)."""
+
+from repro import Session
+from repro.classes.translate import translate_classes
+from repro.core import terms as T
+from repro.core.infer import infer
+from repro.lang.pyconv import value_to_python
+from repro.objects.translate import (internal_representation_matches,
+                                     translate_objects)
+
+NAMES = "fn S => map(fn o => query(fn v => v.Name, o), S)"
+
+
+def contains_class_nodes(term: T.Term) -> bool:
+    if isinstance(term, (T.ClassExpr, T.CQuery, T.Insert, T.Delete,
+                         T.LetClasses)):
+        return True
+    return any(contains_class_nodes(sub) for sub in T.iter_subterms(term))
+
+
+def run_both(src: str, repaired: bool = True):
+    s = Session()
+    env = s.type_env
+    term = s.parse(src)
+    t_ext = infer(term, env)
+    mid = translate_classes(term, repaired=repaired)
+    assert not contains_class_nodes(mid)
+    t_mid = infer(mid, env)
+    assert internal_representation_matches(t_mid, t_ext)
+    core = translate_objects(mid)
+    infer(core, env)
+    native = s.eval_py(src)
+    translated = value_to_python(s.machine.eval(core, s.runtime_env),
+                                 s.machine)
+    return native, translated
+
+
+SIMPLE = (
+    'let o = IDView([Name = "n", Sex = "f"]) in '
+    "let Base = class {o} end in "
+    "let D = class {} includes Base as fn x => [Name = x.Name] "
+    'where fn i => query(fn x => x.Sex = "f", i) end in '
+    f"c-query({NAMES}, D) end end end")
+
+
+def test_simple_class_translation_agrees():
+    native, translated = run_both(SIMPLE)
+    assert native == translated == ["n"]
+
+
+def test_simple_class_translation_literal_mode_agrees():
+    # without inserts, literal Figure 5 and the repaired form coincide
+    native, translated = run_both(SIMPLE, repaired=False)
+    assert native == translated == ["n"]
+
+
+INSERT_PROG = (
+    'let C = class {IDView([Name = "a"])} end in '
+    'let u = insert(IDView([Name = "b"]), C) in '
+    f"c-query({NAMES}, C) end end")
+
+
+def test_insert_visible_in_repaired_mode():
+    native, translated = run_both(INSERT_PROG, repaired=True)
+    assert native == translated == ["a", "b"]
+
+
+def test_figure5_literal_misses_inserts():
+    """The documented discrepancy (DESIGN.md §2): Figure 5's Ext closes
+    over the creation-time extent, so inserts are invisible to queries."""
+    s = Session()
+    term = s.parse(INSERT_PROG)
+    lit = translate_objects(translate_classes(term, repaired=False))
+    infer(lit, s.type_env)
+    out = value_to_python(s.machine.eval(lit, s.runtime_env), s.machine)
+    assert out == ["a"]  # 'b' lost — unlike the native semantics
+    assert s.eval_py(INSERT_PROG) == ["a", "b"]
+
+
+def test_delete_translation_repaired():
+    src = (
+        'let o = IDView([Name = "a"]) in '
+        'let C = class {o, IDView([Name = "b"])} end in '
+        "let u = delete(o, C) in "
+        f"c-query({NAMES}, C) end end end")
+    native, translated = run_both(src)
+    assert native == translated == ["b"]
+
+
+def test_multi_include_translation():
+    src = (
+        'let both = IDView([Name = "both"]) in '
+        'let c1 = class {both, IDView([Name = "c1"])} end in '
+        'let c2 = class {both, IDView([Name = "c2"])} end in '
+        "let I = class {} includes c1, c2 "
+        "as fn p => [Name = (p.1).Name] where fn o => true end in "
+        f"c-query({NAMES}, I) end end end end")
+    native, translated = run_both(src)
+    assert native == translated == ["both"]
+
+
+def test_chained_class_translation():
+    src = (
+        'let o = IDView([Name = "x"]) in '
+        "let A = class {o} end in "
+        "let B = class {} includes A as fn v => [Name = v.Name] "
+        "where fn i => true end in "
+        "let C = class {} includes B as fn v => [Name = v.Name] "
+        "where fn i => true end in "
+        f"c-query({NAMES}, C) end end end end")
+    native, translated = run_both(src)
+    assert native == translated == ["x"]
+
+
+REC_PROG = (
+    'let a = IDView([Name = "a", Sex = "f", Cat = "s"]) in '
+    'let b = IDView([Name = "b", Sex = "f", Cat = "s"]) in '
+    "let P = class {a} includes Q "
+    "as fn v => [Name = v.Name, Sex = v.Sex, Cat = v.Cat] "
+    "where fn i => true end "
+    "and Q = class {b} includes P "
+    "as fn v => [Name = v.Name, Sex = v.Sex, Cat = v.Cat] "
+    "where fn i => true end "
+    f"in (c-query({NAMES}, P), c-query({NAMES}, Q)) end end end")
+
+
+def test_recursive_translation_agrees():
+    native, translated = run_both(REC_PROG)
+    assert native == translated
+    assert sorted(native["1"]) == ["a", "b"]
+
+
+def test_recursive_translation_literal_mode():
+    native, translated = run_both(REC_PROG, repaired=False)
+    assert sorted(translated["2"]) == ["a", "b"]
+
+
+def test_recursive_translation_insert_repaired():
+    src = (
+        "let P = class {} includes Q as fn v => [Name = v.Name] "
+        "where fn i => true end "
+        "and Q = class {} end "
+        'in let u = insert(IDView([Name = "late"]), Q) in '
+        f"c-query({NAMES}, P) end end")
+    native, translated = run_both(src, repaired=True)
+    assert native == translated == ["late"]
+
+
+def test_self_recursive_translation_terminates():
+    src = (
+        'let A = class {IDView([Name = "s"])} includes A '
+        "as fn v => [Name = v.Name] where fn i => true end "
+        f"in c-query({NAMES}, A) end")
+    native, translated = run_both(src)
+    assert native == translated == ["s"]
+
+
+def test_translation_output_reparses():
+    """Pretty printing the translated program yields valid surface syntax
+    — except for gensym names, which we rewrite to plain identifiers."""
+    import re
+
+    from repro.syntax.parser import parse_expression
+    from repro.syntax.pretty import pretty_term
+    s = Session()
+    term = s.parse(SIMPLE)
+    core = translate_objects(translate_classes(term))
+    text = pretty_term(core)
+    text = re.sub(r"([A-Za-z_][A-Za-z0-9_]*)%(\d+)", r"\1__\2", text)
+    reparsed = parse_expression(text)
+    infer(reparsed, s.type_env)

@@ -1,0 +1,106 @@
+"""Figure 4 typing rules: (class), (cquery), (insert), (delete)."""
+
+import pytest
+
+from repro.errors import UnificationError
+from tests.conftest import typeof
+
+
+def test_empty_class_polymorphic_shape():
+    # class {} end is a class at an undetermined element type
+    t = typeof("class {} end")
+    assert t == "forall t1::U. class(t1)" or t.startswith("class(")
+
+
+def test_class_of_objects():
+    assert typeof("class {IDView([A = 1])} end") == "class([A = int])"
+
+
+def test_class_own_must_be_object_set():
+    with pytest.raises(UnificationError):
+        typeof("class {1, 2} end")
+    with pytest.raises(UnificationError):
+        typeof("class {[A = 1]} end")
+
+
+def test_include_view_determines_element_type():
+    t = typeof("fn C => class {} includes C as fn x => [N = x.Name] "
+               "where fn o => true end")
+    assert t == ("forall t1::U. forall t2::[[Name = t1]]. "
+                 "class(t2) -> class([N = t1])")
+
+
+def test_include_source_must_be_class():
+    with pytest.raises(UnificationError):
+        typeof("class {} includes {IDView([A = 1])} as fn x => x "
+               "where fn o => true end")
+
+
+def test_include_pred_takes_object_returns_bool():
+    # predicate is typed at obj(tau) -> bool: it can query the object
+    t = typeof("fn C => class {} includes C as fn x => [N = x.N] "
+               "where fn o => query(fn x => x.N > 0, o) end")
+    assert "class" in t
+    with pytest.raises(UnificationError):
+        typeof("fn C => class {} includes C as fn x => x "
+               "where fn o => 42 end")
+
+
+def test_multi_source_include_product_typing():
+    # with m sources the view takes the flat product of the view types
+    t = typeof(
+        "fn C1 => fn C2 => class {} includes C1, C2 "
+        "as fn p => [A = (p.1).X, B = (p.2).Y] where fn o => true end")
+    assert t == ("forall t1::U. forall t2::[[X = t1]]. forall t3::U. "
+                 "forall t4::[[Y = t3]]. class(t2) -> class(t4) -> "
+                 "class([A = t1, B = t3])")
+
+
+def test_own_and_include_types_unify():
+    with pytest.raises(UnificationError):
+        typeof("fn C => class {IDView([A = 1])} "
+               "includes C as fn x => [B = true] where fn o => true end")
+
+
+def test_cquery_type():
+    t = typeof("fn C => c-query(fn S => size(S), C)")
+    assert t == "forall t1::U. class(t1) -> int"
+
+
+def test_cquery_function_takes_object_set():
+    t = typeof("fn C => c-query(fn S => S, C)")
+    assert t == "forall t1::U. class(t1) -> {obj(t1)}"
+
+
+def test_cquery_requires_class():
+    with pytest.raises(UnificationError):
+        typeof("c-query(fn S => S, {IDView([A = 1])})")
+
+
+def test_insert_type():
+    t = typeof("fn o => fn C => insert(o, C)")
+    assert t == "forall t1::U. obj(t1) -> class(t1) -> unit"
+
+
+def test_insert_element_type_must_match():
+    with pytest.raises(UnificationError):
+        typeof("insert(IDView([A = 1]), class {IDView([B = true])} end)")
+
+
+def test_delete_type():
+    t = typeof("fn o => fn C => delete(o, C)")
+    assert t == "forall t1::U. obj(t1) -> class(t1) -> unit"
+
+
+def test_classes_are_first_class():
+    # a class-creating function, as Section 4.1 advertises
+    t = typeof("fn S => class S end")
+    assert t == "forall t1::U. {obj(t1)} -> class(t1)"
+
+
+def test_class_value_restriction():
+    # class expressions allocate: they do not let-generalize
+    with pytest.raises(Exception):
+        typeof("let C = class {} end in "
+               "let a = insert(IDView([A = 1]), C) in "
+               "insert(IDView([B = true]), C) end end")

@@ -1,0 +1,149 @@
+"""Figure 1 conformance: each kinding/typing rule exercised in isolation.
+
+The kinding judgement ``K |- tau :: K`` is checked directly through
+:mod:`repro.core.kinds`; the typing rules through minimal programs whose
+derivation uses exactly the rule under test.
+"""
+
+import pytest
+
+from repro.core.kinds import has_kind
+from repro.core.types import (BOOL, FieldReq, FieldType, INT, KRecord,
+                              STRING, TFun, TRecord, TSet, TVar, U)
+from repro.errors import KindError, TypeInferenceError
+from tests.conftest import typeof
+
+
+# -- kinding: K |- tau :: U --------------------------------------------------
+
+def test_rule_kind_u_for_all_types():
+    samples = [INT, TFun(INT, BOOL), TSet(STRING),
+               TRecord({"x": FieldType(INT, True)}), TVar(1)]
+    assert all(has_kind(t, U) for t in samples)
+
+
+# -- kinding: K |- t :: [[F...]] via the kind assignment -----------------------
+
+def test_rule_kind_var_subsumption_immutable_from_mutable():
+    # K(t) = [[l := tau, ...]] satisfies the ask [[l = tau]] (F < F')
+    t = TVar(1, KRecord({"l": FieldReq(INT, True)}))
+    assert has_kind(t, KRecord({"l": FieldReq(INT, False)}))
+
+
+def test_rule_kind_var_no_strengthening():
+    # K(t) = [[l = tau]] does NOT satisfy [[l := tau]]
+    t = TVar(1, KRecord({"l": FieldReq(INT, False)}))
+    assert not has_kind(t, KRecord({"l": FieldReq(INT, True)}))
+
+
+# -- kinding: K |- [F'...] :: [[F...]] ------------------------------------------
+
+def test_rule_kind_record_width_subtyping_of_kinds():
+    wide = TRecord({"a": FieldType(INT, False), "b": FieldType(BOOL, True)})
+    assert has_kind(wide, KRecord({"a": FieldReq(INT, False)}))
+    assert has_kind(wide, KRecord({"b": FieldReq(BOOL, True)}))
+    assert has_kind(wide, KRecord({"b": FieldReq(BOOL, False)}))
+    assert not has_kind(wide, KRecord({"c": FieldReq(INT, False)}))
+
+
+# -- rule (rec): record formation, including L-value absorption ----------------
+
+def test_rule_rec_plain():
+    assert typeof("[a = 1, b := true]") == "[a = int, b := bool]"
+
+
+def test_rule_rec_lvalue_into_mutable():
+    assert typeof("let r = [s := 1] in [m := extract(r, s)] end") == \
+        "[m := int]"
+
+
+def test_rule_rec_lvalue_into_immutable():
+    assert typeof("let r = [s := 1] in [m = extract(r, s)] end") == \
+        "[m = int]"
+
+
+# -- rule (dot) ---------------------------------------------------------------
+
+def test_rule_dot_immutable_requirement_only():
+    # reading never demands mutability
+    assert typeof("fn x => x.l") == \
+        "forall t1::U. forall t2::[[l = t1]]. t2 -> t1"
+
+
+def test_rule_dot_rvalue_of_mutable_field():
+    # extraction of a mutable field yields the R-value (an ordinary value)
+    assert typeof("[m := 1].m + 1") == "int"
+
+
+# -- rule (ext) ---------------------------------------------------------------
+
+def test_rule_ext_requires_mutable():
+    with pytest.raises(KindError):
+        typeof("let r = [s = 1] in [m := extract(r, s)] end")
+
+
+def test_rule_ext_produces_lvalue_type_internally():
+    # L(tau) is second class: extract outside field position is rejected
+    with pytest.raises(TypeInferenceError):
+        typeof("let r = [s := 1] in extract(r, s) end")
+
+
+def test_rule_ext_polymorphic_kind():
+    assert typeof("fn x => [m := extract(x, s)]") == \
+        "forall t1::U. forall t2::[[s := t1]]. t2 -> [m := t1]"
+
+
+# -- rule (upd) ---------------------------------------------------------------
+
+def test_rule_upd_result_unit():
+    assert typeof("update([m := 1], m, 2)") == "unit"
+
+
+def test_rule_upd_value_type_must_match():
+    with pytest.raises(Exception):
+        typeof('update([m := 1], m, "x")')
+
+
+def test_rule_upd_requires_mutable():
+    with pytest.raises(KindError):
+        typeof("update([m = 1], m, 2)")
+
+
+# -- rules (gen) and (inst) -----------------------------------------------------
+
+def test_rule_gen_quantifies_kinded_variables():
+    assert typeof("let get = fn x => x.f in get end") == \
+        "forall t1::U. forall t2::[[f = t1]]. t2 -> t1"
+
+
+def test_rule_inst_fresh_per_use():
+    # two instantiations at incompatible field types coexist
+    assert typeof("let get = fn x => x.f in "
+                  "(get [f = 1], get [f = true]) end") == \
+        "[1 = int, 2 = bool]"
+
+
+def test_rule_inst_respects_kind():
+    # instantiating at a record lacking the field fails
+    with pytest.raises(KindError):
+        typeof("let get = fn x => x.f in get [g = 1] end")
+
+
+def test_rule_gen_blocked_for_expansive_bindings():
+    # records allocate: the binding stays monomorphic (value restriction)
+    with pytest.raises(Exception):
+        typeof("let p = [f = fn x => x] in "
+               "((p.f) 1, (p.f) true) end")
+
+
+# -- ground mutable fields (the soundness restriction of Section 2) -------------
+
+def test_mutable_polymorphism_is_fenced():
+    # the classic unsoundness: a polymorphic mutable cell; must be rejected
+    # or monomorphized.  Here {} : {t} stored in a mutable field of an
+    # expansive record binding stays monomorphic, so using it at two types
+    # fails.
+    with pytest.raises(Exception):
+        typeof("let r = [cell := {}] in "
+               "let u = update(r, cell, {1}) in "
+               "update(r, cell, {true}) end end")

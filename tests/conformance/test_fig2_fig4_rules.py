@@ -1,0 +1,156 @@
+"""Figures 2, 4 and 6 conformance: object and class typing rules, each
+with the exact premises the figure states."""
+
+import pytest
+
+from repro.errors import (KindError, RecursiveClassError,
+                          UnificationError)
+from tests.conftest import typeof
+
+
+# -- Figure 2: (id) ------------------------------------------------------------
+
+def test_rule_id_premise_record_kind():
+    # K |- tau :: [[ ]] — only record(-kinded) types may become objects
+    assert typeof("IDView([x = 1])") == "obj([x = int])"
+    for bad in ("IDView(1)", "IDView({1})", "IDView(fn x => x)",
+                "IDView(())"):
+        with pytest.raises(KindError):
+            typeof(bad)
+
+
+def test_rule_id_variable_premise():
+    assert typeof("fn r => IDView(r)") == "forall t1::[[]]. t1 -> obj(t1)"
+
+
+# -- Figure 2: (vcomp) ---------------------------------------------------------
+
+def test_rule_vcomp_composes_types():
+    # e1 : obj(t1), e2 : t1 -> t2 |- (e1 as e2) : obj(t2)
+    assert typeof("fn o => (o as fn x => (x.a, x.a))") == (
+        "forall t1::U. forall t2::[[a = t1]]. "
+        "obj(t2) -> obj([1 = t1, 2 = t1])")
+
+
+def test_rule_vcomp_result_type_unconstrained():
+    # tau2 need not be a record
+    assert typeof("(IDView([a = 1]) as fn x => x.a > 0)") == "obj(bool)"
+
+
+def test_rule_vcomp_domain_mismatch():
+    with pytest.raises(UnificationError):
+        typeof("(IDView([a = 1]) as fn x => (x : bool))")
+
+
+# -- Figure 2: (query) ----------------------------------------------------------
+
+def test_rule_query_types():
+    assert typeof("fn f => fn o => query(f, o)") == (
+        "forall t1::U. forall t2::U. (t1 -> t2) -> obj(t1) -> t2")
+
+
+def test_rule_query_connects_view_type():
+    with pytest.raises(Exception):
+        typeof("query(fn x => x + 1, IDView([a = 1]))")  # view is a record
+
+
+# -- Figure 2: (fuse) ------------------------------------------------------------
+
+def test_rule_fuse_product_type():
+    assert typeof("fn a => fn b => fuse(a, b)") == (
+        "forall t1::U. forall t2::U. obj(t1) -> obj(t2) -> "
+        "{obj([1 = t1, 2 = t2])}")
+
+
+# -- Figure 2: (vrel) -------------------------------------------------------------
+
+def test_rule_vrel_record_of_view_types():
+    assert typeof("fn a => fn b => relobj(x = a, y = b)") == (
+        "forall t1::U. forall t2::U. obj(t1) -> obj(t2) -> "
+        "obj([x = t1, y = t2])")
+
+
+# -- Figure 4: (class) -------------------------------------------------------------
+
+def test_rule_class_own_extent_premise():
+    # S : {obj(tau)}
+    with pytest.raises(UnificationError):
+        typeof("class {1} end")
+
+
+def test_rule_class_view_premise_single_source():
+    # e_i : tau_i -> tau  (no 1-tuple for m = 1)
+    assert typeof("fn C => class {} includes C as fn x => (x.n) + 0 "
+                  "where fn o => true end") == \
+        "forall t1::[[n = int]]. class(t1) -> class(int)"
+
+
+def test_rule_class_view_premise_product_source():
+    t = typeof("fn C1 => fn C2 => class {} includes C1, C2 "
+               "as fn p => (p.1, p.2) where fn o => true end")
+    assert t == ("forall t1::U. forall t2::U. class(t1) -> class(t2) -> "
+                 "class([1 = t1, 2 = t2])")
+
+
+def test_rule_class_pred_premise_obj_to_bool():
+    # p_i : obj(tau_1 x ... x tau_m) -> bool
+    with pytest.raises(UnificationError):
+        typeof("fn C => class {} includes C as fn x => x "
+               "where fn o => o end")  # obj(t) is not bool
+
+
+def test_rule_class_pred_receives_object_not_record():
+    # the predicate must query; direct field access on the object fails
+    with pytest.raises(KindError):
+        typeof("fn C => class {} includes C as fn x => x "
+               "where fn o => o.Sex = \"f\" end")
+
+
+# -- Figure 4: (cquery), (insert), (delete) ---------------------------------------
+
+def test_rule_cquery_types():
+    assert typeof("fn e => fn C => c-query(e, C)") == (
+        "forall t1::U. forall t2::U. ({obj(t1)} -> t2) -> class(t1) -> t2")
+
+
+def test_rule_insert_delete_types():
+    assert typeof("fn e => fn C => insert(e, C)") == \
+        "forall t1::U. obj(t1) -> class(t1) -> unit"
+    assert typeof("fn e => fn C => delete(e, C)") == \
+        "forall t1::U. obj(t1) -> class(t1) -> unit"
+
+
+# -- Figure 6: (rec-class) ----------------------------------------------------------
+
+def test_rule_rec_class_types_flow_through_cycle():
+    # A's element type is forced by B's include view and vice versa
+    t = typeof(
+        "let A = class {} includes B as fn x => [n = (x.n) * 2] "
+        "where fn o => true end "
+        "and B = class {} includes A as fn x => [n = (x.n) + 1] "
+        "where fn o => true end "
+        "in (A, B) end")
+    assert t == "[1 = class([n = int]), 2 = class([n = int])]"
+
+
+def test_rule_rec_class_body_env_includes_bindings():
+    t = typeof(
+        "let A = class {IDView([n = 1])} end "
+        "in c-query(fn S => size(S), A) end")
+    assert t == "int"
+
+
+def test_rule_rec_class_restriction_enforced_by_typing():
+    # the restriction check runs during inference (rule side condition)
+    with pytest.raises(RecursiveClassError):
+        typeof("let A = class {} includes B as fn x => x "
+               "where fn o => c-query(fn S => true, A) end "
+               "and B = class {} end in 0 end")
+
+
+def test_rule_rec_class_identifiers_monomorphic_in_body():
+    # class bindings are monomorphic: one element type per identifier
+    with pytest.raises(Exception):
+        typeof("let A = class {} end in "
+               "let u = insert(IDView([x = 1]), A) in "
+               "insert(IDView([y = 1]), A) end end")

@@ -1,0 +1,147 @@
+"""Figure 3 conformance: the shape of each translation equation.
+
+Beyond behavioural agreement (tested elsewhere), these tests check that
+the *structure* of the translated terms matches the figure's right-hand
+sides: ``tr(IDView(e)) = (e, fn x => x)``, composition wraps the inner
+view, ``fuse`` guards on raw equality, ``relobj`` rebuilds raw and view
+records field by field.
+"""
+
+from repro.core import terms as T
+from repro.objects.translate import translate_objects
+from repro.syntax.parser import parse_expression
+
+
+def tr(src: str) -> T.Term:
+    return translate_objects(parse_expression(src))
+
+
+def unlet(term: T.Term) -> T.Term:
+    """Skip the hygiene let-bindings the implementation inserts."""
+    while isinstance(term, T.Let):
+        term = term.body
+    return term
+
+
+def test_idview_equation():
+    # tr(IDView(e)) = (e, fn x => x)
+    out = unlet(tr("IDView([A = 1])"))
+    assert isinstance(out, T.RecordExpr)
+    raw, view = out.fields
+    assert raw.label == "1" and view.label == "2"
+    assert isinstance(raw.expr, T.RecordExpr)  # e itself
+    lam = view.expr
+    assert isinstance(lam, T.Lam)
+    assert isinstance(lam.body, T.Var) and lam.body.name == lam.param
+
+
+def test_asview_equation():
+    # tr(e1 as e2) = let v = tr(e1) in (v.1, fn x => tr(e2) (v.2 x))
+    out = tr("(o as f)")
+    assert isinstance(out, T.Let)
+    bound_var = out.name
+    pair = unlet(out)
+    assert isinstance(pair, T.RecordExpr)
+    first = pair.fields[0].expr
+    assert isinstance(first, T.Dot) and first.label == "1"
+    assert isinstance(first.expr, T.Var) and first.expr.name == bound_var
+    lam = pair.fields[1].expr
+    assert isinstance(lam, T.Lam)
+    # body: f (v.2 x)
+    body = lam.body
+    assert isinstance(body, T.App)
+    assert isinstance(body.fn, T.Var) and body.fn.name == "f"
+    inner = body.arg
+    assert isinstance(inner, T.App)
+    assert isinstance(inner.fn, T.Dot) and inner.fn.label == "2"
+    assert isinstance(inner.arg, T.Var) and inner.arg.name == lam.param
+
+
+def test_query_equation():
+    # tr(query(e1, e2)) = let v = tr(e2) in tr(e1) (v.2 v.1)
+    out = tr("query(f, o)")
+    assert isinstance(out, T.Let)
+    body = out.body
+    assert isinstance(body, T.App)
+    assert isinstance(body.fn, T.Var) and body.fn.name == "f"
+    mat = body.arg
+    assert isinstance(mat, T.App)
+    assert isinstance(mat.fn, T.Dot) and mat.fn.label == "2"
+    assert isinstance(mat.arg, T.Dot) and mat.arg.label == "1"
+
+
+def test_fuse_equation_guard_and_product_view():
+    # tr(fuse(e1,e2)) = if eq(v1.1, v2.1) then {(v1.1, fn x => [...])}
+    #                   else {}
+    out = unlet(tr("fuse(a, b)"))
+    assert isinstance(out, T.If)
+    cond = out.cond
+    # eq applied to the two raw projections
+    assert isinstance(cond, T.App)
+    assert isinstance(cond.fn, T.App)
+    assert isinstance(cond.fn.fn, T.Var) and cond.fn.fn.name == "eq"
+    assert isinstance(cond.fn.arg, T.Dot) and cond.fn.arg.label == "1"
+    assert isinstance(cond.arg, T.Dot) and cond.arg.label == "1"
+    # then-branch: singleton set of a pair whose view builds [1=..,2=..]
+    then = out.then
+    assert isinstance(then, T.SetExpr) and len(then.elems) == 1
+    pair = then.elems[0]
+    assert isinstance(pair, T.RecordExpr)
+    product_view = pair.fields[1].expr
+    assert isinstance(product_view, T.Lam)
+    prod = product_view.body
+    assert isinstance(prod, T.RecordExpr)
+    assert [f.label for f in prod.fields] == ["1", "2"]
+    # else-branch: the empty set
+    assert isinstance(out.else_, T.SetExpr) and not out.else_.elems
+
+
+def test_fuse_nary_guard_chains():
+    out = unlet(tr("fuse(a, b, c)"))
+    assert isinstance(out, T.If)
+    # the n-ary guard is a conjunction (nested If) of raw comparisons
+    assert isinstance(out.cond, T.If)
+    prod = out.then.elems[0].fields[1].expr.body
+    assert [f.label for f in prod.fields] == ["1", "2", "3"]
+
+
+def test_relobj_equation():
+    # tr(relobj(l=a, r=b)) =
+    #   ([l = va.1, r = vb.1], fn x => [l = va.2 (x.l), r = vb.2 (x.r)])
+    out = unlet(tr("relobj(l = a, r = b)"))
+    assert isinstance(out, T.RecordExpr)
+    raw = out.fields[0].expr
+    assert isinstance(raw, T.RecordExpr)
+    assert [f.label for f in raw.fields] == ["l", "r"]
+    for f in raw.fields:
+        assert isinstance(f.expr, T.Dot) and f.expr.label == "1"
+    view = out.fields[1].expr
+    assert isinstance(view, T.Lam)
+    body = view.body
+    assert [f.label for f in body.fields] == ["l", "r"]
+    for f in body.fields:
+        # (v.2 (x.label))
+        assert isinstance(f.expr, T.App)
+        assert isinstance(f.expr.fn, T.Dot) and f.expr.fn.label == "2"
+        assert isinstance(f.expr.arg, T.Dot) and f.expr.arg.label == f.label
+
+
+def test_translation_is_homomorphic_elsewhere():
+    # nodes with no object constructs translate to themselves structurally
+    src = "let x = [A := 1] in if true then x.A else 0 end"
+    original = parse_expression(src)
+    translated = translate_objects(original)
+    from repro.syntax.pretty import pretty_term
+    assert pretty_term(original) == pretty_term(translated)
+
+
+def test_arguments_are_let_bound_exactly_once():
+    # each tr(e_i) is bound once (the hygiene repair documented in
+    # DESIGN.md): count the Lets introduced for a binary fuse
+    out = tr("fuse(a, b)")
+    lets = 0
+    t = out
+    while isinstance(t, T.Let):
+        lets += 1
+        t = t.body
+    assert lets == 2

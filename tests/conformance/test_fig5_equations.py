@@ -1,0 +1,180 @@
+"""Figure 5 / Section 4.4 conformance: the shape of the class translation.
+
+Checks the structure of ``tr(class ...)``, ``tr(c-query)``, ``tr(insert)``,
+``tr(delete)`` and the recursive ``f_i`` construction, in the *literal*
+(Figure 5 verbatim) mode; the repaired mode differs only in reading
+``OwnExt`` through a fix-bound self reference, which is also asserted.
+"""
+
+from repro.classes.translate import translate_classes
+from repro.core import terms as T
+from repro.syntax.parser import parse_expression
+
+
+def tr(src: str, repaired: bool = False) -> T.Term:
+    return translate_classes(parse_expression(src), repaired=repaired)
+
+
+def unlet(term: T.Term) -> T.Term:
+    while isinstance(term, T.Let):
+        term = term.body
+    return term
+
+
+def spine_head(term: T.Term) -> T.Term:
+    while isinstance(term, T.App):
+        term = term.fn
+    return term
+
+
+def test_class_record_shape_literal():
+    # tr(class S ...) = [OwnExt := S, Ext = fn () => union(S, ...)]
+    out = unlet(tr("class {} includes C as f where p end"))
+    assert isinstance(out, T.RecordExpr)
+    own, ext = out.fields
+    assert own.label == "OwnExt" and own.mutable
+    assert ext.label == "Ext" and not ext.mutable
+    assert isinstance(ext.expr, T.Lam)
+
+
+def test_class_record_shape_repaired_uses_fix():
+    out = unlet(tr("class {} includes C as f where p end", repaired=True))
+    assert isinstance(out, T.Fix)
+    rec = out.body
+    assert isinstance(rec, T.RecordExpr)
+    assert [f.label for f in rec.fields] == ["OwnExt", "Ext"]
+
+
+def test_ext_body_unions_own_with_inclusions():
+    out = unlet(tr("class {} includes C as f where p end"))
+    ext_lam = out.fields[1].expr
+    body = ext_lam.body
+    # skip the unit-pinning let
+    while isinstance(body, T.Let):
+        body = body.body
+    head = spine_head(body)
+    assert isinstance(head, T.Var) and head.name == "union"
+
+
+def test_no_includes_ext_is_own_only():
+    out = unlet(tr("class {} end"))
+    body = out.fields[1].expr.body
+    while isinstance(body, T.Let):
+        body = body.body
+    assert isinstance(body, T.Var)  # the let-bound S, no union
+
+
+def test_inclusion_is_select_over_intersect():
+    # the inclusion reduces to a hom (select) whose set argument forces
+    # (tr(C).Ext)()
+    out = unlet(tr("class {} includes C as f where p end"))
+    body = out.fields[1].expr.body
+    while isinstance(body, T.Let):
+        body = body.body
+    # union(own, select-hom(...))
+    inclusion = body.arg
+    head = spine_head(inclusion)
+    assert isinstance(head, T.Var) and head.name == "hom"
+    # the hom's set argument is (C.Ext) ()
+    hom_set_arg = inclusion.fn.fn.fn.arg
+    assert isinstance(hom_set_arg, T.App)
+    assert isinstance(hom_set_arg.arg, T.Unit)
+    forced = hom_set_arg.fn
+    assert isinstance(forced, T.Dot) and forced.label == "Ext"
+
+
+def test_cquery_equation():
+    # tr(c-query(e, C)) = tr(e) ((tr(C).Ext)())
+    out = tr("c-query(f, C)")
+    assert isinstance(out, T.App)
+    assert isinstance(out.fn, T.Var) and out.fn.name == "f"
+    forced = out.arg
+    assert isinstance(forced, T.App) and isinstance(forced.arg, T.Unit)
+    assert isinstance(forced.fn, T.Dot) and forced.fn.label == "Ext"
+
+
+def test_insert_equation():
+    # tr(insert(e, C)) = update(c, OwnExt, union(c.OwnExt, {tr e}))
+    out = tr("insert(o, C)")
+    assert isinstance(out, T.Let)
+    upd = out.body
+    assert isinstance(upd, T.Update) and upd.label == "OwnExt"
+    head = spine_head(upd.value)
+    assert isinstance(head, T.Var) and head.name == "union"
+    singleton = upd.value.arg
+    assert isinstance(singleton, T.SetExpr) and len(singleton.elems) == 1
+
+
+def test_delete_equation():
+    # tr(delete(e, C)) = update(c, OwnExt, remove(c.OwnExt, {tr e}))
+    out = tr("delete(o, C)")
+    upd = out.body
+    assert isinstance(upd, T.Update) and upd.label == "OwnExt"
+    head = spine_head(upd.value)
+    assert isinstance(head, T.Var) and head.name == "remove"
+
+
+REC = ("let A = class {} includes B as f where p end "
+       "and B = class {} includes A as g where q end in A end")
+
+
+def test_recursive_translation_builds_function_family():
+    # one fix-bound record holds f_A and f_B (literal mode)
+    out = tr(REC)
+    while isinstance(out, T.Let) and not isinstance(out.bound, T.Fix):
+        out = out.body
+    assert isinstance(out.bound, T.Fix)
+    labels = [f.label for f in out.bound.body.fields]
+    assert labels == ["f_A", "f_B"]
+
+
+def test_recursive_sources_are_guarded_by_member():
+    # inside f_A, the B source is: if member(2, L) then {} else f_B(...)()
+    out = tr(REC)
+    text = repr(out)
+    assert "member" in text
+    assert "union(" in text or "union " in text
+    # indices 1 and 2 appear as the L-set elements
+    assert "{2}" in text and "{1}" in text
+
+
+def test_recursive_class_records_literal_shape():
+    # let A = [OwnExt := sA, Ext = (F.f_A {1})] in ...
+    out = tr(REC)
+    # walk to the binding of A (after the own-extent and fix lets)
+    t = out
+    while isinstance(t, T.Let):
+        if t.name == "A":
+            rec = t.bound
+            assert isinstance(rec, T.RecordExpr)
+            ext = rec.fields[1].expr
+            # partial application (F.f_A) {1}
+            assert isinstance(ext, T.App)
+            assert isinstance(ext.arg, T.SetExpr)
+            return
+        t = t.body
+    raise AssertionError("binding for A not found")
+
+
+def test_repaired_recursive_classes_live_in_the_fix():
+    out = tr(REC, repaired=True)
+    t = out
+    while isinstance(t, T.Let) and not isinstance(t.bound, T.Fix):
+        t = t.body
+    labels = [f.label for f in t.bound.body.fields]
+    assert labels == ["f_A", "f_B", "c_A", "c_B"]
+
+
+def test_class_free_output():
+    from repro.core.terms import (CQuery, ClassExpr, Delete, Insert,
+                                  LetClasses, iter_subterms)
+
+    def check(term):
+        assert not isinstance(
+            term, (ClassExpr, CQuery, Insert, Delete, LetClasses))
+        for sub in iter_subterms(term):
+            check(sub)
+
+    for repaired in (False, True):
+        check(tr(REC, repaired=repaired))
+        check(tr("insert(o, class {} end)", repaired=repaired))

@@ -1,0 +1,41 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Session
+from repro.core.env import initial_type_env
+from repro.core.infer import infer, infer_scheme
+from repro.syntax.parser import parse_expression
+from repro.syntax.pretty import pretty_scheme
+
+
+@pytest.fixture()
+def session() -> Session:
+    """A fresh session with the prelude loaded."""
+    return Session()
+
+
+@pytest.fixture()
+def bare_session() -> Session:
+    """A session without the prelude (for core-only tests)."""
+    return Session(load_prelude=False)
+
+
+@pytest.fixture()
+def tenv():
+    """A fresh builtin typing environment."""
+    return initial_type_env()
+
+
+def typeof(src: str, env=None) -> str:
+    """Infer and pretty print the generalized type of an expression."""
+    env = env if env is not None else initial_type_env()
+    return pretty_scheme(infer_scheme(parse_expression(src), env))
+
+
+def infer_type(src: str, env=None):
+    """Infer the raw monotype of an expression."""
+    env = env if env is not None else initial_type_env()
+    return infer(parse_expression(src), env, level=1)

@@ -1,0 +1,52 @@
+"""Consistency of the builtin environments.
+
+The typing environment (core.env) and the runtime environment
+(eval.builtins) must agree name-for-name, and each builtin's declared
+arity must match the curried function type it was given.
+"""
+
+from repro.core.env import BUILTIN_NAMES, initial_type_env
+from repro.core.types import TFun, resolve
+from repro.eval.builtins import builtin_values
+
+
+def test_every_typed_builtin_has_a_value():
+    values = builtin_values()
+    for name in BUILTIN_NAMES:
+        assert name in values, f"builtin '{name}' has a type but no value"
+
+
+def test_every_valued_builtin_has_a_type():
+    env = initial_type_env()
+    for name in builtin_values():
+        assert env.lookup(name) is not None, \
+            f"builtin '{name}' has a value but no type"
+
+
+def test_arities_match_types():
+    env = initial_type_env()
+    for name, value in builtin_values().items():
+        t = env.lookup(name).instantiate(1)
+        depth = 0
+        t = resolve(t)
+        while isinstance(t, TFun):
+            depth += 1
+            t = resolve(t.cod)
+        assert depth >= value.arity, \
+            f"builtin '{name}': type allows {depth} args, arity {value.arity}"
+
+
+def test_type_env_is_fresh_per_call():
+    # instantiating a scheme from one env must not contaminate another
+    env1, env2 = initial_type_env(), initial_type_env()
+    from repro.core.types import INT, TSet
+    from repro.core.unify import unify
+    t1 = env1.lookup("union").instantiate(1)
+    unify(resolve(t1).dom, TSet(INT))
+    t2 = env2.lookup("union").instantiate(1)
+    from repro.core.types import TVar
+    assert isinstance(resolve(resolve(t2).dom.elem), TVar)
+
+
+def test_builtin_names_tuple_is_stable():
+    assert set(BUILTIN_NAMES) == set(builtin_values())

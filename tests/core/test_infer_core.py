@@ -1,0 +1,155 @@
+"""Type inference for the core lambda/set fragment (Section 2)."""
+
+import pytest
+
+from repro.errors import TypeInferenceError, UnificationError
+from tests.conftest import typeof
+
+
+def test_constants():
+    assert typeof("42") == "int"
+    assert typeof('"s"') == "string"
+    assert typeof("true") == "bool"
+    assert typeof("()") == "unit"
+
+
+def test_identity_is_polymorphic():
+    assert typeof("fn x => x") == "forall t1::U. t1 -> t1"
+
+
+def test_application():
+    assert typeof("(fn x => x) 5") == "int"
+
+
+def test_application_type_mismatch():
+    with pytest.raises(UnificationError):
+        typeof("(fn x => x + 1) true")
+
+
+def test_unbound_variable():
+    with pytest.raises(TypeInferenceError):
+        typeof("nope")
+
+
+def test_let_polymorphism():
+    assert typeof("let id = fn x => x in (id 1, id true) end") == \
+        "[1 = int, 2 = bool]"
+
+
+def test_monomorphic_lambda_parameter():
+    # lambda-bound variables are monomorphic (no first-class polymorphism)
+    with pytest.raises(UnificationError):
+        typeof("fn f => (f 1, f true)")
+
+
+def test_if_branches_unify():
+    assert typeof("if true then 1 else 2") == "int"
+    with pytest.raises(UnificationError):
+        typeof("if true then 1 else false")
+
+
+def test_if_condition_must_be_bool():
+    with pytest.raises(UnificationError):
+        typeof("if 1 then 2 else 3")
+
+
+def test_fix_factorial_type():
+    assert typeof(
+        "fix f. fn n => if n < 1 then 1 else n * (f (n - 1))") == \
+        "int -> int"
+
+
+def test_fun_sugar_polymorphic():
+    assert typeof("let fun twice f = fn x => f (f x) in twice end") == \
+        "forall t1::U. (t1 -> t1) -> t1 -> t1"
+
+
+def test_mutual_fun_types():
+    assert typeof(
+        "let fun even n = if n < 1 then true else odd (n - 1) "
+        "and odd n = if n < 1 then false else even (n - 1) "
+        "in even 10 end") == "bool"
+
+
+def test_empty_set_polymorphic():
+    assert typeof("{}") == "forall t1::U. {t1}"
+
+
+def test_set_elements_unify():
+    assert typeof("{1, 2, 3}") == "{int}"
+    with pytest.raises(UnificationError):
+        typeof("{1, true}")
+
+
+def test_union_type():
+    assert typeof("union({1}, {2})") == "{int}"
+    with pytest.raises(UnificationError):
+        typeof('union({1}, {"a"})')
+
+
+def test_hom_type():
+    assert typeof("hom({1,2}, fn x => x * 2, fn a => fn b => a + b, 0)") \
+        == "int"
+
+
+def test_hom_as_value():
+    assert typeof("hom") == (
+        "forall t1::U. forall t2::U. forall t3::U. "
+        "{t1} -> (t1 -> t2) -> (t2 -> t3 -> t3) -> t3 -> t3")
+    # and hom(S, f, op, z) = op(f e1, op(... op(f en, z)))
+
+
+def test_member_and_remove_types():
+    assert typeof("member(1, {1,2})") == "bool"
+    assert typeof("remove({1,2}, {2})") == "{int}"
+
+
+def test_eq_is_polymorphic():
+    assert typeof("eq") == "forall t1::U. t1 -> t1 -> bool"
+    assert typeof('eq("a", "b")') == "bool"
+    with pytest.raises(UnificationError):
+        typeof('eq(1, "a")')
+
+
+def test_infix_operators():
+    assert typeof("1 + 2 * 3 - 4") == "int"
+    assert typeof("1 < 2") == "bool"
+    assert typeof('"a" ^ "b"') == "string"
+    assert typeof("7 div 2 + 7 mod 2") == "int"
+
+
+def test_andalso_orelse():
+    assert typeof("true andalso 1 < 2 orelse false") == "bool"
+
+
+def test_prod_type():
+    assert typeof("prod({1}, {true})") == "{[1 = int, 2 = bool]}"
+
+
+def test_prod_rejects_non_set():
+    with pytest.raises(UnificationError):
+        typeof("prod({1}, 2)")
+
+
+def test_this_year():
+    assert typeof("This_year()") == "int"
+
+
+def test_occurs_check_self_application():
+    with pytest.raises(TypeInferenceError):
+        typeof("fn x => x x")
+
+
+def test_size():
+    assert typeof("size({1,2})") == "int"
+
+
+def test_value_restriction_on_application():
+    # an application result is not generalized
+    with pytest.raises(Exception):
+        typeof("let f = (fn x => fn y => y) 1 in (f 2, f true) end")
+
+
+def test_value_restriction_set_of_values_generalizes():
+    assert typeof("let s = {} in (union(s, {1}), union(s, {true})) end") \
+        == "[1 = {int}, 2 = {bool}]"

@@ -1,0 +1,141 @@
+"""Figure 1 typing rules for records: (rec), (dot), (ext), (upd), kinds.
+
+These tests pin the *principal* types the paper displays, including the
+kinded quantifiers (e.g. ``forall t::[[Income = int, Bonus = int]]. t ->
+int`` for Annual_Income).
+"""
+
+import pytest
+
+from repro.errors import KindError, TypeInferenceError
+from tests.conftest import typeof
+
+
+def test_record_literal_type():
+    assert typeof('[Name = "Doe", Salary := 3000]') == \
+        "[Name = string, Salary := int]"
+
+
+def test_field_extraction_type():
+    assert typeof("[A = 1, B = true].A") == "int"
+
+
+def test_dot_is_polymorphic_kinded():
+    assert typeof("fn x => x.Name") == \
+        "forall t1::U. forall t2::[[Name = t1]]. t2 -> t1"
+
+
+def test_two_field_accesses_merge_kind():
+    assert typeof("fn x => (x.A) + x.B") == \
+        "forall t1::[[A = int, B = int]]. t1 -> int"
+
+
+def test_update_requires_mutable_kind():
+    assert typeof("fn x => update(x, A, 1)") == \
+        "forall t1::[[A := int]]. t1 -> unit"
+
+
+def test_update_on_immutable_field_rejected():
+    with pytest.raises(KindError):
+        typeof("update([A = 1], A, 2)")
+
+
+def test_update_on_mutable_field_ok():
+    assert typeof("update([A := 1], A, 2)") == "unit"
+
+
+def test_update_wrong_type_rejected():
+    with pytest.raises(Exception):
+        typeof('update([A := 1], A, "s")')
+
+
+def test_dot_on_missing_field_rejected():
+    with pytest.raises(KindError):
+        typeof("[A = 1].B")
+
+
+def test_dot_on_non_record_rejected():
+    with pytest.raises(KindError):
+        typeof("1.A")
+
+
+def test_read_and_update_join_to_mutable_requirement():
+    # reading and updating the same field joins to a mutable requirement,
+    # polymorphic in the field's type
+    assert typeof("fn x => let r = update(x, A, x.A) in x.A end") == \
+        "forall t1::U. forall t2::[[A := t1]]. t2 -> t1"
+
+
+def test_extract_transfers_type_and_mutability():
+    assert typeof("let r = [S := 10] in [I := extract(r, S)] end") == \
+        "[I := int]"
+
+
+def test_extract_into_immutable_field():
+    # john's Salary: immutable field sharing a mutable L-value.
+    assert typeof("let r = [S := 10] in [I = extract(r, S)] end") == \
+        "[I = int]"
+
+
+def test_extract_of_immutable_field_rejected():
+    with pytest.raises(KindError):
+        typeof("let r = [S = 10] in [I := extract(r, S)] end")
+
+
+def test_extract_outside_field_position_rejected():
+    with pytest.raises(TypeInferenceError):
+        typeof("let r = [S := 10] in extract(r, S) end")
+
+
+def test_extract_under_arithmetic_rejected():
+    # the paper's first illegal example
+    with pytest.raises(TypeInferenceError):
+        typeof("let r = [S := 10] in [I = extract(r, S) * 2] end")
+
+
+def test_polymorphic_update_through_view_type():
+    # adjustBonus from Section 3.3
+    assert typeof("fn p => query(fn x => update(x, Bonus, x.Income * 3), p)") \
+        == "forall t1::[[Income = int, Bonus := int]]. obj(t1) -> unit"
+
+
+def test_duplicate_label_rejected():
+    with pytest.raises(TypeInferenceError):
+        typeof("[A = 1, A = 2]")
+
+
+def test_record_is_expansive_no_generalization():
+    # a record expression does not let-generalize (value restriction):
+    # using it at two different field types must fail.
+    with pytest.raises(Exception):
+        typeof("let r = [A = fn x => x] in "
+               "let u = (r.A) 1 in (r.A) true end end")
+
+
+def test_lambda_generalizes():
+    # but a lambda with the same body generalizes fine
+    assert typeof("let f = fn x => x in "
+                  "let u = f 1 in f true end end") == "bool"
+
+
+def test_field_order_is_irrelevant_for_unification():
+    assert typeof(
+        "let g = fn b => if b then [A = 1, B = true] "
+        "else [B = true, A = 1] in g end") \
+        == "bool -> [A = int, B = bool]"
+
+
+def test_nested_record_kinds():
+    assert typeof("fn x => x.a.b") == (
+        "forall t1::U. forall t2::[[b = t1]]. forall t3::[[a = t2]]. "
+        "t3 -> t1")
+
+
+def test_pair_projections():
+    assert typeof("fn p => (p.1, p.2)") == (
+        "forall t1::U. forall t2::U. forall t3::[[1 = t1, 2 = t2]]. "
+        "t3 -> [1 = t1, 2 = t2]")
+
+
+def test_numeric_label_record():
+    assert typeof("(1, true).2") == "bool"

@@ -1,0 +1,101 @@
+"""Figure 1 kinding rules: the F < F' relation and |- tau :: K."""
+
+from repro.core.kinds import field_satisfies, has_kind, kind_fields_of
+from repro.core.types import (BOOL, FieldReq, FieldType, INT, KRecord,
+                              KUniv, STRING, TFun, TRecord, TSet, TVar, U)
+
+
+def rec(**fields):
+    return TRecord({l: FieldType(t, mutable=l.startswith("m_"))
+                    for l, t in fields.items()})
+
+
+def test_every_type_has_kind_u():
+    for t in (INT, TSet(BOOL), rec(a=INT), TVar(1)):
+        assert has_kind(t, U)
+
+
+def test_immutable_requirement_met_by_immutable_field():
+    req = FieldReq(INT, mutable=False)
+    assert field_satisfies(req, FieldType(INT, mutable=False))
+
+
+def test_immutable_requirement_met_by_mutable_field():
+    # The paper's F < F': 'l = tau' is satisfied by 'l := tau'.
+    req = FieldReq(INT, mutable=False)
+    assert field_satisfies(req, FieldType(INT, mutable=True))
+
+
+def test_mutable_requirement_not_met_by_immutable_field():
+    req = FieldReq(INT, mutable=True)
+    assert not field_satisfies(req, FieldType(INT, mutable=False))
+
+
+def test_field_types_must_match():
+    req = FieldReq(INT, mutable=False)
+    assert not field_satisfies(req, FieldType(BOOL, mutable=False))
+
+
+def test_record_has_kind_with_extra_fields():
+    t = rec(a=INT, b=BOOL, c=STRING)
+    k = KRecord({"a": FieldReq(INT, False)})
+    assert has_kind(t, k)
+
+
+def test_record_lacking_field_fails():
+    t = rec(a=INT)
+    k = KRecord({"b": FieldReq(INT, False)})
+    assert not has_kind(t, k)
+
+
+def test_record_mutable_requirement():
+    t = TRecord({"a": FieldType(INT, mutable=True)})
+    assert has_kind(t, KRecord({"a": FieldReq(INT, True)}))
+    t2 = TRecord({"a": FieldType(INT, mutable=False)})
+    assert not has_kind(t2, KRecord({"a": FieldReq(INT, True)}))
+
+
+def test_empty_record_kind_accepts_any_record():
+    assert has_kind(rec(a=INT), KRecord({}))
+    assert not has_kind(INT, KRecord({}))
+    assert not has_kind(TFun(INT, INT), KRecord({}))
+
+
+def test_var_kind_subsumption():
+    v = TVar(1, KRecord({"a": FieldReq(INT, True),
+                         "b": FieldReq(BOOL, False)}))
+    # the variable's own mutable requirement satisfies an immutable ask
+    assert has_kind(v, KRecord({"a": FieldReq(INT, False)}))
+    assert has_kind(v, KRecord({"a": FieldReq(INT, True)}))
+    # but an immutable entry cannot answer a mutable ask
+    assert not has_kind(v, KRecord({"b": FieldReq(BOOL, True)}))
+
+
+def test_var_without_record_kind_fails_record_ask():
+    v = TVar(1)
+    assert not has_kind(v, KRecord({"a": FieldReq(INT, False)}))
+
+
+def test_var_kind_missing_field_fails():
+    v = TVar(1, KRecord({"a": FieldReq(INT, False)}))
+    assert not has_kind(v, KRecord({"z": FieldReq(INT, False)}))
+
+
+def test_kind_fields_of_record():
+    fields = kind_fields_of(rec(a=INT, m_b=BOOL))
+    assert fields["a"].mutable is False
+    assert fields["m_b"].mutable is True
+
+
+def test_kind_fields_of_kinded_var():
+    v = TVar(1, KRecord({"x": FieldReq(STRING, False)}))
+    assert set(kind_fields_of(v)) == {"x"}
+
+
+def test_kind_fields_of_other_types_is_none():
+    assert kind_fields_of(INT) is None
+    assert kind_fields_of(TVar(1)) is None
+
+
+def test_kuniv_is_shared_singleton_by_convention():
+    assert isinstance(U, KUniv)

@@ -1,0 +1,303 @@
+"""Parser tests: AST shapes, precedence, sugar, error reporting."""
+
+import pytest
+
+from repro.core import terms as T
+from repro.errors import ParseError
+from repro.syntax.parser import (ExprDecl, FunDecl, RecClassDecl, ValDecl,
+                                 parse_expression, parse_program)
+
+p = parse_expression
+
+
+def test_integer_literal():
+    e = p("42")
+    assert isinstance(e, T.Const) and e.value == 42
+
+
+def test_negative_integer_literal():
+    e = p("-7")
+    assert isinstance(e, T.Const) and e.value == -7
+
+
+def test_string_literal():
+    e = p('"hi"')
+    assert isinstance(e, T.Const) and e.value == "hi"
+
+
+def test_bool_literals():
+    assert p("true").value is True
+    assert p("false").value is False
+
+
+def test_unit():
+    assert isinstance(p("()"), T.Unit)
+
+
+def test_lambda():
+    e = p("fn x => x")
+    assert isinstance(e, T.Lam) and e.param == "x"
+    assert isinstance(e.body, T.Var)
+
+
+def test_application_left_assoc():
+    e = p("f a b")
+    assert isinstance(e, T.App)
+    assert isinstance(e.fn, T.App)
+    assert e.fn.fn.name == "f"
+
+
+def test_arithmetic_precedence():
+    # 1 + 2 * 3 parses as 1 + (2 * 3)
+    e = p("1 + 2 * 3")
+    assert isinstance(e, T.App)
+    assert e.fn.fn.name == "+"
+    inner = e.arg
+    assert inner.fn.fn.name == "*"
+
+
+def test_comparison_lower_than_arith():
+    e = p("1 + 2 < 4")
+    assert e.fn.fn.name == "<"
+
+
+def test_infix_equals_is_eq():
+    e = p('x = "a"')
+    assert e.fn.fn.name == "eq"
+
+
+def test_record_fields_mutability():
+    e = p("[A = 1, B := 2]")
+    assert isinstance(e, T.RecordExpr)
+    assert [(f.label, f.mutable) for f in e.fields] == [
+        ("A", False), ("B", True)]
+
+
+def test_empty_record_rejected():
+    with pytest.raises(ParseError):
+        p("[]")
+
+
+def test_tuple_is_numeric_record():
+    e = p("(1, 2, 3)")
+    assert isinstance(e, T.RecordExpr)
+    assert [f.label for f in e.fields] == ["1", "2", "3"]
+
+
+def test_projection_numeric_label():
+    e = p("x.1")
+    assert isinstance(e, T.Dot) and e.label == "1"
+
+
+def test_chained_projection():
+    e = p("x.a.b")
+    assert e.label == "b" and e.expr.label == "a"
+
+
+def test_set_literal():
+    e = p("{1, 2}")
+    assert isinstance(e, T.SetExpr) and len(e.elems) == 2
+    assert isinstance(p("{}"), T.SetExpr)
+
+
+def test_let():
+    e = p("let x = 1 in x end")
+    assert isinstance(e, T.Let) and e.name == "x"
+
+
+def test_let_requires_end():
+    with pytest.raises(ParseError):
+        p("let x = 1 in x")
+
+
+def test_top_level_semicolon_separates_decls():
+    decls = parse_program("f x; g y")
+    assert len(decls) == 2 and all(isinstance(d, ExprDecl) for d in decls)
+
+
+def test_if_then_else():
+    e = p("if true then 1 else 2")
+    assert isinstance(e, T.If)
+
+
+def test_andalso_orelse_desugar():
+    e = p("a andalso b")
+    assert isinstance(e, T.If) and isinstance(e.else_, T.Const)
+    e2 = p("a orelse b")
+    assert isinstance(e2, T.If) and e2.then.value is True
+
+
+def test_fix():
+    e = p("fix f. fn x => f x")
+    assert isinstance(e, T.Fix) and e.name == "f"
+
+
+def test_fun_sugar_single_is_fix_lambda():
+    e = p("let fun f x = x in f end")
+    assert isinstance(e, T.Let)
+    assert isinstance(e.bound, T.Fix)
+
+
+def test_fun_sugar_multi_params_curry():
+    e = p("let fun f x y = x in f end")
+    fix = e.bound
+    assert isinstance(fix.body, T.Lam) and isinstance(fix.body.body, T.Lam)
+
+
+def test_mutual_fun_sugar_builds_record_fix():
+    e = p("let fun f x = g x and g y = f y in f end")
+    assert isinstance(e, T.Let)  # outer let of the fixed record
+
+
+def test_idview_query_fuse_relobj():
+    assert isinstance(p("IDView([A = 1])"), T.IDView)
+    assert isinstance(p("query(f, o)"), T.Query)
+    fuse = p("fuse(a, b, c)")
+    assert isinstance(fuse, T.Fuse) and len(fuse.objs) == 3
+    rel = p("relobj(l = a, r = b)")
+    assert isinstance(rel, T.RelObj)
+    assert [l for l, _ in rel.fields] == ["l", "r"]
+
+
+def test_fuse_arity_error():
+    with pytest.raises(ParseError):
+        p("fuse(a)")
+
+
+def test_as_view():
+    e = p("x as f")
+    assert isinstance(e, T.AsView)
+
+
+def test_as_is_left_associative():
+    e = p("x as f as g")
+    assert isinstance(e, T.AsView) and isinstance(e.obj, T.AsView)
+
+
+def test_extract_and_update():
+    e = p("[A = extract(r, l)]")
+    assert isinstance(e.fields[0].expr, T.Extract)
+    u = p("update(r, l, 5)")
+    assert isinstance(u, T.Update) and u.label == "l"
+
+
+def test_class_expression():
+    e = p("class {} includes C as f where p end")
+    assert isinstance(e, T.ClassExpr)
+    assert len(e.includes) == 1
+    assert len(e.includes[0].sources) == 1
+
+
+def test_class_multi_source_include():
+    e = p("class {} include C1, C2 as f where p end")
+    assert len(e.includes[0].sources) == 2
+
+
+def test_class_no_includes():
+    e = p("class {a, b} end")
+    assert isinstance(e, T.ClassExpr) and e.includes == []
+
+
+def test_cquery_insert_delete():
+    assert isinstance(p("c-query(f, C)"), T.CQuery)
+    assert isinstance(p("insert(o, C)"), T.Insert)
+    assert isinstance(p("delete(o, C)"), T.Delete)
+
+
+def test_let_classes_recursive():
+    e = p("let A = class {} includes B as f where p end "
+          "and B = class {} includes A as g where q end in A end")
+    assert isinstance(e, T.LetClasses)
+    assert [n for n, _ in e.bindings] == ["A", "B"]
+
+
+def test_single_class_let_is_letclasses():
+    e = p("let C = class {} end in C end")
+    assert isinstance(e, T.LetClasses)
+
+
+def test_and_bindings_require_classes():
+    with pytest.raises(ParseError):
+        p("let x = 1 and y = 2 in x end")
+
+
+def test_builtin_call_style_is_curried():
+    e = p("union({1}, {2})")
+    assert isinstance(e, T.App) and isinstance(e.fn, T.App)
+    assert e.fn.fn.name == "union"
+
+
+def test_builtin_bare_reference():
+    e = p("hom(s, f, union, z)")
+    # third argument is the bare function value
+    arg = e.fn.arg
+    assert isinstance(arg, T.Var) and arg.name == "union"
+
+
+def test_this_year_unit_call():
+    e = p("This_year()")
+    assert isinstance(e, T.App) and isinstance(e.arg, T.Unit)
+
+
+def test_select_desugars_to_hom():
+    e = p("select as f from S where p")
+    # hom(S, step, union, {}) — application spine rooted at hom
+    spine = e
+    while isinstance(spine, T.App):
+        spine = spine.fn
+    assert isinstance(spine, T.Var) and spine.name == "hom"
+
+
+def test_relation_desugar_structure():
+    e = p('relation [l = x] from x in S where true')
+    spine = e
+    while isinstance(spine, T.App):
+        spine = spine.fn
+    assert spine.name == "hom"
+
+
+def test_intersect_single_is_identity():
+    e = p("intersect(S)")
+    assert isinstance(e, T.Var) and e.name == "S"
+
+
+def test_objeq_desugar():
+    e = p("objeq(a, b)")  # not(eq(fuse(a,b), {}))
+    assert isinstance(e, T.App) and e.fn.name == "not"
+
+
+def test_prod():
+    e = p("prod(a, b, c)")
+    assert isinstance(e, T.Prod) and len(e.sets) == 3
+
+
+def test_trailing_input_rejected():
+    with pytest.raises(ParseError):
+        p("1 2 3 )")
+
+
+def test_program_val_and_fun_and_expr():
+    decls = parse_program('val x = 1 fun f y = y + 1 val z = 2; 99')
+    assert isinstance(decls[0], ValDecl)
+    assert isinstance(decls[1], FunDecl)
+    assert isinstance(decls[2], ValDecl)
+    assert isinstance(decls[3], ExprDecl)
+
+
+def test_program_recursive_class_group():
+    decls = parse_program(
+        "val A = class {} includes B as f where p end "
+        "and B = class {} end")
+    assert isinstance(decls[0], RecClassDecl)
+    assert [n for n, _ in decls[0].bindings] == ["A", "B"]
+
+
+def test_program_val_and_non_class_rejected():
+    with pytest.raises(ParseError):
+        parse_program("val x = 1 and y = 2")
+
+
+def test_error_position_reported():
+    with pytest.raises(ParseError) as exc:
+        p("let x = in x end")
+    assert exc.value.line == 1

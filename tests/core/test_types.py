@@ -1,0 +1,116 @@
+"""Tests for the type representation: schemes, copying, helpers."""
+
+from repro.core.types import (BOOL, FieldReq, FieldType, INT, KRecord,
+                              STRING, TFun, TRecord, TSet, TVar, TypeScheme,
+                              UNIT, contains_lval, TLval, free_type_vars,
+                              fun_type, pair_type, product_type, resolve,
+                              types_structurally_equal, walk_map, TObj)
+
+
+def test_resolve_follows_links():
+    a, b = TVar(1), TVar(1)
+    a.link = b
+    b.link = INT
+    assert resolve(a) is INT
+
+
+def test_resolve_path_compression():
+    a, b, c = TVar(1), TVar(1), TVar(1)
+    a.link, b.link = b, c
+    resolve(a)
+    assert a.link is c
+
+
+def test_fun_type_right_associates():
+    t = fun_type(INT, BOOL, STRING)
+    assert isinstance(t, TFun)
+    assert isinstance(t.cod, TFun)
+    assert t.cod.cod is STRING
+
+
+def test_pair_type_is_numeric_record():
+    t = pair_type(INT, BOOL)
+    assert set(t.fields) == {"1", "2"}
+    assert not t.fields["1"].mutable
+
+
+def test_product_type_ordering():
+    t = product_type([INT, BOOL, STRING])
+    assert list(t.fields) == ["1", "2", "3"]
+
+
+def test_free_type_vars_dedup_and_order():
+    a, b = TVar(1), TVar(1)
+    t = TFun(a, TFun(b, a))
+    assert free_type_vars(t) == [a, b]
+
+
+def test_free_type_vars_through_kinds():
+    a, b = TVar(1), TVar(1)
+    a.kind = KRecord({"x": FieldReq(b, False)})
+    assert set(free_type_vars(a)) == {a, b}
+
+
+def test_free_type_vars_skips_resolved():
+    a = TVar(1)
+    a.link = INT
+    assert free_type_vars(TSet(a)) == []
+
+
+def test_contains_lval():
+    assert contains_lval(TLval(INT))
+    assert contains_lval(TRecord({"a": FieldType(TLval(INT), False)}))
+    assert not contains_lval(fun_type(INT, BOOL))
+
+
+def test_structural_equality_records():
+    t1 = TRecord({"a": FieldType(INT, True), "b": FieldType(BOOL, False)})
+    t2 = TRecord({"b": FieldType(BOOL, False), "a": FieldType(INT, True)})
+    assert types_structurally_equal(t1, t2)
+
+
+def test_structural_inequality_on_mutability():
+    t1 = TRecord({"a": FieldType(INT, True)})
+    t2 = TRecord({"a": FieldType(INT, False)})
+    assert not types_structurally_equal(t1, t2)
+
+
+def test_scheme_instantiate_fresh_vars():
+    v = TVar(0)
+    scheme = TypeScheme([v], TFun(v, v))
+    t1 = scheme.instantiate(1)
+    t2 = scheme.instantiate(1)
+    assert isinstance(t1, TFun) and resolve(t1.dom) is resolve(t1.cod)
+    assert resolve(t1.dom) is not resolve(t2.dom)  # fresh per instantiation
+
+
+def test_scheme_instantiate_copies_kinds():
+    v = TVar(0)
+    w = TVar(0)
+    v.kind = KRecord({"f": FieldReq(w, True)})
+    scheme = TypeScheme([v, w], TFun(v, w))
+    inst = scheme.instantiate(1)
+    dom = resolve(inst.dom)
+    cod = resolve(inst.cod)
+    assert isinstance(dom.kind, KRecord)
+    # the kind's field type is the *fresh* copy of w
+    assert resolve(dom.kind.fields["f"].type) is cod
+
+
+def test_scheme_mono_passthrough():
+    s = TypeScheme.mono(INT)
+    assert s.is_mono()
+    assert s.instantiate(1) is INT
+
+
+def test_walk_map_replaces_nodes():
+    t = TSet(TObj(INT))
+    replaced = walk_map(
+        t, lambda node: STRING if isinstance(node, TObj) else None)
+    assert isinstance(replaced, TSet)
+    assert resolve(replaced.elem) is STRING
+
+
+def test_unit_and_bases_distinct():
+    assert UNIT.name == "unit"
+    assert not types_structurally_equal(UNIT, INT)

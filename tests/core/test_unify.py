@@ -1,0 +1,195 @@
+"""Kinded unification: variable binding, kind merging, occurs, levels."""
+
+import pytest
+
+from repro.core.types import (BOOL, FieldReq, FieldType, INT, KRecord,
+                              STRING, TFun, TRecord, TSet, TVar, resolve)
+from repro.core.unify import ensure_record_field, occurs_adjust, unify
+from repro.errors import KindError, OccursCheckError, UnificationError
+
+
+def test_unify_base_types():
+    unify(INT, INT)
+    with pytest.raises(UnificationError):
+        unify(INT, BOOL)
+
+
+def test_unify_var_binds():
+    v = TVar(1)
+    unify(v, INT)
+    assert resolve(v) is INT
+
+
+def test_unify_var_var_links():
+    a, b = TVar(1), TVar(1)
+    unify(a, b)
+    unify(b, STRING)
+    assert resolve(a) is STRING
+
+
+def test_unify_functions_componentwise():
+    a, b = TVar(1), TVar(1)
+    unify(TFun(a, BOOL), TFun(INT, b))
+    assert resolve(a) is INT and resolve(b) is BOOL
+
+
+def test_unify_sets():
+    a = TVar(1)
+    unify(TSet(a), TSet(INT))
+    assert resolve(a) is INT
+
+
+def test_unify_records_same_fields():
+    a = TVar(1)
+    r1 = TRecord({"x": FieldType(a, False)})
+    r2 = TRecord({"x": FieldType(INT, False)})
+    unify(r1, r2)
+    assert resolve(a) is INT
+
+
+def test_unify_records_field_mismatch():
+    r1 = TRecord({"x": FieldType(INT, False)})
+    r2 = TRecord({"y": FieldType(INT, False)})
+    with pytest.raises(UnificationError):
+        unify(r1, r2)
+
+
+def test_unify_records_mutability_mismatch():
+    r1 = TRecord({"x": FieldType(INT, False)})
+    r2 = TRecord({"x": FieldType(INT, True)})
+    with pytest.raises(UnificationError):
+        unify(r1, r2)
+
+
+def test_occurs_check_direct():
+    v = TVar(1)
+    with pytest.raises(OccursCheckError):
+        unify(v, TFun(v, INT))
+
+
+def test_occurs_check_through_set():
+    v = TVar(1)
+    with pytest.raises(OccursCheckError):
+        unify(v, TSet(TSet(v)))
+
+
+def test_occurs_adjust_lowers_levels():
+    v = TVar(7)
+    occurs_adjust(None, TFun(v, INT), 2)
+    assert v.level == 2
+
+
+def test_occurs_adjust_descends_into_kinds():
+    inner = TVar(9)
+    v = TVar(9, KRecord({"f": FieldReq(inner, False)}))
+    occurs_adjust(None, v, 3)
+    assert v.level == 3 and inner.level == 3
+
+
+def test_var_var_kind_merge_union():
+    a = TVar(1, KRecord({"x": FieldReq(INT, False)}))
+    b = TVar(1, KRecord({"y": FieldReq(BOOL, False)}))
+    unify(a, b)
+    merged = resolve(a)
+    assert isinstance(merged, TVar)
+    assert set(merged.kind.fields) == {"x", "y"}
+
+
+def test_var_var_kind_merge_common_field_unifies_types():
+    t = TVar(1)
+    a = TVar(1, KRecord({"x": FieldReq(t, False)}))
+    b = TVar(1, KRecord({"x": FieldReq(INT, False)}))
+    unify(a, b)
+    assert resolve(t) is INT
+
+
+def test_var_var_kind_merge_mutability_joins():
+    a = TVar(1, KRecord({"x": FieldReq(INT, False)}))
+    b = TVar(1, KRecord({"x": FieldReq(INT, True)}))
+    unify(a, b)
+    assert resolve(a).kind.fields["x"].mutable is True
+
+
+def test_kinded_var_binds_to_satisfying_record():
+    v = TVar(1, KRecord({"x": FieldReq(INT, False)}))
+    r = TRecord({"x": FieldType(INT, True), "y": FieldType(BOOL, False)})
+    unify(v, r)
+    assert resolve(v) is r
+
+
+def test_kinded_var_rejects_missing_field():
+    v = TVar(1, KRecord({"z": FieldReq(INT, False)}))
+    with pytest.raises(KindError):
+        unify(v, TRecord({"x": FieldType(INT, False)}))
+
+
+def test_kinded_var_rejects_immutable_for_mutable_req():
+    v = TVar(1, KRecord({"x": FieldReq(INT, True)}))
+    with pytest.raises(KindError):
+        unify(v, TRecord({"x": FieldType(INT, False)}))
+
+
+def test_kinded_var_rejects_non_record():
+    v = TVar(1, KRecord({"x": FieldReq(INT, False)}))
+    with pytest.raises(KindError):
+        unify(v, INT)
+
+
+def test_kinded_var_field_type_unified_on_bind():
+    t = TVar(1)
+    v = TVar(1, KRecord({"x": FieldReq(t, False)}))
+    unify(v, TRecord({"x": FieldType(STRING, False)}))
+    assert resolve(t) is STRING
+
+
+def test_ensure_record_field_on_record():
+    t = TVar(1)
+    r = TRecord({"x": FieldType(INT, False)})
+    ensure_record_field(r, "x", t, mutable_required=False)
+    assert resolve(t) is INT
+
+
+def test_ensure_record_field_missing():
+    r = TRecord({"x": FieldType(INT, False)})
+    with pytest.raises(KindError):
+        ensure_record_field(r, "nope", TVar(1), mutable_required=False)
+
+
+def test_ensure_record_field_mutability_enforced():
+    r = TRecord({"x": FieldType(INT, False)})
+    with pytest.raises(KindError):
+        ensure_record_field(r, "x", INT, mutable_required=True)
+
+
+def test_ensure_record_field_grows_var_kind():
+    v = TVar(1)
+    ensure_record_field(v, "a", INT, mutable_required=False)
+    ensure_record_field(v, "b", BOOL, mutable_required=True)
+    assert set(v.kind.fields) == {"a", "b"}
+    assert v.kind.fields["b"].mutable
+
+
+def test_ensure_record_field_upgrades_mutability():
+    v = TVar(1)
+    ensure_record_field(v, "a", INT, mutable_required=False)
+    ensure_record_field(v, "a", INT, mutable_required=True)
+    assert v.kind.fields["a"].mutable
+
+
+def test_ensure_record_field_on_non_record_type():
+    with pytest.raises(KindError):
+        ensure_record_field(INT, "a", INT, mutable_required=False)
+
+
+def test_var_level_min_on_var_var():
+    a, b = TVar(2), TVar(5)
+    unify(a, b)
+    assert b.level == 2
+
+
+def test_cyclic_kind_rejected():
+    # t1 :: [[A = t2]]; unifying t1 with t2 would make t2's kind mention t2.
+    t2 = TVar(1)
+    t1 = TVar(1, KRecord({"A": FieldReq(t2, False)}))
+    with pytest.raises(OccursCheckError):
+        unify(t1, t2)

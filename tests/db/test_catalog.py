@@ -1,0 +1,130 @@
+"""The Catalog database layer."""
+
+import pytest
+
+from repro.db.catalog import Catalog, ClassSpec, IncludeSpec
+from repro.errors import ReproError
+
+
+@pytest.fixture()
+def cat():
+    c = Catalog()
+    c.new_object("alice", Name="Alice", Sex="female",
+                 mutable={"Salary": 3000})
+    c.new_object("bob", Name="Bob", Sex="male", mutable={"Salary": 4000})
+    c.define_class("Staff", own=["alice", "bob"])
+    return c
+
+
+def test_new_object_binds_and_records(cat):
+    assert "alice" in cat.objects
+    assert cat.session.eval_py("query(fn x => x.Name, alice)") == "Alice"
+
+
+def test_object_needs_fields():
+    with pytest.raises(ReproError):
+        Catalog().new_object("empty")
+
+
+def test_extent(cat):
+    rows = cat.extent("Staff")
+    assert [r["Name"] for r in rows] == ["Alice", "Bob"]
+
+
+def test_query_with_custom_function(cat):
+    total = cat.query(
+        "Staff", "fn S => hom(S, fn o => query(fn v => v.Salary, o), "
+        "fn a => fn b => a + b, 0)")
+    assert total == 7000
+
+
+def test_include_spec_with_predicate(cat):
+    cat.define_class("Women", includes=[IncludeSpec(
+        ["Staff"], "fn x => [Name = x.Name]",
+        'fn o => query(fn x => x.Sex = "female", o)')])
+    assert [r["Name"] for r in cat.extent("Women")] == ["Alice"]
+
+
+def test_default_predicate_is_true(cat):
+    cat.define_class("Everyone", includes=[IncludeSpec(
+        ["Staff"], "fn x => [Name = x.Name]")])
+    assert len(cat.extent("Everyone")) == 2
+
+
+def test_own_views(cat):
+    cat.define_class(
+        "Payroll", own=["alice"],
+        own_views={"alice": "fn x => [Name = x.Name, "
+                            "Salary := extract(x, Salary)]"})
+    assert cat.extent("Payroll") == [{"Name": "Alice", "Salary": 3000}]
+
+
+def test_update_object_propagates(cat):
+    cat.define_class(
+        "Payroll", own=["alice"],
+        own_views={"alice": "fn x => [Name = x.Name, "
+                            "Salary := extract(x, Salary)]"})
+    cat.update_object("alice", "Salary", 9999)
+    assert cat.extent("Payroll")[0]["Salary"] == 9999
+
+
+def test_insert_and_delete(cat):
+    cat.new_object("zoe", Name="Zoe", Sex="female",
+                   mutable={"Salary": 100})
+    cat.insert("Staff", "zoe")
+    assert "Zoe" in [r["Name"] for r in cat.extent("Staff")]
+    cat.delete("Staff", "zoe")
+    assert "Zoe" not in [r["Name"] for r in cat.extent("Staff")]
+
+
+def test_insert_with_view(cat):
+    cat.define_class("Slim", includes=[IncludeSpec(
+        ["Staff"], "fn x => [Name = x.Name]")])
+    cat.new_object("kim", Name="Kim")
+    cat.insert("Slim", "kim", view="fn x => [Name = x.Name]")
+    assert "Kim" in [r["Name"] for r in cat.extent("Slim")]
+
+
+def test_recursive_group(cat):
+    cat.new_object("eve", Name="Eve", Category="staff")
+    cat.define_classes({
+        "S2": ClassSpec("S2", [], [IncludeSpec(
+            ["F2"], 'fn f => [Name = f.Name, Sex = "female"]',
+            'fn f => query(fn x => x.Category = "staff", f)')]),
+        "F2": ClassSpec("F2", [("eve", None)], [IncludeSpec(
+            ["S2"], 'fn s => [Name = s.Name, Category = "staff"]',
+            'fn s => query(fn x => x.Sex = "female", s)')]),
+    })
+    assert [r["Name"] for r in cat.extent("S2")] == ["Eve"]
+    assert cat.classes["F2"].group == ["S2", "F2"]
+
+
+def test_unknown_class_errors(cat):
+    with pytest.raises(ReproError):
+        cat.extent("Nope")
+    with pytest.raises(ReproError):
+        cat.insert("Nope", "alice")
+
+
+def test_unknown_object_errors(cat):
+    with pytest.raises(ReproError):
+        cat.update_object("ghost", "Salary", 1)
+
+
+def test_ill_typed_definition_rejected(cat):
+    # the include view projects a field the source lacks
+    with pytest.raises(Exception):
+        cat.define_class("Bad", includes=[IncludeSpec(
+            ["Staff"], "fn x => [Name = x.Nonexistent]")])
+    assert "Bad" not in cat.classes
+
+
+def test_names_sorted(cat):
+    cat.define_class("Alpha")
+    assert cat.names() == sorted(cat.names())
+
+
+def test_unsupported_python_value():
+    c = Catalog()
+    with pytest.raises(ReproError):
+        c.new_object("x", Weight=1.5)  # floats are not in the calculus

@@ -1,0 +1,45 @@
+"""Catalog schema declarations via type ascription."""
+
+import pytest
+
+from repro.db.catalog import Catalog, IncludeSpec
+from repro.errors import UnificationError
+
+
+@pytest.fixture()
+def cat():
+    c = Catalog()
+    c.new_object("a", Name="A", mutable={"Salary": 1})
+    return c
+
+
+def test_matching_schema_accepted(cat):
+    cat.define_class("C", own=["a"],
+                     element_type="[Name = string, Salary := int]")
+    assert cat.extent("C") == [{"Name": "A", "Salary": 1}]
+
+
+def test_wrong_schema_rejected(cat):
+    with pytest.raises(UnificationError):
+        cat.define_class("C", own=["a"],
+                         element_type="[Name = string]")
+    assert "C" not in cat.classes
+
+
+def test_schema_on_empty_class_pins_inserts(cat):
+    cat.define_class("E", element_type="[Name = string]")
+    cat.new_object("b", Name="B")
+    cat.insert("E", "b", view="fn x => [Name = x.Name]")
+    assert cat.extent("E") == [{"Name": "B"}]
+    # an object of the wrong shape is rejected at insert time
+    cat.new_object("c", Name="C", Age=3)
+    with pytest.raises(UnificationError):
+        cat.insert("E", "c")
+
+
+def test_schema_checks_include_views(cat):
+    cat.define_class("Base", own=["a"])
+    with pytest.raises(UnificationError):
+        cat.define_class(
+            "D", includes=[IncludeSpec(["Base"], "fn x => [Name = x.Name]")],
+            element_type="[Name = string, Extra = int]")

@@ -1,0 +1,125 @@
+"""The equality taxonomy: eq vs objeq vs set-formation keys (Section 3.1)."""
+
+import pytest
+
+from repro import Session
+from repro.errors import EvalError
+from repro.eval.equality import eq_values, objeq_values, value_key
+from repro.eval.values import VInt, VObject, VRecord, VSet, VString
+
+
+@pytest.fixture()
+def s():
+    return Session()
+
+
+def test_eq_records_is_identity(s):
+    assert s.eval_py("eq([A = 1], [A = 1])") is False
+
+
+def test_eq_functions_is_identity(s):
+    assert s.eval_py("let f = fn x => x in eq(f, f) end") is True
+    assert s.eval_py("eq(fn x => x, fn x => x)") is False
+
+
+def test_objeq_same_raw_different_views(s):
+    # objeq is typable across different view types (fuse hides them in a
+    # product); the views here intentionally differ.
+    s.exec("val o = IDView([A = 1])")
+    s.exec("val v = (o as fn x => [B = x.A])")
+    assert s.eval_py("objeq(o, v)") is True
+
+
+def test_eq_on_same_type_views_is_object_identity(s):
+    # eq requires both sides at one type; two same-typed views of one raw
+    # object are objeq but not eq.
+    s.exec("val o = IDView([A = 1])")
+    s.exec("val v = (o as fn x => [A = x.A + 1])")
+    assert s.eval_py("eq(o, v)") is False
+    assert s.eval_py("objeq(o, v)") is True
+
+
+def test_eq_across_view_types_is_ill_typed(s):
+    # under the pair encoding the two objects have different types, so eq
+    # on them is statically rejected (objeq via fuse is the right tool).
+    from repro.errors import UnificationError
+    import pytest as _pytest
+    s.exec("val o = IDView([A = 1])")
+    s.exec("val w = (o as fn x => [B = x.A])")
+    with _pytest.raises(UnificationError):
+        s.eval("eq(o, w)")
+
+
+def test_objeq_different_raws(s):
+    s.exec("val o1 = IDView([A = 1])")
+    s.exec("val o2 = IDView([A = 1])")
+    assert s.eval_py("objeq(o1, o2)") is False
+
+
+def test_eq_same_object_value(s):
+    s.exec("val o = IDView([A = 1])")
+    assert s.eval_py("eq(o, o)") is True
+
+
+def test_object_sets_collapse_by_raw(s):
+    # Section 3.1: sets of objects are formed under objeq.
+    s.exec("val o = IDView([A = 1])")
+    s.exec("val v = (o as fn x => [A = x.A + 1])")
+    assert s.eval_py("size({o, v})") == 1
+
+
+def test_object_set_union_prefers_left(s):
+    s.exec("val o = IDView([A = 1])")
+    s.exec("val v = (o as fn x => [A = x.A + 10])")
+    # union picks the element of the left operand
+    out = s.eval_py("map(fn x => query(fn r => r, x), union({v}, {o}))")
+    assert out == [{"A": 11}]
+    out2 = s.eval_py("map(fn x => query(fn r => r, x), union({o}, {v}))")
+    assert out2 == [{"A": 1}]
+
+
+def test_member_on_object_sets_uses_objeq(s):
+    s.exec("val o = IDView([A = 1])")
+    s.exec("val v = (o as fn x => [A = x.A])")
+    assert s.eval_py("member(v, {o})") is True
+
+
+def test_remove_on_object_sets_uses_objeq(s):
+    s.exec("val o = IDView([A = 1])")
+    s.exec("val p = IDView([A = 2])")
+    s.exec("val v = (o as fn x => [A = x.A])")
+    out = s.eval_py("size(remove({o, p}, {v}))")
+    assert out == 1
+
+
+def test_value_key_base_values():
+    assert value_key(VInt(3)) == value_key(VInt(3))
+    assert value_key(VString("a")) != value_key(VInt(3))
+
+
+def test_value_key_object_is_raw_identity():
+    raw = VRecord({"A": VInt(1)}, frozenset())
+    o1 = VObject(raw, None)
+    o2 = VObject(raw, None)
+    assert value_key(o1) == value_key(o2)
+    assert eq_values(o1, o2) is False  # object-value identity differs
+    assert objeq_values(o1, o2) is True
+
+
+def test_value_key_set_is_frozen_keys():
+    s1 = VSet([VInt(1), VInt(2)])
+    s2 = VSet([VInt(2), VInt(1)])
+    assert value_key(s1) == value_key(s2)
+
+
+def test_objeq_values_requires_objects():
+    with pytest.raises(EvalError):
+        objeq_values(VInt(1), VInt(2))
+
+
+def test_fuse_nonempty_iff_objeq(s):
+    s.exec("val o = IDView([A = 1])")
+    s.exec("val v = (o as fn x => [B = x.A])")
+    s.exec("val w = IDView([A = 2])")
+    assert s.eval_py("size(fuse(o, v))") == 1
+    assert s.eval_py("size(fuse(o, w))") == 0

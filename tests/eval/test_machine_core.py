@@ -1,0 +1,196 @@
+"""Operational semantics of the core: records, identity, L-values, sets."""
+
+import pytest
+
+from repro import Session
+from repro.errors import EvalError
+
+
+@pytest.fixture()
+def s():
+    return Session()
+
+
+def test_literals(s):
+    assert s.eval_py("42") == 42
+    assert s.eval_py('"x"') == "x"
+    assert s.eval_py("true") is True
+    assert s.eval_py("()") is None
+
+
+def test_arithmetic(s):
+    assert s.eval_py("2 + 3 * 4") == 14
+    assert s.eval_py("10 - 3") == 7
+    assert s.eval_py("7 div 2") == 3
+    assert s.eval_py("7 mod 2") == 1
+    assert s.eval_py('"ab" ^ "cd"') == "abcd"
+
+
+def test_division_by_zero_is_runtime_error(s):
+    with pytest.raises(EvalError):
+        s.eval("1 div 0")
+    with pytest.raises(EvalError):
+        s.eval("1 mod 0")
+
+
+def test_comparisons(s):
+    assert s.eval_py("1 < 2") is True
+    assert s.eval_py("2 <= 2") is True
+    assert s.eval_py("3 > 4") is False
+    assert s.eval_py("3 >= 4") is False
+
+
+def test_lambda_application(s):
+    assert s.eval_py("(fn x => x + 1) 41") == 42
+
+
+def test_closures_capture_environment(s):
+    assert s.eval_py(
+        "let a = 10 in let f = fn x => x + a in let a = 0 in f 1 end end "
+        "end") == 11
+
+
+def test_let_shadowing(s):
+    assert s.eval_py("let x = 1 in let x = 2 in x end end") == 2
+
+
+def test_fix_factorial(s):
+    s.exec("fun fact n = if n < 1 then 1 else n * (fact (n - 1))")
+    assert s.eval_py("fact 6") == 720
+
+
+def test_mutual_recursion(s):
+    s.exec("fun even n = if n < 1 then true else odd (n - 1) "
+           "and odd n = if n < 1 then false else even (n - 1)")
+    assert s.eval_py("even 10") is True
+    assert s.eval_py("odd 7") is True
+
+
+def test_record_creation_and_read(s):
+    assert s.eval_py("[A = 1, B := 2]") == {"A": 1, "B": 2}
+
+
+def test_record_update(s):
+    s.exec("val r = [A := 1]")
+    s.eval("update(r, A, 5)")
+    assert s.eval_py("r.A") == 5
+
+
+def test_records_have_identity(s):
+    # two evaluations of the same literal are different records
+    assert s.eval_py("eq([A = 1], [A = 1])") is False
+    assert s.eval_py("let r = [A = 1] in eq(r, r) end") is True
+
+
+def test_eq_on_base_values_is_structural(s):
+    assert s.eval_py("eq(1 + 1, 2)") is True
+    assert s.eval_py('eq("a", "a")') is True
+
+
+def test_lvalue_sharing_joe_doe_john(s):
+    # the Section 2 example verbatim
+    s.exec('val joe = [Name = "Doe", Salary := 3000]')
+    s.exec('val Doe = [Name = "Doe", Income := extract(joe, Salary)]')
+    s.exec('val john = [Name = "John", Salary = extract(joe, Salary)]')
+    s.eval("update(joe, Salary, 4000)")
+    assert s.eval_py("Doe.Income") == 4000
+    assert s.eval_py("john.Salary") == 4000
+    s.eval("update(Doe, Income, 1234)")
+    assert s.eval_py("joe.Salary") == 1234
+
+
+def test_update_on_runtime_immutable_field_fails(s):
+    # bypass the type system deliberately
+    from repro.core import terms as T
+    from repro.core.types import INT
+    term = T.Update(T.RecordExpr([T.RecordField("A", T.Const(1, INT),
+                                                mutable=False)]),
+                    "A", T.Const(2, INT))
+    with pytest.raises(EvalError):
+        s.eval_term(term, typecheck=False)
+
+
+def test_set_literal_and_dedup(s):
+    assert s.eval_py("{1, 2, 2, 1}") == [1, 2]
+
+
+def test_set_dedup_keeps_first(s):
+    s.exec("val r1 = [A = 1]")
+    s.exec("val r2 = [A = 1]")
+    assert s.eval_py("size({r1, r2})") == 2  # identity-distinct records
+    assert s.eval_py("size({r1, r1})") == 1
+
+
+def test_union_left_bias(s):
+    assert s.eval_py("union({1, 2}, {2, 3})") == [1, 2, 3]
+
+
+def test_remove(s):
+    assert s.eval_py("remove({1, 2, 3}, {2})") == [1, 3]
+
+
+def test_member(s):
+    assert s.eval_py("member(2, {1, 2})") is True
+    assert s.eval_py("member(9, {1, 2})") is False
+
+
+def test_hom_fold_order(s):
+    # hom({e1..en}, f, op, z) = op(f e1, op(f e2, ... op(f en, z)))
+    assert s.eval_py(
+        'hom({"a", "b", "c"}, fn x => x, fn a => fn b => a ^ b, "z")') \
+        == "abcz"
+
+
+def test_hom_empty_set(s):
+    assert s.eval_py("hom({}, fn x => x, fn a => fn b => a + b, 100)") == 100
+
+
+def test_union_passed_first_class_to_hom(s):
+    assert s.eval_py("hom({{1}, {2}, {1}}, fn s => s, union, {})") == [1, 2]
+
+
+def test_prelude_map_filter(s):
+    assert s.eval_py("map(fn x => x * 2, {1, 2, 3})") == [2, 4, 6]
+    assert s.eval_py("filter(fn x => x > 1, {1, 2, 3})") == [2, 3]
+
+
+def test_prelude_exists_all(s):
+    assert s.eval_py("exists(fn x => x > 2, {1, 2, 3})") is True
+    assert s.eval_py("all(fn x => x > 0, {1, 2, 3})") is True
+    assert s.eval_py("all(fn x => x > 1, {1, 2, 3})") is False
+
+
+def test_prod_cartesian(s):
+    out = s.eval_py("map(fn p => (p.1) * 10 + p.2, prod({1, 2}, {3, 4}))")
+    assert out == [13, 14, 23, 24]
+
+
+def test_prod_with_empty_factor(s):
+    assert s.eval_py("prod({1, 2}, {})") == []
+
+
+def test_sets_compare_structurally(s):
+    assert s.eval_py("eq({1, 2}, {2, 1})") is True
+    assert s.eval_py("eq({1}, {1, 2})") is False
+
+
+def test_nested_sets(s):
+    assert s.eval_py("size({{1}, {1}, {2}})") == 2
+
+
+def test_this_year_configurable():
+    s = Session(this_year=2000)
+    assert s.eval_py("This_year()") == 2000
+
+
+def test_fix_of_non_lambda_fails_at_runtime(s):
+    from repro.core import terms as T
+    term = T.Fix("x", T.Var("x"))
+    with pytest.raises(EvalError):
+        s.eval_term(term, typecheck=False)
+
+
+def test_metrics_count_records(s):
+    s.metrics.reset()
+    s.eval("[A = 1]")
+    assert s.metrics.records_created == 1

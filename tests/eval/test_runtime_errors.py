@@ -1,0 +1,121 @@
+"""Runtime error paths of the machine (reached by bypassing typechecking,
+or by genuine runtime faults like division by zero)."""
+
+import pytest
+
+from repro import Session
+from repro.core import terms as T
+from repro.core.types import INT, STRING
+from repro.errors import EvalError
+
+
+@pytest.fixture()
+def s():
+    return Session()
+
+
+def run_untyped(s, term):
+    return s.eval_term(term, typecheck=False)
+
+
+def test_apply_non_function(s):
+    with pytest.raises(EvalError, match="non-function"):
+        run_untyped(s, T.App(T.Const(1, INT), T.Const(2, INT)))
+
+
+def test_dot_on_non_record(s):
+    with pytest.raises(EvalError):
+        run_untyped(s, T.Dot(T.Const(1, INT), "a"))
+
+
+def test_missing_field_read(s):
+    rec = T.RecordExpr([T.RecordField("a", T.Const(1, INT), False)])
+    with pytest.raises(EvalError, match="no field"):
+        run_untyped(s, T.Dot(rec, "z"))
+
+
+def test_update_missing_field(s):
+    rec = T.RecordExpr([T.RecordField("a", T.Const(1, INT), True)])
+    with pytest.raises(EvalError):
+        run_untyped(s, T.Update(rec, "z", T.Const(1, INT)))
+
+
+def test_extract_of_immutable_field_at_runtime(s):
+    rec = T.RecordExpr([T.RecordField("a", T.Const(1, INT), False)])
+    outer = T.RecordExpr([T.RecordField("b", T.Extract(rec, "a"), True)])
+    with pytest.raises(EvalError, match="not mutable"):
+        run_untyped(s, outer)
+
+
+def test_bare_extract(s):
+    rec = T.RecordExpr([T.RecordField("a", T.Const(1, INT), True)])
+    with pytest.raises(EvalError):
+        run_untyped(s, T.Extract(rec, "a"))
+
+
+def test_idview_of_non_record(s):
+    with pytest.raises(EvalError, match="record"):
+        run_untyped(s, T.IDView(T.Const(1, INT)))
+
+
+def test_query_of_non_object(s):
+    with pytest.raises(EvalError, match="object"):
+        run_untyped(s, T.Query(T.Lam("x", T.Var("x")), T.Const(1, INT)))
+
+
+def test_cquery_of_non_class(s):
+    with pytest.raises(EvalError, match="class"):
+        run_untyped(s, T.CQuery(T.Lam("x", T.Var("x")), T.Const(1, INT)))
+
+
+def test_if_non_bool_condition(s):
+    with pytest.raises(EvalError, match="bool"):
+        run_untyped(s, T.If(T.Const(1, INT), T.Const(1, INT),
+                            T.Const(2, INT)))
+
+
+def test_builtin_type_guards(s):
+    cases = [
+        T.App(T.App(T.Var("+"), T.Const("a", STRING)), T.Const(1, INT)),
+        T.App(T.App(T.Var("^"), T.Const(1, INT)), T.Const(2, INT)),
+        T.App(T.Var("not"), T.Const(1, INT)),
+        T.App(T.Var("size"), T.Const(1, INT)),
+        T.App(T.App(T.Var("union"), T.Const(1, INT)), T.SetExpr([])),
+    ]
+    for term in cases:
+        with pytest.raises(EvalError):
+            run_untyped(s, term)
+
+
+def test_include_predicate_must_return_bool(s):
+    from repro.core.terms import ClassExpr, IncludeClause
+    base = s.parse("class {IDView([A = 1])} end")
+    bad = ClassExpr(T.SetExpr([]), [IncludeClause(
+        [base], T.Lam("x", T.Var("x")), T.Lam("o", T.Const(1, INT)))])
+    with pytest.raises(EvalError, match="bool"):
+        run_untyped(s, T.CQuery(T.Lam("x", T.Var("x")), bad))
+
+
+def test_unbound_variable_at_runtime(s):
+    with pytest.raises(EvalError, match="unbound"):
+        run_untyped(s, T.Var("ghost"))
+
+
+def test_recursive_value_used_too_early(s):
+    # fix x. (x 1) forces x during evaluation of the fix body
+    with pytest.raises(EvalError, match="before it is defined"):
+        run_untyped(s, T.Fix("x", T.App(T.Var("x"), T.Const(1, INT))))
+
+
+def test_well_typed_programs_avoid_all_of_the_above(s):
+    """The meta-point (Prop 1): none of these faults is reachable from a
+    program that passed inference — spot-checked on a composite program."""
+    out = s.eval_py("""
+        let r = [a := 1] in
+        let o = IDView(r) in
+        let C = class {o} end in
+        c-query(fn S => hom(S, fn x => query(fn v => v.a, x),
+                            fn p => fn q => p + q, 0), C)
+        end end end
+    """)
+    assert out == 1

@@ -1,0 +1,58 @@
+"""The store: locations, sharing, allocation accounting."""
+
+from repro import Session
+from repro.eval.store import Location, Store
+
+
+def test_location_holds_value():
+    loc = Location(42)
+    assert loc.value == 42
+    loc.value = 7
+    assert loc.value == 7
+
+
+def test_location_ids_unique():
+    a, b = Location(1), Location(1)
+    assert a.id != b.id
+
+
+def test_store_counts_allocations():
+    store = Store()
+    store.alloc(1)
+    store.alloc(2)
+    assert store.allocations == 2
+
+
+def test_mutable_fields_allocate_one_location_each():
+    s = Session()
+    before = s.machine.store.allocations
+    s.eval("[a := 1, b := 2, c = 3]")
+    assert s.machine.store.allocations - before == 2  # c is immutable
+
+
+def test_extract_shares_not_allocates():
+    s = Session()
+    s.exec("val r = [a := 1]")
+    before = s.machine.store.allocations
+    s.exec("val r2 = [b := extract(r, a)]")
+    assert s.machine.store.allocations == before  # shared, no new location
+
+
+def test_shared_location_identity():
+    s = Session()
+    s.exec("val r = [a := 1]")
+    s.exec("val r2 = [b := extract(r, a)]")
+    r = s.runtime_env.lookup("r")
+    r2 = s.runtime_env.lookup("r2")
+    assert r.cells["a"] is r2.cells["b"]
+
+
+def test_immutable_field_sharing_is_read_only():
+    s = Session()
+    s.exec("val r = [a := 1]")
+    s.exec("val ro = [b = extract(r, a)]")
+    ro = s.runtime_env.lookup("ro")
+    assert "b" not in ro.mutable_labels
+    # reads go through the shared location
+    s.eval("update(r, a, 9)")
+    assert s.eval_py("ro.b") == 9

@@ -1,0 +1,104 @@
+"""The two Section 3.1 semantics for sets of objects.
+
+The paper chooses the left-biased collapse ("S1 ∪ S2 will choose e1 and
+discard e2") but notes "the other alternative is equally possible": require
+that objeq elements carry the *same viewing function*.  Both are
+implemented; ``Session(object_union="same-view")`` selects the alternative.
+"""
+
+import pytest
+
+from repro import Session
+from repro.errors import EvalError
+
+NAMES = "fn S => map(fn o => query(fn v => v.Name, o), S)"
+
+
+def _two_views(s):
+    s.exec("val o = IDView([A = 1])")
+    s.exec("val v1 = (o as fn x => [A = x.A + 1])")
+    s.exec("val v2 = (o as fn x => [A = x.A + 2])")
+
+
+def test_default_chooses_left():
+    s = Session()
+    _two_views(s)
+    out = s.eval_py("map(fn x => query(fn r => r.A, x), union({v1}, {v2}))")
+    assert out == [2]
+
+
+def test_same_view_mode_rejects_conflicting_views():
+    s = Session(object_union="same-view")
+    _two_views(s)
+    with pytest.raises(EvalError, match="same raw object"):
+        s.eval("union({v1}, {v2})")
+
+
+def test_same_view_mode_accepts_identical_view():
+    s = Session(object_union="same-view")
+    s.exec("val o = IDView([A = 1])")
+    s.exec("val v = (o as fn x => [A = x.A])")
+    assert s.eval_py("size(union({v}, {v}))") == 1
+
+
+def test_same_view_mode_set_literal():
+    s = Session(object_union="same-view")
+    _two_views(s)
+    with pytest.raises(EvalError):
+        s.eval("{v1, v2}")
+
+
+def test_same_view_mode_plain_sets_unaffected():
+    s = Session(object_union="same-view")
+    assert s.eval_py("union({1, 2}, {2, 3})") == [1, 2, 3]
+
+
+def test_same_view_mode_flags_double_classification():
+    """Under the alternative semantics the FemaleMember example errors
+    when one person enters through two include clauses — the flexibility
+    the paper's chosen semantics buys."""
+    s = Session(object_union="same-view")
+    s.exec('val mia = IDView([Name = "Mia", Sex = "female"])')
+    s.exec("val Staff = class {mia} end")
+    s.exec("val Student = class {mia} end")
+    s.exec('''
+        val FM = class {}
+          includes Staff as fn x => [Name = x.Name, Cat = "staff"]
+            where fn o => query(fn v => v.Sex = "female", o)
+          includes Student as fn x => [Name = x.Name, Cat = "student"]
+            where fn o => query(fn v => v.Sex = "female", o)
+        end
+    ''')
+    with pytest.raises(EvalError):
+        s.eval("c-query(fn S => size(S), FM)")
+
+
+def test_choose_mode_allows_double_classification():
+    s = Session()  # default
+    s.exec('val mia = IDView([Name = "Mia", Sex = "female"])')
+    s.exec("val Staff = class {mia} end")
+    s.exec("val Student = class {mia} end")
+    s.exec('''
+        val FM = class {}
+          includes Staff as fn x => [Name = x.Name, Cat = "staff"]
+            where fn o => query(fn v => v.Sex = "female", o)
+          includes Student as fn x => [Name = x.Name, Cat = "student"]
+            where fn o => query(fn v => v.Sex = "female", o)
+        end
+    ''')
+    rows = s.eval_py("c-query(fn S => map(fn o => query(fn v => v, o), S), "
+                     "FM)")
+    assert rows == [{"Name": "Mia", "Cat": "staff"}]
+
+
+def test_machine_rejects_unknown_mode():
+    with pytest.raises(ValueError):
+        Session(object_union="banana")
+
+
+def test_insert_conflict_under_same_view():
+    s = Session(object_union="same-view")
+    s.exec('val o = IDView([Name = "n"])')
+    s.exec("val C = class {(o as fn x => [Name = x.Name])} end")
+    with pytest.raises(EvalError):
+        s.eval('insert((o as fn x => [Name = "alias"]), C)')

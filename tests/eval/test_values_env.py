@@ -1,0 +1,79 @@
+"""Runtime environments and record-value invariants."""
+
+import pytest
+
+from repro.errors import EvalError
+from repro.eval.store import Location
+from repro.eval.values import Env, VInt, VRecord, VSet
+
+
+def test_env_lookup_walks_parents():
+    base = Env({"a": VInt(1)})
+    child = base.bind("b", VInt(2))
+    assert child.lookup("a").value == 1
+    assert child.lookup("b").value == 2
+
+
+def test_env_shadowing():
+    base = Env({"x": VInt(1)})
+    child = base.bind("x", VInt(2))
+    assert child.lookup("x").value == 2
+    assert base.lookup("x").value == 1
+
+
+def test_env_unbound_raises():
+    with pytest.raises(EvalError, match="unbound"):
+        Env({}).lookup("ghost")
+
+
+def test_env_backpatch_slot_fails_loudly():
+    # a fix frame whose slot is still None must not fall through to an
+    # outer binding of the same name
+    outer = Env({"f": VInt(99)})
+    inner = outer.child({"f": None})
+    with pytest.raises(EvalError, match="before it is defined"):
+        inner.lookup("f")
+
+
+def test_env_child_frames_do_not_copy():
+    base = Env({"a": VInt(1)})
+    child = base.child({"b": VInt(2)})
+    base.frame["late"] = VInt(3)
+    assert child.lookup("late").value == 3  # shared base frame
+
+
+def test_record_read_through_location():
+    loc = Location(VInt(5))
+    rec = VRecord({"m": loc, "i": VInt(1)}, frozenset({"m"}))
+    assert rec.read("m").value == 5
+    assert rec.read("i").value == 1
+
+
+def test_record_write_requires_mutable():
+    rec = VRecord({"i": VInt(1)}, frozenset())
+    with pytest.raises(EvalError, match="immutable"):
+        rec.write("i", VInt(2))
+
+
+def test_record_location_of_requires_mutable():
+    rec = VRecord({"i": VInt(1)}, frozenset())
+    with pytest.raises(EvalError, match="not mutable"):
+        rec.location_of("i")
+
+
+def test_record_missing_field():
+    rec = VRecord({"i": VInt(1)}, frozenset())
+    with pytest.raises(EvalError, match="no field"):
+        rec.read("zzz")
+
+
+def test_record_oids_unique():
+    r1 = VRecord({"a": VInt(1)}, frozenset())
+    r2 = VRecord({"a": VInt(1)}, frozenset())
+    assert r1.oid != r2.oid
+
+
+def test_vset_len_and_order():
+    s = VSet([VInt(3), VInt(1), VInt(3), VInt(2)])
+    assert len(s) == 3
+    assert [e.value for e in s.elems] == [3, 1, 2]

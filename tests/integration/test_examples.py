@@ -1,0 +1,24 @@
+"""Every example script runs clean (they contain their own assertions)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    pathlib.Path(__file__).resolve().parents[2].glob("examples/*.py"))
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(path):
+    proc = subprocess.run([sys.executable, str(path)],
+                          capture_output=True, text=True, timeout=120)
+    assert proc.returncode == 0, proc.stderr
+
+
+def test_all_examples_present():
+    names = {p.name for p in EXAMPLES}
+    assert {"quickstart.py", "female_member.py", "mutual_sharing.py",
+            "view_update_propagation.py", "university_db.py",
+            "access_control.py"} <= names

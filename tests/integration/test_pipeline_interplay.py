@@ -1,0 +1,105 @@
+"""Cross-feature interplay: translations, globals, prepare, explain.
+
+These tests exercise combinations the per-feature suites don't: compiled
+(translated) programs running against session-bound globals, prepared
+queries over translated code, and tracing through the compiled forms.
+"""
+
+import pytest
+
+from repro import Session
+from repro.core.infer import infer
+from repro.lang.pyconv import value_to_python
+
+NAMES = "fn S => map(fn o => query(fn v => v.Name, o), S)"
+
+
+@pytest.fixture()
+def s():
+    sess = Session()
+    sess.exec('val mia = IDView([Name = "Mia", Sex = "f"])')
+    sess.exec("val Base = class {mia} end")
+    return sess
+
+
+def test_translated_program_runs_against_globals(s):
+    """A translation of an expression referencing session globals is NOT
+    evaluable directly (the globals hold native objects/classes, not the
+    pair encoding) — the compilation unit is a closed program."""
+    src = f"c-query({NAMES}, Base)"
+    core = s.translate_full(src)
+    # typechecking the open translated term fails: Base has type
+    # class(...) in the environment, but the translation expects the
+    # record encoding.
+    with pytest.raises(Exception):
+        infer(core, s.type_env, level=1)
+
+
+def test_translated_closed_program_is_self_contained(s):
+    src = ('let m = IDView([Name = "M"]) in '
+           "let B = class {m} end in "
+           f"c-query({NAMES}, B) end end")
+    core = s.translate_full(src)
+    infer(core, s.type_env, level=1)
+    out = value_to_python(s.machine.eval(core, s.runtime_env), s.machine)
+    assert out == ["M"]
+
+
+def test_prepared_query_over_class_pipeline(s):
+    s.exec("val Derived = class {} includes Base "
+           "as fn x => [Name = x.Name] "
+           'where fn o => query(fn v => v.Sex = "f", o) end')
+    q = s.prepare(f"c-query({NAMES}, Derived)")
+    assert q.run_py() == ["Mia"]
+    s.exec('val zoe = (IDView([Name = "Zoe", Sex = "f"]) '
+           "as fn x => [Name = x.Name, Sex = x.Sex])")
+    s.eval("insert(zoe, Base)")
+    assert q.run_py() == ["Mia", "Zoe"]
+
+
+def test_explain_traces_prepared_queries(s):
+    from repro.lang.explain import Tracer
+    q = s.prepare(f"c-query({NAMES}, Base)")
+    tracer = Tracer()
+    s.machine.tracer = tracer
+    try:
+        q()
+    finally:
+        s.machine.tracer = None
+    assert any(r.kind == "extent" for r in tracer.roots)
+
+
+def test_ascription_with_prepared_query(s):
+    q = s.prepare("(c-query(fn S => size(S), Base)) : int")
+    assert q.run_py() == 1
+
+
+def test_builders_and_surface_interoperate(s):
+    from repro.lang import builders as B
+    term = B.cquery(B.lam("S", lambda S: B.size(S)), B.var("Base"))
+    from repro.eval.values import VInt
+    out = s.eval_term(term.term)
+    assert isinstance(out, VInt) and out.value == 1
+
+
+def test_catalog_and_raw_session_share_state():
+    from repro.db.catalog import Catalog
+    cat = Catalog()
+    cat.new_object("a", Name="A")
+    cat.define_class("C", own=["a"])
+    # drop to the raw session: the catalog's class is a normal binding
+    assert cat.session.eval_py(
+        f"c-query({NAMES}, C)") == ["A"]
+    cat.session.eval("insert((IDView([Name = \"B\", X = 1]) "
+                     "as fn x => [Name = x.Name]), C)")
+    assert [r["Name"] for r in cat.extent("C")] == ["A", "B"]
+
+
+def test_same_view_mode_with_translated_code():
+    s = Session(object_union="same-view")
+    src = ('let o = IDView([Name = "n"]) in '
+           "size(union({o}, {o})) end")
+    core = s.translate_full(src)
+    infer(core, s.type_env, level=1)
+    out = value_to_python(s.machine.eval(core, s.runtime_env), s.machine)
+    assert out == 1  # same pair value: no view conflict

@@ -1,0 +1,93 @@
+"""Section 3.3 worked examples, outputs pinned to the paper's numbers."""
+
+import pytest
+
+from repro import Session
+
+
+@pytest.fixture(scope="module")
+def s():
+    sess = Session()
+    sess.exec('''
+        val joe = IDView([Name = "Joe", BirthYear = 1955,
+                          Salary := 2000, Bonus := 5000])
+        val joe_view = (joe as fn x => [Name = x.Name,
+                                        Age = This_year() - x.BirthYear,
+                                        Income = x.Salary,
+                                        Bonus := extract(x, Bonus)])
+        fun Annual_Income p = (p.Income) * 12 + p.Bonus
+    ''')
+    return sess
+
+
+def test_joe_type(s):
+    assert s.typeof_str("joe") == \
+        "obj([Name = string, BirthYear = int, Salary := int, Bonus := int])"
+
+
+def test_joe_view_type(s):
+    # renaming, hiding, computed attribute and access restriction
+    assert s.typeof_str("joe_view") == \
+        "obj([Name = string, Age = int, Income = int, Bonus := int])"
+
+
+def test_same_identity(s):
+    assert s.eval_py("objeq(joe, joe_view)") is True
+
+
+def test_annual_income_type(s):
+    assert s.typeof_str("Annual_Income") == \
+        "forall t1::[[Income = int, Bonus = int]]. t1 -> int"
+
+
+def test_annual_income_is_29000(s):
+    assert s.eval_py("query(Annual_Income, joe_view)") == 29000
+
+
+def test_income_not_updatable_through_view(s):
+    from repro.errors import KindError
+    with pytest.raises(KindError):
+        s.typeof("query(fn x => update(x, Income, 0), joe_view)")
+
+
+def test_birthyear_hidden(s):
+    from repro.errors import KindError
+    with pytest.raises(KindError):
+        s.typeof("query(fn x => x.BirthYear, joe_view)")
+
+
+def test_adjust_bonus_updates_through_view(s):
+    s.exec("val adjustBonus = fn p => "
+           "query(fn x => update(x, Bonus, x.Income * 3), p)")
+    assert s.typeof_str("adjustBonus") == \
+        "forall t1::[[Income = int, Bonus := int]]. obj(t1) -> unit"
+    s.eval("adjustBonus joe_view")
+    # the paper's resulting record
+    assert s.eval_py("query(fn x => x, joe_view)") == {
+        "Name": "Joe", "Age": 39, "Income": 2000, "Bonus": 6000}
+
+
+def test_update_reflected_in_raw_object(s):
+    # "query(fn x => x, joe)" after the bonus adjustment
+    assert s.eval_py("query(fn x => x, joe)") == {
+        "Name": "Joe", "BirthYear": 1955, "Salary": 2000, "Bonus": 6000}
+
+
+def test_wealthy_applies_to_any_compatible_object_set(s):
+    s.exec('''
+        fun wealthy S =
+          select as fn x => [Name = x.Name, Age = x.Age]
+          from S
+          where fn x => query(Annual_Income, x) > 100000
+    ''')
+    s.exec('''
+        val Employees =
+          {IDView([Name = "E1", Age = 50, Income = 10000, Bonus = 0]),
+           IDView([Name = "E2", Age = 25, Income = 1000, Bonus = 500])}
+    ''')
+    out = s.eval_py("map(fn o => query(fn v => v, o), wealthy Employees)")
+    assert [(r["Name"], r["Age"]) for r in out] == [("E1", 50)]
+    # result objects share identity with the originals
+    assert s.eval_py(
+        "exists(fn o => query(fn v => v.Name = \"E1\", o), "
+        "wealthy Employees)") is True

@@ -1,0 +1,103 @@
+"""Section 4.2 worked examples: FemaleMember, names query, StudentStaff."""
+
+import pytest
+
+from repro import Session
+
+NAMES = "fn s => map(fn x => query(fn y => y.Name, x), s)"
+
+
+@pytest.fixture(scope="module")
+def s():
+    sess = Session()
+    sess.exec('''
+        val mia  = IDView([Name = "Mia", Age = 34, Sex = "female",
+                           Salary := 5100, Degree := "PhD"])
+        val noel = IDView([Name = "Noel", Age = 41, Sex = "male",
+                           Salary := 4800])
+        val ida  = IDView([Name = "Ida", Age = 23, Sex = "female",
+                           Degree := "BSc"])
+        val sview = fn x => [Name = x.Name, Age = x.Age, Sex = x.Sex,
+                             Salary := extract(x, Salary)]
+        val tview = fn x => [Name = x.Name, Age = x.Age, Sex = x.Sex,
+                             Degree := extract(x, Degree)]
+        val Staff   = class {(mia as sview), (noel as sview)} end
+        val Student = class {(mia as tview), (ida as tview)} end
+        val FemaleMember = class {}
+          includes Staff
+            as fn st => [Name = st.Name, Age = st.Age, Category = "staff"]
+            where fn o => query(fn x => x.Sex = "female", o)
+          includes Student
+            as fn st => [Name = st.Name, Age = st.Age, Category = "student"]
+            where fn o => query(fn x => x.Sex = "female", o)
+        end
+    ''')
+    return sess
+
+
+def test_female_member_type(s):
+    assert s.typeof_str("FemaleMember") == \
+        "class([Name = string, Age = int, Category = string])"
+
+
+def test_sex_hidden_category_added(s):
+    rows = s.eval_py("c-query(fn S => map(fn o => query(fn v => v, o), S), "
+                     "FemaleMember)")
+    assert all(set(r) == {"Name", "Age", "Category"} for r in rows)
+
+
+def test_names_query(s):
+    s.exec(f"val names = {NAMES}")
+    assert s.eval_py("c-query(names, FemaleMember)") == ["Mia", "Ida"]
+
+
+def test_category_by_source(s):
+    rows = s.eval_py("c-query(fn S => map(fn o => query(fn v => v, o), S), "
+                     "FemaleMember)")
+    cats = {r["Name"]: r["Category"] for r in rows}
+    # mia was collapsed to her first (staff) inclusion
+    assert cats == {"Mia": "staff", "Ida": "student"}
+
+
+def test_shared_object_appears_once(s):
+    assert s.eval_py("c-query(fn S => size(S), FemaleMember)") == 2
+
+
+def test_student_staff_intersection(s):
+    s.exec('''
+        val StudentStaff = class {}
+          includes Staff, Student
+            as fn p => [Name = p.1.Name, Age = p.1.Age, Sex = p.1.Sex,
+                        Sal := extract(p.1, Salary),
+                        Deg := extract(p.2, Degree)]
+            where fn p => true
+        end
+    ''')
+    assert s.typeof_str("StudentStaff") == (
+        "class([Name = string, Age = int, Sex = string, Sal := int, "
+        "Deg := string])")
+    rows = s.eval_py("c-query(fn S => map(fn o => query(fn v => v, o), S), "
+                     "StudentStaff)")
+    assert [r["Name"] for r in rows] == ["Mia"]
+    assert rows[0]["Sal"] == 5100 and rows[0]["Deg"] == "PhD"
+
+
+def test_student_staff_update_reaches_raw(s):
+    s.eval('c-query(fn S => map(fn o => '
+           'query(fn v => update(v, Deg, "DSc"), o), S), StudentStaff)')
+    assert s.eval_py("query(fn x => x.Degree, mia)") == "DSc"
+
+
+def test_member_objects_share_identity_with_sources(s):
+    assert s.eval_py(
+        "c-query(fn S => exists(fn o => objeq(o, mia), S), FemaleMember)") \
+        is True
+
+
+def test_female_member_tracks_source_inserts(s):
+    s.exec('val rhea = IDView([Name = "Rhea", Age = 29, Sex = "female", '
+           'Salary := 100])')
+    s.eval("insert((rhea as sview), Staff)")
+    assert "Rhea" in s.eval_py(f"c-query({NAMES}, FemaleMember)")
+    s.eval("delete((rhea as sview), Staff)")
+    assert "Rhea" not in s.eval_py(f"c-query({NAMES}, FemaleMember)")

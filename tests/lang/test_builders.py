@@ -1,0 +1,162 @@
+"""The fluent Python builder API (repro.lang.builders)."""
+
+import pytest
+
+from repro import Session
+from repro.lang import builders as B
+from repro.lang.pyconv import value_to_python
+
+
+@pytest.fixture()
+def s():
+    return Session()
+
+
+def run(s, x):
+    return value_to_python(s.eval_term(x.term), s.machine)
+
+
+def test_literals(s):
+    assert run(s, B.lit(5)) == 5
+    assert run(s, B.lit("hi")) == "hi"
+    assert run(s, B.lit(True)) is True
+    assert run(s, B.unit()) is None
+
+
+def test_lift_rejects_unknown(s):
+    with pytest.raises(TypeError):
+        B.lift(1.5)
+
+
+def test_operators(s):
+    assert run(s, B.lit(2) + 3 * B.lit(4)) == 14
+    assert run(s, B.lit(10) - 4) == 6
+    assert run(s, 100 - B.lit(1)) == 99
+    assert run(s, B.lit(1) < 2) is True
+    assert run(s, B.lit(2) >= 3) is False
+    assert run(s, B.lit("a").concat("b")) == "ab"
+
+
+def test_eq_and_ne(s):
+    assert run(s, B.lit(1) == 1) is True
+    assert run(s, B.lit(1) != 1) is False
+
+
+def test_record_and_projection(s):
+    rec = B.record(A=1, B=B.mut(2))
+    assert run(s, rec) == {"A": 1, "B": 2}
+    assert run(s, B.let("r", rec, lambda r: r.A + r.field("B"))) == 3
+
+
+def test_lambda_with_callable_body(s):
+    inc = B.lam("x", lambda x: x + 1)
+    assert run(s, inc(41)) == 42
+
+
+def test_lambda_with_expression_body(s):
+    const7 = B.lam("x", B.lit(7))
+    assert run(s, const7(0)) == 7
+
+
+def test_let_and_fix(s):
+    fact = B.fix("f", lambda f: B.lam("n", lambda n: B.if_(
+        n < 1, 1, n * f(n - 1))))
+    assert run(s, fact(5)) == 120
+
+
+def test_sets_and_builtins(s):
+    assert run(s, B.union(B.set_(1, 2), B.set_(2, 3))) == [1, 2, 3]
+    assert run(s, B.member(2, B.set_(1, 2))) is True
+    assert run(s, B.size(B.set_(1, 1, 2))) == 2
+    assert run(s, B.remove(B.set_(1, 2), B.set_(1))) == [2]
+
+
+def test_hom(s):
+    total = B.hom(B.set_(1, 2, 3), B.lam("x", lambda x: x),
+                  B.lam("a", lambda a: B.lam("b", lambda b: a + b)), 0)
+    assert run(s, total) == 6
+
+
+def test_object_lifecycle(s):
+    joe = B.idview(B.record(Name="Joe", Salary=B.mut(2000),
+                            Bonus=B.mut(5000)))
+    view = B.lam("x", lambda x: B.record(
+        Income=x.Salary, Bonus=B.extract(x, "Bonus")))
+    prog = B.let("joe", joe, lambda j: B.let(
+        "v", B.as_view(j, view), lambda v: B.query(
+            B.lam("p", lambda p: p.Income * 12 + p.Bonus), v)))
+    assert run(s, prog) == 29000
+
+
+def test_extract_immutable_sharing(s):
+    prog = B.let(
+        "r", B.record(S=B.mut(10)),
+        lambda r: B.let(
+            "ro", B.record(I=B.extract(r, "S", mutable=False)),
+            lambda ro: B.let(
+                "u", B.update(r, "S", 99),
+                lambda _u: ro.I)))
+    assert run(s, prog) == 99
+
+
+def test_fuse_and_relobj(s):
+    prog = B.let("o", B.idview(B.record(A=1)), lambda o: B.size(
+        B.fuse(o, B.as_view(o, B.lam("x", lambda x: B.record(B=x.A))))))
+    assert run(s, prog) == 1
+    rel = B.let(
+        "a", B.idview(B.record(N=1)),
+        lambda a: B.let(
+            "b", B.idview(B.record(M=2)),
+            lambda b: B.query(
+                B.lam("t", lambda t: t.left.N + t.right.M),
+                B.relobj(left=a, right=b))))
+    assert run(s, rel) == 3
+
+
+def test_class_and_cquery(s):
+    prog = B.let(
+        "o", B.idview(B.record(Name="n", Sex="f")),
+        lambda o: B.let(
+            "Base", B.class_(B.set_(o)),
+            lambda base: B.cquery(
+                B.lam("S", lambda S: B.size(S)),
+                B.class_(None, B.include(
+                    base,
+                    B.lam("x", lambda x: B.record(Name=x.Name)),
+                    B.lam("i", lambda i: B.query(
+                        B.lam("v", lambda v: v.Sex == "f"), i)))))))
+    assert run(s, prog) == 1
+
+
+def test_let_classes_recursive(s):
+    seed = B.idview(B.record(Name="seed"))
+    ident_view = B.lam("x", lambda x: B.record(Name=x.Name))
+    prog = B.let("seed", seed, lambda sd: B.let_classes(
+        {"A": B.class_(B.set_(sd), B.include(B.var("B"), ident_view)),
+         "B": B.class_(None, B.include(B.var("A"), ident_view))},
+        lambda a, b: B.cquery(B.lam("S", lambda S: B.size(S)), b)))
+    assert run(s, prog) == 1
+
+
+def test_let_classes_rejects_non_class(s):
+    with pytest.raises(TypeError):
+        B.let_classes({"A": B.lit(1)}, B.lit(0))
+
+
+def test_insert_delete(s):
+    s.exec("val C = class {} end")
+    s.eval_term(B.insert(B.idview(B.record(Name="x")), B.var("C")).term)
+    assert s.eval_py("c-query(fn S => size(S), C)") == 1
+
+
+def test_builders_typecheck_through_session(s):
+    from repro.errors import UnificationError
+    bad = B.lit(1) + "two"
+    with pytest.raises(UnificationError):
+        s.eval_term(bad.term)
+
+
+def test_numeric_labels_via_field(s):
+    pair = B.record(**{"1": 10, "2": 20})
+    assert run(s, B.let("p", pair, lambda p: p.field("1") + p.field("2"))) \
+        == 30

@@ -1,0 +1,86 @@
+"""Position-annotated diagnostics across the pipeline."""
+
+import pytest
+
+from repro import Session
+from repro.errors import (KindError, LexError, ParseError,
+                          TypeInferenceError, UnificationError)
+
+
+@pytest.fixture()
+def s():
+    return Session()
+
+
+def test_lex_error_position(s):
+    with pytest.raises(LexError) as exc:
+        s.eval("1 +\n ?")
+    assert exc.value.line == 2 and exc.value.column == 2
+
+
+def test_parse_error_position(s):
+    with pytest.raises(ParseError) as exc:
+        s.eval("let x =\n in 1 end")
+    assert exc.value.line == 2
+
+
+def test_kind_error_carries_position(s):
+    with pytest.raises(KindError) as exc:
+        s.typeof("fn x =>\n  update([A = 1], A, 2)")
+    assert "(line 2" in str(exc.value)
+
+
+def test_unification_error_carries_position(s):
+    with pytest.raises(UnificationError) as exc:
+        s.typeof("let f = fn x => x + 1 in\nf true end")
+    assert "(line" in str(exc.value)
+
+
+def test_position_is_innermost(s):
+    # the annotation comes from the node nearest the failure
+    with pytest.raises(UnificationError) as exc:
+        s.typeof('(1,\n 2,\n "three" + 4)')
+    assert "(line 3" in str(exc.value)
+
+
+def test_unbound_variable_message(s):
+    with pytest.raises(TypeInferenceError) as exc:
+        s.typeof("nope + 1")
+    assert "unbound variable 'nope'" in str(exc.value)
+
+
+def test_missing_field_message_names_field(s):
+    with pytest.raises(KindError) as exc:
+        s.typeof("[A = 1].B")
+    assert "'B'" in str(exc.value)
+
+
+def test_immutable_update_message(s):
+    with pytest.raises(KindError) as exc:
+        s.typeof("update([A = 1], A, 2)")
+    assert "immutable" in str(exc.value)
+
+
+def test_record_mismatch_lists_fields(s):
+    with pytest.raises(UnificationError) as exc:
+        s.typeof("if true then [A = 1] else [B = 1]")
+    assert "'A'" in str(exc.value) and "'B'" in str(exc.value)
+
+
+def test_recursive_class_violation_names_class(s):
+    from repro.errors import RecursiveClassError
+    with pytest.raises(RecursiveClassError) as exc:
+        s.eval("let A = class {} includes B "
+               "as fn x => [N = c-query(fn S => size(S), A)] "
+               "where fn o => true end "
+               "and B = class {} end in 0 end")
+    assert "'A'" in str(exc.value)
+    assert "viewing function" in str(exc.value)
+
+
+def test_annotation_happens_once(s):
+    # nested positions must not pile up multiple "(line ...)" suffixes
+    with pytest.raises(UnificationError) as exc:
+        s.typeof("let a = let b = let c = 1 + true in c end in b end "
+                 "in a end")
+    assert str(exc.value).count("(line") == 1

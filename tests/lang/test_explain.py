@@ -1,0 +1,94 @@
+"""The explain facility: tracing lazy views and extent computations."""
+
+import pytest
+
+from repro import Session
+from repro.lang.explain import ExplainNode, explain
+
+
+@pytest.fixture()
+def s():
+    return Session()
+
+
+def test_materializations_traced(s):
+    s.exec("val o = IDView([A = 1])")
+    report = explain(s, "query(fn x => x.A, o)")
+    assert report.result == 1
+    assert report.materializations() == 1
+    assert "materialize" in report.render()
+
+
+def test_no_trace_without_explain(s):
+    s.exec("val o = IDView([A = 1])")
+    s.eval("query(fn x => x.A, o)")
+    assert s.machine.tracer is None
+
+
+def test_extent_tree_nesting(s):
+    s.exec('val o = IDView([Name = "n"])')
+    s.exec("val A = class {o} end")
+    s.exec("val B = class {} includes A as fn x => [Name = x.Name] "
+           "where fn i => true end")
+    report = explain(s, "c-query(fn S => size(S), B)")
+    assert report.result == 1
+    # B's extent computation nests A's
+    assert len(report.roots) == 1
+    root = report.roots[0]
+    assert root.kind == "extent"
+    assert any(c.kind == "extent" for c in root.children)
+
+
+def test_cycle_cuts_reported(s):
+    s.exec('val seed = IDView([Name = "s"])')
+    s.exec("val P = class {seed} includes Q as fn x => [Name = x.Name] "
+           "where fn i => true end "
+           "and Q = class {} includes P as fn x => [Name = x.Name] "
+           "where fn i => true end")
+    report = explain(s, "c-query(fn S => size(S), P)")
+    assert report.cycle_cuts() == 1
+    assert "already on the inclusion path" in report.render()
+
+
+def test_counts_match_metrics(s):
+    s.exec('val o = IDView([Name = "n", Sex = "f"])')
+    s.exec("val A = class {o} end")
+    s.exec("val B = class {} includes A as fn x => [Name = x.Name] "
+           'where fn i => query(fn v => v.Sex = "f", i) end')
+    s.metrics.reset()
+    report = explain(s, "c-query(fn S => map(fn m => "
+                        "query(fn v => v.Name, m), S), B)")
+    assert report.extent_computations() == s.metrics.extent_computations \
+        + 1  # the nested source extent is one _extent call, one tree node
+    assert report.materializations() == s.metrics.view_materializations
+
+
+def test_tracer_detached_after_error(s):
+    with pytest.raises(Exception):
+        explain(s, "1 + true")
+    assert s.machine.tracer is None
+
+
+def test_node_count_helper():
+    tree = ExplainNode("extent", "x", [
+        ExplainNode("materialize", "a"),
+        ExplainNode("extent", "y", [ExplainNode("materialize", "b")])])
+    assert tree.count() == 4
+    assert tree.count("materialize") == 2
+    assert tree.count("extent") == 2
+
+
+def test_render_indents():
+    tree = ExplainNode("extent", "outer", [ExplainNode("extent", "inner")])
+    from repro.lang.explain import ExplainReport
+    text = ExplainReport([tree], None).render()
+    assert text == "extent outer\n  extent inner"
+
+
+def test_result_conversion_does_not_pollute_trace(s):
+    # explain returns a class value: converting it computes the extent,
+    # but AFTER the tracer is detached
+    s.exec("val C = class {IDView([A = 1])} end")
+    report = explain(s, "C")
+    assert report.extent_computations() == 0
+    assert report.result["extent"][0]["A"] == 1

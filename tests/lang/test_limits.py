@@ -1,0 +1,67 @@
+"""Deeply nested programs: the recursion headroom machinery."""
+
+import sys
+
+import pytest
+
+from repro import Session
+from repro.core.limits import deep_recursion
+
+
+def test_deep_view_composition_chain():
+    s = Session()
+    s.exec("val o = IDView([f = 0])")
+    src = "o"
+    for _ in range(300):
+        src = f"({src} as fn x => [f = (x.f) + 1])"
+    s.bind("deep", src)
+    assert s.eval_py("query(fn x => x.f, deep)") == 300
+
+
+def test_deep_parenthesization():
+    s = Session()
+    assert s.eval_py("(" * 500 + "7" + ")" * 500) == 7
+
+
+def test_deep_let_nesting():
+    s = Session()
+    src = "x0"
+    for i in range(400, 0, -1):
+        src = f"let x{i - 1} = {i} in {src} end"
+    # x0 = 1
+    assert s.eval_py(src) == 1
+
+
+def test_deep_record_nesting_types():
+    s = Session()
+    src = "1"
+    for _ in range(300):
+        src = f"[n = {src}]"
+    t = s.typeof_str(src + ".n" * 0)
+    assert t.startswith("[n = ")
+
+
+def test_limit_restored_after_use():
+    before = sys.getrecursionlimit()
+    with deep_recursion():
+        pass
+    assert sys.getrecursionlimit() == before
+
+
+def test_limit_restored_after_error():
+    before = sys.getrecursionlimit()
+    s = Session()
+    with pytest.raises(Exception):
+        s.eval("1 + true")
+    assert sys.getrecursionlimit() == before
+
+
+def test_excessive_depth_reports_cleanly():
+    from repro.errors import EvalError
+
+    def bottomless():
+        with deep_recursion():
+            raise RecursionError
+
+    with pytest.raises(EvalError, match="nesting exceeds"):
+        bottomless()

@@ -1,0 +1,67 @@
+"""Conversion of runtime values to Python data (repro.lang.pyconv)."""
+
+import pytest
+
+from repro import Session
+from repro.lang.pyconv import record_to_python, value_to_python
+
+
+@pytest.fixture()
+def s():
+    return Session()
+
+
+def conv(s, src):
+    return value_to_python(s.eval(src), s.machine)
+
+
+def test_base_values(s):
+    assert conv(s, "1") == 1
+    assert conv(s, '"x"') == "x"
+    assert conv(s, "true") is True
+    assert conv(s, "()") is None
+
+
+def test_record_with_mutable_fields(s):
+    assert conv(s, "[a = 1, b := 2]") == {"a": 1, "b": 2}
+
+
+def test_nested_records_and_sets(s):
+    assert conv(s, "[a = {1, 2}, b = [c = true]]") == \
+        {"a": [1, 2], "b": {"c": True}}
+
+
+def test_set_preserves_order(s):
+    assert conv(s, "{3, 1, 2}") == [3, 1, 2]
+
+
+def test_object_converts_to_materialized_view_with_oid(s):
+    s.exec("val o = IDView([a = 1])")
+    out = conv(s, "(o as fn x => [b = x.a + 1])")
+    assert out["b"] == 2
+    raw = s.runtime_env.lookup("o").raw
+    assert out["__oid__"] == raw.oid
+
+
+def test_two_views_same_oid(s):
+    s.exec("val o = IDView([a = 1])")
+    v1 = conv(s, "(o as fn x => [b = x.a])")
+    v2 = conv(s, "(o as fn x => [c = x.a])")
+    assert v1["__oid__"] == v2["__oid__"]
+
+
+def test_class_converts_to_extent(s):
+    out = conv(s, "class {IDView([a = 1])} end")
+    assert out["extent"][0]["a"] == 1
+
+
+def test_functions_convert_to_tag(s):
+    assert conv(s, "fn x => x").startswith("<function")
+    assert conv(s, "union").startswith("<function")
+
+
+def test_record_to_python_reads_through_locations(s):
+    s.exec("val r = [a := 1]")
+    rec = s.runtime_env.lookup("r")
+    s.eval("update(r, a, 5)")
+    assert record_to_python(rec, s.machine) == {"a": 5}

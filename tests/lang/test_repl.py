@@ -1,0 +1,66 @@
+"""The REPL line processor."""
+
+import pytest
+
+from repro import Session
+from repro.lang.repl import run_line
+
+
+@pytest.fixture()
+def s():
+    return Session()
+
+
+def test_expression_prints_value_and_type(s):
+    out = run_line(s, "1 + 1")
+    assert out == "2 : int"
+
+
+def test_val_binding_prints_ok(s):
+    assert run_line(s, "val x = 5") == "ok"
+    assert run_line(s, "x") == "5 : int"
+
+
+def test_type_command(s):
+    out = run_line(s, ":type fn x => x.A")
+    assert out == "forall t1::U. forall t2::[[A = t1]]. t2 -> t1"
+
+
+def test_translate_command(s):
+    out = run_line(s, ":translate IDView([A = 1])")
+    assert "IDView" not in out
+    assert "[1 = [A = 1]" in out
+
+
+def test_metrics_command(s):
+    assert "records_created" in run_line(s, ":metrics")
+
+
+def test_explain_command(s):
+    run_line(s, "val o = IDView([A = 1])")
+    out = run_line(s, ":explain query(fn x => x.A, o)")
+    assert "materialize" in out
+    assert "=> 1" in out
+
+
+def test_explain_without_laziness(s):
+    out = run_line(s, ":explain 1 + 1")
+    assert "no lazy evaluation" in out
+
+
+def test_help(s):
+    assert ":type" in run_line(s, ":help")
+
+
+def test_quit_raises_eof(s):
+    with pytest.raises(EOFError):
+        run_line(s, ":quit")
+
+
+def test_blank_line_quiet(s):
+    assert run_line(s, "   ") is None
+
+
+def test_record_value_display(s):
+    out = run_line(s, '[Name = "n", Pay := 3]')
+    assert out.startswith('[Name = "n", Pay := 3] : ')

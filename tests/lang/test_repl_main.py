@@ -1,0 +1,51 @@
+"""The REPL main loop, driven end-to-end through a subprocess pipe."""
+
+import subprocess
+import sys
+
+
+def run_repl(script: str) -> str:
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.lang.repl"],
+        input=script, capture_output=True, text=True, timeout=60)
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+def test_banner_and_expression():
+    out = run_repl("1 + 1\n")
+    assert "Polymorphic Calculus" in out
+    assert "2 : int" in out
+
+
+def test_val_binding_then_use():
+    out = run_repl("val x = 21\nx * 2\n")
+    assert "42 : int" in out
+
+
+def test_multiline_let_block():
+    out = run_repl("let x = 5 in\nx + 1\nend;;\n")
+    assert "6 : int" in out
+
+
+def test_type_command():
+    out = run_repl(":type fn x => x\n")
+    assert "forall t1::U. t1 -> t1" in out
+
+
+def test_error_does_not_kill_session():
+    out = run_repl("1 + true\n2 + 2\n")
+    assert "error:" in out
+    assert "4 : int" in out
+
+
+def test_quit_command():
+    out = run_repl(":quit\nshould not run\n")
+    assert "should not run" not in out
+
+
+def test_object_workflow_in_repl():
+    out = run_repl(
+        'val joe = IDView([Name = "Joe", Salary := 2000])\n'
+        "query(fn x => x.Salary, joe)\n")
+    assert "2000 : int" in out

@@ -1,0 +1,132 @@
+"""The Session API: exec/bind/typeof/it/metrics/translation entry points."""
+
+import pytest
+
+from repro import Session
+from repro.errors import ParseError, TypeInferenceError
+
+
+def test_bind_and_eval():
+    s = Session()
+    s.bind("x", "40 + 2")
+    assert s.eval_py("x") == 42
+
+
+def test_bind_returns_scheme():
+    s = Session()
+    scheme = s.bind("f", "fn x => x")
+    from repro.syntax.pretty import pretty_scheme
+    assert pretty_scheme(scheme) == "forall t1::U. t1 -> t1"
+
+
+def test_exec_returns_last_expression_value():
+    s = Session()
+    out = s.exec("val x = 1; x + 1")
+    from repro.eval.values import VInt
+    assert isinstance(out, VInt) and out.value == 2
+
+
+def test_exec_binds_it():
+    s = Session()
+    s.exec("21 * 2")
+    assert s.eval_py("it") == 42
+
+
+def test_exec_without_expression_returns_none():
+    s = Session()
+    assert s.exec("val x = 1") is None
+
+
+def test_typeof_does_not_evaluate():
+    s = Session()
+    s.exec("val r = [A := 1]")
+    s.typeof("update(r, A, 99)")
+    assert s.eval_py("r.A") == 1
+
+
+def test_typecheck_failure_prevents_evaluation():
+    s = Session()
+    s.exec("val r = [A := 1]")
+    with pytest.raises(Exception):
+        s.eval('update(r, A, "wrong type")')
+    assert s.eval_py("r.A") == 1
+
+
+def test_ill_typed_bind_leaves_env_unchanged():
+    s = Session()
+    with pytest.raises(Exception):
+        s.bind("bad", "1 + true")
+    with pytest.raises(TypeInferenceError):
+        s.typeof("bad")
+
+
+def test_parse_error_has_position():
+    s = Session()
+    with pytest.raises(ParseError) as exc:
+        s.eval("let x = in 3 end")
+    assert exc.value.line is not None
+
+
+def test_prelude_can_be_disabled():
+    s = Session(load_prelude=False)
+    with pytest.raises(TypeInferenceError):
+        s.typeof("map")
+
+
+def test_fun_decl_polymorphic_across_uses():
+    s = Session()
+    s.exec("fun ident x = x")
+    assert s.eval_py("(ident 1, ident true)") == {"1": 1, "2": True}
+
+
+def test_mutual_fun_decl():
+    s = Session()
+    s.exec("fun ping n = if n < 1 then \"ping\" else pong (n - 1) "
+           "and pong n = if n < 1 then \"pong\" else ping (n - 1)")
+    assert s.eval_py("ping 3") == "pong"
+    assert s.eval_py("ping 4") == "ping"
+
+
+def test_rebinding_shadows():
+    s = Session()
+    s.bind("x", "1")
+    s.bind("x", "2")
+    assert s.eval_py("x") == 2
+
+
+def test_metrics_accumulate_and_reset():
+    s = Session()
+    s.metrics.reset()
+    s.eval("[A = 1]")
+    assert s.metrics.records_created == 1
+    s.metrics.reset()
+    assert s.metrics.records_created == 0
+
+
+def test_translate_full_pipeline():
+    s = Session()
+    term = s.translate_full(
+        "c-query(fn S => size(S), class {IDView([A = 1])} end)")
+    from repro.core import terms as T
+
+    def clean(t):
+        assert not isinstance(
+            t, (T.IDView, T.AsView, T.Query, T.Fuse, T.RelObj, T.ClassExpr,
+                T.CQuery, T.Insert, T.Delete, T.LetClasses))
+        for sub in T.iter_subterms(t):
+            clean(sub)
+
+    clean(term)
+
+
+def test_show_pretty_prints():
+    s = Session()
+    assert s.show("[A = 1, B := true]") == "[A = 1, B := true]"
+    assert s.show("{1, 2}") == "{1, 2}"
+
+
+def test_separate_sessions_are_isolated():
+    s1, s2 = Session(), Session()
+    s1.bind("x", "1")
+    with pytest.raises(TypeInferenceError):
+        s2.typeof("x")

@@ -1,0 +1,119 @@
+"""The derived operation builders of Section 3.1 (repro.objects.algebra)."""
+
+from repro.core import terms as T
+from repro.core.env import initial_type_env
+from repro.core.infer import infer
+from repro.objects import algebra as A
+
+
+def test_gensym_fresh_and_unparseable():
+    a, b = A.gensym(), A.gensym()
+    assert a != b
+    assert "%" in a  # cannot collide with surface identifiers
+
+
+def test_mk_app_spine():
+    e = A.mk_app(T.Var("f"), T.Var("a"), T.Var("b"))
+    assert isinstance(e, T.App) and isinstance(e.fn, T.App)
+
+
+def test_mk_lam_currying():
+    e = A.mk_lam(["x", "y"], T.Var("x"))
+    assert isinstance(e, T.Lam) and isinstance(e.body, T.Lam)
+    assert e.param == "x" and e.body.param == "y"
+
+
+def test_mk_pair_shape():
+    e = A.mk_pair(T.Var("a"), T.Var("b"))
+    assert [f.label for f in e.fields] == ["1", "2"]
+    assert not any(f.mutable for f in e.fields)
+
+
+def test_mk_map_types():
+    env = initial_type_env()
+    term = T.Lam("f", T.Lam("s", A.mk_map(T.Var("f"), T.Var("s"))))
+    t = infer(term, env)  # (a -> b) -> {a} -> {b}
+    from repro.core.types import TFun, TSet, resolve
+    t = resolve(t)
+    assert isinstance(t, TFun)
+    assert isinstance(resolve(resolve(t.cod).dom), TSet)
+
+
+def test_mk_filter_types():
+    env = initial_type_env()
+    term = T.Lam("p", T.Lam("s", A.mk_filter(T.Var("p"), T.Var("s"))))
+    infer(term, env)
+
+
+def test_mk_select_uses_asview():
+    sel = A.mk_select(T.Var("v"), T.Var("s"), T.Var("p"))
+    found = []
+
+    def walk(t):
+        found.append(type(t).__name__)
+        for sub in T.iter_subterms(t):
+            walk(sub)
+
+    walk(sel)
+    assert "AsView" in found
+    assert found.count("Prod") == 0
+
+
+def test_mk_intersect_singleton_identity():
+    s = T.Var("S")
+    assert A.mk_intersect([s]) is s
+
+
+def test_mk_intersect_uses_prod_and_fuse():
+    sel = A.mk_intersect([T.Var("a"), T.Var("b"), T.Var("c")])
+    names = []
+
+    def walk(t):
+        names.append(type(t).__name__)
+        for sub in T.iter_subterms(t):
+            walk(sub)
+
+    walk(sel)
+    assert "Prod" in names and "Fuse" in names
+
+
+def test_mk_intersect_empty_rejected():
+    import pytest
+    with pytest.raises(ValueError):
+        A.mk_intersect([])
+
+
+def test_mk_relation_binds_each_variable():
+    rel = A.mk_relation(
+        [("l", T.Var("x1"))], [("x1", T.Var("S1")), ("x2", T.Var("S2"))],
+        T.Const(True, __import__(
+            "repro.core.types", fromlist=["BOOL"]).BOOL))
+    names = []
+
+    def walk(t):
+        if isinstance(t, T.Let):
+            names.append(t.name)
+        for sub in T.iter_subterms(t):
+            walk(sub)
+
+    walk(rel)
+    assert "x1" in names and "x2" in names
+
+
+def test_mk_relation_requires_binders():
+    import pytest
+    from repro.core.types import BOOL
+    with pytest.raises(ValueError):
+        A.mk_relation([("l", T.Var("x"))], [], T.Const(True, BOOL))
+
+
+def test_mk_objeq_shape():
+    e = A.mk_objeq(T.Var("a"), T.Var("b"))
+    assert isinstance(e, T.App)
+    assert isinstance(e.fn, T.Var) and e.fn.name == "not"
+
+
+def test_mk_seq_discards_first():
+    e = A.mk_seq(T.Var("a"), T.Var("b"))
+    assert isinstance(e, T.Let)
+    assert isinstance(e.body, T.Var) and e.body.name == "b"

@@ -1,0 +1,173 @@
+"""Evaluation of the object/view algebra (Section 3)."""
+
+import pytest
+
+from repro import Session
+
+
+@pytest.fixture()
+def s():
+    return Session()
+
+
+def test_idview_materializes_to_raw(s):
+    s.exec("val o = IDView([A = 1, B := 2])")
+    assert s.eval_py("query(fn x => x, o)") == {"A": 1, "B": 2}
+
+
+def test_idview_query_identity_returns_the_raw_record(s):
+    # the identity view exposes the raw record itself: updating the
+    # materialization updates the raw object
+    s.exec("val o = IDView([A := 1])")
+    s.eval("query(fn x => update(x, A, 9), o)")
+    assert s.eval_py("query(fn x => x.A, o)") == 9
+
+
+def test_view_composition_renaming_hiding_computed(s):
+    s.exec('val o = IDView([Name = "N", BirthYear = 1960, Salary := 100])')
+    s.exec("val v = (o as fn x => [Who = x.Name, "
+           "Age = This_year() - x.BirthYear])")
+    assert s.eval_py("query(fn x => x, v)") == {"Who": "N", "Age": 34}
+
+
+def test_views_evaluate_lazily(s):
+    # the view function runs at query time: raw updates are always seen
+    s.exec("val o = IDView([A := 1])")
+    s.exec("val v = (o as fn x => [Double = (x.A) * 2])")
+    assert s.eval_py("query(fn x => x.Double, v)") == 2
+    s.eval("query(fn x => update(x, A, 21), o)")
+    assert s.eval_py("query(fn x => x.Double, v)") == 42
+
+
+def test_view_composition_is_function_composition(s):
+    s.exec("val o = IDView([A = 1])")
+    s.exec("val v = ((o as fn x => [B = x.A + 1]) as fn x => [C = x.B * 10])")
+    assert s.eval_py("query(fn x => x.C, v)") == 20
+
+
+def test_composed_view_keeps_identity(s):
+    s.exec("val o = IDView([A = 1])")
+    s.exec("val v = ((o as fn x => [B = x.A]) as fn x => [C = x.B])")
+    assert s.eval_py("objeq(o, v)") is True
+
+
+def test_mutability_transfer_through_extract(s):
+    # the view exposes Bonus mutably via extract; updating through the view
+    # hits the raw object (the adjustBonus mechanism)
+    s.exec("val o = IDView([Salary := 100, Bonus := 5])")
+    s.exec("val v = (o as fn x => [Income = x.Salary, "
+           "Bonus := extract(x, Bonus)])")
+    s.eval("query(fn x => update(x, Bonus, 77), v)")
+    assert s.eval_py("query(fn x => x.Bonus, o)") == 77
+
+
+def test_view_without_extract_copies_value(s):
+    # an immutable computed field is a value copy: updating the raw later
+    # changes subsequent queries but each materialization is fresh
+    s.exec("val o = IDView([A := 1])")
+    s.exec("val v = (o as fn x => [B = x.A])")
+    assert s.eval_py("query(fn x => x.B, v)") == 1
+    s.eval("query(fn x => update(x, A, 2), o)")
+    assert s.eval_py("query(fn x => x.B, v)") == 2
+
+
+def test_each_materialization_is_fresh_record(s):
+    s.exec("val o = IDView([A = 1])")
+    s.exec("val v = (o as fn x => [B = x.A])")
+    # two materializations are different records (identity created by the
+    # view body each time)
+    assert s.eval_py(
+        "eq(query(fn x => x, v), query(fn x => x, v))") is False
+
+
+def test_fuse_same_raw_singleton(s):
+    s.exec("val o = IDView([A = 1])")
+    s.exec("val v = (o as fn x => [B = x.A * 2])")
+    out = s.eval_py("map(fn f => query(fn p => ((p.1).A, (p.2).B), f), "
+                    "fuse(o, v))")
+    assert out == [{"1": 1, "2": 2}]
+
+
+def test_fuse_different_raw_empty(s):
+    s.exec("val o1 = IDView([A = 1])")
+    s.exec("val o2 = IDView([A = 2])")
+    assert s.eval_py("fuse(o1, o2)") == []
+
+
+def test_fuse_preserves_identity(s):
+    s.exec("val o = IDView([A = 1])")
+    s.exec("val v = (o as fn x => [B = x.A])")
+    out = s.eval_py("map(fn f => objeq(f, o), fuse(o, v))")
+    assert out == [True]
+
+
+def test_nary_fuse(s):
+    s.exec("val o = IDView([A = 1])")
+    s.exec("val v = (o as fn x => [B = 2])")
+    s.exec("val w = (o as fn x => [C = 3])")
+    out = s.eval_py(
+        "map(fn f => query(fn p => ((p.1).A) + ((p.2).B) + (p.3).C, f), "
+        "fuse(o, v, w))")
+    assert out == [6]
+
+
+def test_relobj_creates_new_identity(s):
+    s.exec("val a = IDView([A = 1])")
+    s.exec("val b = IDView([B = 2])")
+    s.exec("val r1 = relobj(x = a, y = b)")
+    s.exec("val r2 = relobj(x = a, y = b)")
+    assert s.eval_py("objeq(r1, r2)") is False  # new raw each time
+
+
+def test_relobj_views_compose_per_field(s):
+    s.exec("val a = IDView([A = 1])")
+    s.exec("val va = (a as fn x => [A2 = (x.A) * 2])")
+    s.exec("val b = IDView([B = 10])")
+    s.exec("val r = relobj(l = va, r = b)")
+    assert s.eval_py("query(fn t => ((t.l).A2) + (t.r).B, r)") == 12
+
+
+def test_relobj_sees_raw_updates(s):
+    s.exec("val a = IDView([A := 1])")
+    s.exec("val r = relobj(only = a)")
+    s.eval("query(fn x => update(x, A, 5), a)")
+    assert s.eval_py("query(fn t => (t.only).A, r)") == 5
+
+
+def test_select_filters_and_reviews(s):
+    s.exec("val s1 = IDView([N = 1])")
+    s.exec("val s2 = IDView([N = 2])")
+    out = s.eval_py(
+        "map(fn o => query(fn v => v.M, o), "
+        "select as fn x => [M = (x.N) * 10] from {s1, s2} "
+        "where fn o => query(fn x => x.N > 1, o))")
+    assert out == [20]
+
+
+def test_intersect_by_identity(s):
+    s.exec("val shared = IDView([N = 1])")
+    s.exec("val only1 = IDView([N = 2])")
+    s.exec("val only2 = IDView([N = 3])")
+    out = s.eval_py(
+        "map(fn o => query(fn p => (p.1).N, o), "
+        "intersect({shared, only1}, {shared, only2}))")
+    assert out == [1]
+
+
+def test_relation_query(s):
+    s.exec("val p1 = IDView([Name = \"P1\", Dept = \"CS\"])")
+    s.exec("val d1 = IDView([Dept = \"CS\", Building = \"B7\"])")
+    s.exec("val d2 = IDView([Dept = \"Bio\", Building = \"B2\"])")
+    out = s.eval_py(
+        'map(fn r => query(fn v => (v.person.Name) ^ "@" '
+        '^ (v.dept.Building), r), '
+        "relation [person = p, dept = d] from p in {p1}, d in {d1, d2} "
+        "where query(fn x => x.Dept, p) = query(fn x => x.Dept, d))")
+    assert out == ["P1@B7"]
+
+
+def test_metrics_materializations(s):
+    s.exec("val o = IDView([A = 1])")
+    s.metrics.reset()
+    s.eval("query(fn x => x.A, o)")
+    assert s.metrics.view_materializations == 1

@@ -1,0 +1,169 @@
+"""Figure 3: translation of objects into the core (Proposition 3).
+
+Each test translates a program, re-infers it in the core language (no
+object constructs remain), checks the internal-representation relation on
+the types, and — where the paper's semantics is deterministic — compares
+evaluation results against the native machine.
+"""
+
+import pytest
+
+from repro import Session
+from repro.core import terms as T
+from repro.core.env import initial_type_env
+from repro.core.infer import infer
+from repro.errors import TranslationError, UnificationError
+from repro.lang.pyconv import value_to_python
+from repro.objects.translate import (internal_representation_matches,
+                                     translate_objects)
+from repro.syntax.parser import parse_expression
+
+
+def contains_object_nodes(term: T.Term) -> bool:
+    if isinstance(term, (T.IDView, T.AsView, T.Query, T.Fuse, T.RelObj)):
+        return True
+    return any(contains_object_nodes(sub) for sub in T.iter_subterms(term))
+
+
+def roundtrip(src: str):
+    """Translate, typecheck both, evaluate both, return (native, core)."""
+    s = Session()
+    env = s.type_env
+    term = s.parse(src)
+    t_ext = infer(term, env)
+    tr = translate_objects(term)
+    assert not contains_object_nodes(tr)
+    t_core = infer(tr, env)
+    assert internal_representation_matches(t_core, t_ext)
+    native = s.eval_py(src)
+    translated = value_to_python(s.machine.eval(tr, s.runtime_env),
+                                 s.machine)
+    return native, translated
+
+
+def test_idview_translation():
+    native, translated = roundtrip(
+        "query(fn x => x.A, IDView([A = 41]))")
+    assert native == translated == 41
+
+
+def test_asview_translation():
+    native, translated = roundtrip(
+        "let o = IDView([A = 2]) in "
+        "query(fn x => x.B, (o as fn x => [B = (x.A) * 3])) end")
+    assert native == translated == 6
+
+
+def test_view_update_through_translation():
+    src = ("let o = IDView([A := 1]) in "
+           "let v = (o as fn x => [B := extract(x, A)]) in "
+           "let u = query(fn x => update(x, B, 9), v) in "
+           "query(fn x => x.A, o) end end end")
+    native, translated = roundtrip(src)
+    assert native == translated == 9
+
+
+def test_fuse_positive_translation():
+    src = ("let o = IDView([A = 5]) in "
+           "let v = (o as fn x => [B = x.A + 1]) in "
+           "size(fuse(o, v)) end end")
+    native, translated = roundtrip(src)
+    assert native == translated == 1
+
+
+def test_fuse_negative_translation():
+    src = ("size(fuse(IDView([A = 1]), IDView([A = 2])))")
+    native, translated = roundtrip(src)
+    assert native == translated == 0
+
+
+def test_fuse_evaluates_arguments_once():
+    # the let-binding repair: Figure 3's literal meta-notation would
+    # duplicate tr(e1); here each argument evaluates exactly once.
+    s = Session()
+    src = "size(fuse(IDView([A = 1]), IDView([A = 2])))"
+    tr = translate_objects(s.parse(src))
+    s.metrics.reset()
+    s.machine.eval(tr, s.runtime_env)
+    # 2 raw records + 2 pair records; duplication of tr(e_i) would create
+    # the raws twice (6 records total)
+    assert s.metrics.records_created == 4
+
+
+def test_nary_fuse_translation():
+    src = ("let o = IDView([A = 1]) in "
+           "let v = (o as fn x => [B = 2]) in "
+           "let w = (o as fn x => [C = 3]) in "
+           "hom(fuse(o, v, w), "
+           "    fn f => query(fn p => ((p.1).A) + ((p.2).B) + (p.3).C, f), "
+           "    fn a => fn b => a + b, 0) end end end")
+    native, translated = roundtrip(src)
+    assert native == translated == 6
+
+
+def test_relobj_translation():
+    src = ("let a = IDView([A = 1]) in let b = IDView([B = 2]) in "
+           "query(fn t => ((t.x).A) + (t.y).B, relobj(x = a, y = b)) "
+           "end end")
+    native, translated = roundtrip(src)
+    assert native == translated == 3
+
+
+def test_query_translation_materializes_lazily():
+    src = ("let o = IDView([A := 1]) in "
+           "let v = (o as fn x => [B = (x.A) * 2]) in "
+           "let u = query(fn x => update(x, A, 21), o) in "
+           "query(fn x => x.B, v) end end end")
+    native, translated = roundtrip(src)
+    assert native == translated == 42
+
+
+def test_polymorphic_function_translation_typechecks():
+    env = initial_type_env()
+    term = parse_expression(
+        "fn o => query(fn x => (x.Income) * 12 + x.Bonus, o)")
+    t_ext = infer(term, env)
+    tr = translate_objects(term)
+    t_core = infer(tr, env)
+    assert internal_representation_matches(t_core, t_ext)
+
+
+def test_translation_rejects_class_constructs():
+    term = parse_expression("c-query(fn s => s, C)")
+    with pytest.raises(TranslationError):
+        translate_objects(term)
+
+
+def test_heterogeneous_raw_set_gap():
+    """The documented gap (DESIGN.md §6.7): the extended program types but
+    its translation does not — the pair encoding exposes raw types."""
+    env = initial_type_env()
+    src = ("let a = IDView([N = 1]) in "
+           "let b = IDView([N = 2, Extra = true]) in "
+           "{a, (b as fn x => [N = x.N])} end end")
+    term = parse_expression(src)
+    infer(term, env)  # extended language: fine
+    tr = translate_objects(term)
+    with pytest.raises(UnificationError):
+        infer(tr, env)
+
+
+def test_internal_representation_matcher_rejects_wrong_shapes():
+    from repro.core.types import (BOOL, FieldType, INT, TFun, TObj, TRecord,
+                                  pair_type)
+    good = TRecord({"1": FieldType(INT, False),
+                    "2": FieldType(TFun(INT, BOOL), False)})
+    assert internal_representation_matches(good, TObj(BOOL))
+    # raw type mismatch between the two components
+    bad = TRecord({"1": FieldType(BOOL, False),
+                   "2": FieldType(TFun(INT, BOOL), False)})
+    assert not internal_representation_matches(bad, TObj(BOOL))
+    # not a pair at all
+    assert not internal_representation_matches(INT, TObj(BOOL))
+
+
+def test_translation_is_pure():
+    term = parse_expression("query(fn x => x.A, IDView([A = 1]))")
+    before = repr(term)
+    translate_objects(term)
+    assert repr(term) == before

@@ -1,0 +1,127 @@
+"""Figure 2 typing rules: (id), (vcomp), (query), (fuse), (vrel)."""
+
+import pytest
+
+from repro.errors import KindError, TypeInferenceError, UnificationError
+from tests.conftest import typeof
+
+
+def test_idview_type():
+    assert typeof("IDView([A = 1, B := true])") == "obj([A = int, B := bool])"
+
+
+def test_idview_requires_record():
+    # rule (id): K |- tau :: [[ ]]
+    with pytest.raises(KindError):
+        typeof("IDView(3)")
+    with pytest.raises(KindError):
+        typeof("IDView({1})")
+
+
+def test_idview_polymorphic_over_record_kind():
+    assert typeof("fn x => IDView(x)") == \
+        "forall t1::[[]]. t1 -> obj(t1)"
+
+
+def test_vcomp_type():
+    assert typeof("(IDView([A = 1]) as fn x => [B = x.A])") == \
+        "obj([B = int])"
+
+
+def test_vcomp_view_need_not_return_record():
+    # rule (vcomp) allows any tau2
+    assert typeof("(IDView([A = 1]) as fn x => x.A)") == "obj(int)"
+
+
+def test_vcomp_requires_object():
+    with pytest.raises(UnificationError):
+        typeof("([A = 1] as fn x => x)")
+
+
+def test_vcomp_domain_must_match_view_type():
+    with pytest.raises(Exception):
+        typeof("(IDView([A = 1]) as fn x => x.Nope)")
+
+
+def test_query_type():
+    assert typeof("query(fn x => x.A, IDView([A = 1]))") == "int"
+
+
+def test_query_requires_object():
+    with pytest.raises(UnificationError):
+        typeof("query(fn x => x, [A = 1])")
+
+
+def test_query_polymorphic():
+    assert typeof("fn o => query(fn x => x.Name, o)") == \
+        "forall t1::U. forall t2::[[Name = t1]]. obj(t2) -> t1"
+
+
+def test_fuse_type_binary():
+    t = typeof("fuse(IDView([A = 1]), IDView([B = true]))")
+    assert t == "{obj([1 = [A = int], 2 = [B = bool]])}"
+
+
+def test_fuse_type_ternary():
+    t = typeof("fuse(IDView([A = 1]), IDView([B = 2]), IDView([C = 3]))")
+    assert t == "{obj([1 = [A = int], 2 = [B = int], 3 = [C = int]])}"
+
+
+def test_fuse_requires_objects():
+    with pytest.raises(UnificationError):
+        typeof("fuse([A = 1], IDView([B = 2]))")
+
+
+def test_relobj_type():
+    t = typeof("relobj(l = IDView([A = 1]), r = IDView([B = true]))")
+    assert t == "obj([l = [A = int], r = [B = bool]])"
+
+
+def test_relobj_requires_objects():
+    with pytest.raises(UnificationError):
+        typeof("relobj(l = 1)")
+
+
+def test_relobj_duplicate_label():
+    with pytest.raises(TypeInferenceError):
+        typeof("relobj(l = IDView([A = 1]), l = IDView([A = 2]))")
+
+
+def test_objeq_type_is_heterogeneous():
+    assert typeof("fn a => fn b => objeq(a, b)") == \
+        "forall t1::U. forall t2::U. obj(t1) -> obj(t2) -> bool"
+
+
+def test_select_type():
+    t = typeof("fn S => select as fn x => [N = x.Name] from S "
+               "where fn o => true")
+    assert t == ("forall t1::U. forall t2::[[Name = t1]]. "
+                 "{obj(t2)} -> {obj([N = t1])}")
+
+
+def test_intersect_type_binary():
+    t = typeof("fn s1 => fn s2 => intersect(s1, s2)")
+    assert t == ("forall t1::U. forall t2::U. "
+                 "{obj(t1)} -> {obj(t2)} -> {obj([1 = t1, 2 = t2])}")
+
+
+def test_wealthy_principal_type():
+    # the paper's displayed type for 'wealthy', verbatim modulo var names
+    t = typeof(
+        "fn S => select as fn x => [Name = x.Name, Age = x.Age] from S "
+        "where fn x => query(fn p => (p.Income) * 12 + p.Bonus, x) "
+        "> 100000")
+    assert t == ("forall t1::U. forall t2::U. "
+                 "forall t3::[[Income = int, Bonus = int, Name = t1, "
+                 "Age = t2]]. {obj(t3)} -> {obj([Name = t1, Age = t2])}")
+
+
+def test_annual_income_principal_type():
+    assert typeof("fn p => (p.Income) * 12 + p.Bonus") == \
+        "forall t1::[[Income = int, Bonus = int]]. t1 -> int"
+
+
+def test_object_type_not_a_record():
+    # obj(tau) cannot be projected directly: query is required
+    with pytest.raises(KindError):
+        typeof("(IDView([A = 1])).A")

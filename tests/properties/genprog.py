@@ -1,0 +1,190 @@
+"""Hypothesis generators for *well-typed-by-construction* programs.
+
+``typed_term(depth)`` draws a (type, term) pair such that the term has that
+type.  The soundness property (Proposition 1) is then checked by inferring
+the term's type (it must match the intended type structurally) and
+evaluating it (the value must conform to the type).
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.core import terms as T
+from repro.core.types import (BOOL, FieldType, INT, STRING, TObj, TRecord,
+                              TSet, Type, resolve)
+from repro.eval.store import Location
+from repro.eval.values import (VBool, VInt, VObject, VRecord, VSet, VString,
+                               VUnit, Value)
+
+_LABELS = ["a", "b", "c", "d"]
+
+# -- type generation ---------------------------------------------------------
+
+
+def gen_type(max_depth: int = 2) -> st.SearchStrategy[Type]:
+    base = st.sampled_from([INT, BOOL, STRING])
+    if max_depth <= 0:
+        return base
+    sub = gen_type(max_depth - 1)
+    from repro.core.types import TFun
+    return st.one_of(
+        base,
+        st.builds(TSet, base),
+        _record_type(sub),
+        st.builds(TObj, _record_type(base)),
+        st.builds(TFun, base, sub),
+    )
+
+
+def _record_type(field_strategy) -> st.SearchStrategy[TRecord]:
+    @st.composite
+    def build(draw):
+        n = draw(st.integers(min_value=1, max_value=3))
+        fields = {}
+        for label in _LABELS[:n]:
+            t = draw(field_strategy)
+            mutable = draw(st.booleans()) and not isinstance(
+                resolve(t), TObj)
+            fields[label] = FieldType(t, mutable)
+        return TRecord(fields)
+    return build()
+
+
+# -- term generation (typed) ---------------------------------------------------
+
+
+@st.composite
+def term_of(draw, t: Type, depth: int) -> T.Term:
+    from repro.core.types import TFun
+    t = resolve(t)
+    # Generic type-preserving wrappers exercising let and beta-redexes.
+    if depth > 0 and draw(st.integers(0, 9)) == 0:
+        inner = draw(term_of(t, depth - 1))
+        if draw(st.booleans()):
+            return T.Let("w", draw(term_of(INT, depth - 1)), inner)
+        return T.App(T.Lam("w", inner), draw(term_of(BOOL, depth - 1)))
+    if isinstance(t, TFun):
+        # a lambda ignoring its parameter (the body decides the codomain);
+        # occasionally an immediately-applied curried constant instead
+        body = draw(term_of(t.cod, depth - 1))
+        return T.Lam("arg", body)
+    if isinstance(t, TRecord):
+        return T.RecordExpr([
+            T.RecordField(label, draw(term_of(f.type, depth - 1)),
+                          f.mutable)
+            for label, f in t.fields.items()])
+    if isinstance(t, TSet):
+        n = draw(st.integers(min_value=0, max_value=3))
+        elems = [draw(term_of(t.elem, depth - 1)) for _ in range(n)]
+        base = T.SetExpr(elems)
+        if depth > 0 and draw(st.booleans()):
+            other = T.SetExpr([draw(term_of(t.elem, depth - 1))])
+            from repro.objects.algebra import mk_union
+            return mk_union(base, other)
+        return base
+    if isinstance(t, TObj):
+        inner = resolve(t.elem)
+        assert isinstance(inner, TRecord)
+        raw = draw(term_of(inner, depth - 1))
+        obj = T.IDView(raw)
+        if depth > 0 and draw(st.booleans()):
+            # compose a view that rebuilds the same record shape
+            x = "v"
+            view_body = T.RecordExpr([
+                T.RecordField(label, T.Dot(T.Var(x), label), f.mutable)
+                if not f.mutable else
+                T.RecordField(label, T.Extract(T.Var(x), label), f.mutable)
+                for label, f in inner.fields.items()])
+            return T.AsView(obj, T.Lam(x, view_body))
+        return obj
+    if t is INT or (hasattr(t, "name") and getattr(t, "name", "") == "int"):
+        if depth > 0 and draw(st.booleans()):
+            op = draw(st.sampled_from(["+", "-", "*"]))
+            lhs = draw(term_of(INT, depth - 1))
+            rhs = draw(term_of(INT, depth - 1))
+            from repro.objects.algebra import mk_app
+            return mk_app(T.Var(op), lhs, rhs)
+        if depth > 0 and draw(st.booleans()):
+            cond = draw(term_of(BOOL, depth - 1))
+            return T.If(cond, draw(term_of(INT, depth - 1)),
+                        draw(term_of(INT, depth - 1)))
+        if depth > 0 and draw(st.booleans()):
+            # read a field back out of a record
+            rec = T.RecordExpr([T.RecordField(
+                "a", draw(term_of(INT, depth - 1)), False)])
+            return T.Dot(rec, "a")
+        if depth > 0 and draw(st.integers(0, 4)) == 0:
+            # query an object: materializes the view, projects the field
+            raw = T.RecordExpr([T.RecordField(
+                "q", draw(term_of(INT, depth - 1)), False)])
+            return T.Query(T.Lam("v", T.Dot(T.Var("v"), "q")),
+                           T.IDView(raw))
+        return T.Const(draw(st.integers(-50, 50)), INT)
+    if getattr(t, "name", "") == "bool":
+        if depth > 0 and draw(st.booleans()):
+            from repro.objects.algebra import mk_app
+            lhs = draw(term_of(INT, depth - 1))
+            rhs = draw(term_of(INT, depth - 1))
+            return mk_app(T.Var(draw(st.sampled_from(["<", ">", "<=", ">="]))),
+                          lhs, rhs)
+        return T.Const(draw(st.booleans()), BOOL)
+    if getattr(t, "name", "") == "string":
+        s = draw(st.text(alphabet="abcxyz", max_size=4))
+        if depth > 0 and draw(st.booleans()):
+            from repro.objects.algebra import mk_app
+            return mk_app(T.Var("^"), T.Const(s, STRING),
+                          draw(term_of(STRING, depth - 1)))
+        return T.Const(s, STRING)
+    raise AssertionError(f"no generator for type {t!r}")
+
+
+@st.composite
+def typed_term(draw, max_depth: int = 2):
+    """Draw (type, term) with term : type by construction."""
+    t = draw(gen_type(max_depth))
+    term = draw(term_of(t, max_depth))
+    return t, term
+
+
+# -- value conformance ---------------------------------------------------------
+
+
+def value_conforms(value: Value, t: Type, machine) -> bool:
+    """Does a runtime value inhabit a (ground) type? (Prop 1's conclusion)"""
+    t = resolve(t)
+    if isinstance(value, VInt):
+        return getattr(t, "name", "") == "int"
+    if isinstance(value, VBool):
+        return getattr(t, "name", "") == "bool"
+    if isinstance(value, VString):
+        return getattr(t, "name", "") == "string"
+    if isinstance(value, VUnit):
+        return getattr(t, "name", "") == "unit"
+    if isinstance(value, VRecord):
+        if not isinstance(t, TRecord):
+            return False
+        if set(value.cells) != set(t.fields):
+            return False
+        for label, f in t.fields.items():
+            cell = value.cells[label]
+            inner = cell.value if isinstance(cell, Location) else cell
+            if not value_conforms(inner, f.type, machine):
+                return False
+            if f.mutable and label not in value.mutable_labels:
+                return False
+        return True
+    if isinstance(value, VSet):
+        if not isinstance(t, TSet):
+            return False
+        return all(value_conforms(e, t.elem, machine) for e in value.elems)
+    if isinstance(value, VObject):
+        if not isinstance(t, TObj):
+            return False
+        materialized = machine.materialize(value)
+        return value_conforms(materialized, t.elem, machine)
+    from repro.core.types import TFun
+    from repro.eval.values import VBuiltin, VClosure
+    if isinstance(value, (VClosure, VBuiltin)):
+        return isinstance(t, TFun)
+    return False

@@ -1,0 +1,110 @@
+"""Proposition 2 — principal types.
+
+A principal type has every other valid typing as an instance.  We check the
+instance property operationally: the inferred polymorphic type of a term
+must successfully instantiate at every concrete usage that is typable, and
+reject the ones that are not.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Session
+from repro.core.env import initial_type_env
+from repro.core.infer import infer, infer_scheme
+from repro.core.types import types_structurally_equal
+from repro.core.unify import unify
+from repro.syntax.parser import parse_expression
+
+from .genprog import typed_term
+
+
+def test_field_access_applies_to_any_record_with_the_field():
+    s = Session()
+    s.exec("fun get x = x.F")
+    assert s.eval_py("get [F = 1]") == 1
+    assert s.eval_py('get [F = "s", Other = true]') == "s"
+    assert s.eval_py("get [Extra = 0, F = {1}]") == [1]
+
+
+def test_field_access_rejects_records_without_the_field():
+    s = Session()
+    s.exec("fun get x = x.F")
+    with pytest.raises(Exception):
+        s.eval("get [G = 1]")
+
+
+def test_update_function_requires_mutability_at_every_instance():
+    s = Session()
+    s.exec("fun bump x = update(x, N, 1)")
+    s.eval("bump [N := 0]")
+    with pytest.raises(Exception):
+        s.eval("bump [N = 0]")
+
+
+def test_kinded_instantiations_are_independent():
+    # each use of a polymorphic function re-instantiates its kinds
+    s = Session()
+    s.exec("fun get x = x.F")
+    out = s.eval_py("(get [F = 1], get [F = true])")
+    assert out == {"1": 1, "2": True}
+
+
+def test_annual_income_instances():
+    s = Session()
+    s.exec("fun ai p = (p.Income) * 12 + p.Bonus")
+    assert s.eval_py("ai [Income = 1, Bonus = 2]") == 14
+    assert s.eval_py("ai [Income = 1, Bonus = 2, Extra = \"x\"]") == 14
+    with pytest.raises(Exception):
+        s.eval("ai [Income = 1]")
+
+
+def test_inference_is_stable_under_reinference():
+    """Inferring twice yields alpha-equivalent schemes (determinism)."""
+    from repro.syntax.pretty import pretty_scheme
+    for src in ("fn x => x.A", "fn s => select as fn x => [N = x.N] from s "
+                "where fn o => true",
+                "fn o => query(fn x => (x.A) + 1, o)"):
+        env1, env2 = initial_type_env(), initial_type_env()
+        s1 = pretty_scheme(infer_scheme(parse_expression(src), env1))
+        s2 = pretty_scheme(infer_scheme(parse_expression(src), env2))
+        assert s1 == s2
+
+
+@given(typed_term(max_depth=2))
+@settings(max_examples=80, deadline=None)
+def test_principal_type_unifies_with_intended(pair):
+    """For generator programs the intended type is always an instance of
+    the inferred principal type."""
+    t, term = pair
+    inferred = infer(term, initial_type_env(), level=1)
+    unify(inferred, t)  # must not raise
+    assert types_structurally_equal(inferred, t)
+
+
+@given(st.integers(min_value=1, max_value=6))
+@settings(max_examples=20, deadline=None)
+def test_record_width_does_not_change_principality(n):
+    """x.l1 + ... + x.ln infers exactly the kind listing l1..ln at int."""
+    body = " + ".join([f"(x.f{i})" for i in range(n)] + ["0"])
+    src = f"fn x => {body}"
+    from repro.syntax.pretty import pretty_scheme
+    scheme = infer_scheme(parse_expression(src), initial_type_env())
+    text = pretty_scheme(scheme)
+    for i in range(n):
+        assert f"f{i} = int" in text
+
+
+def test_let_polymorphism_generalizes_only_free_vars():
+    # a classic: the lambda-bound variable must stay monomorphic
+    with pytest.raises(Exception):
+        infer(parse_expression("fn f => (f 1, f true)"),
+              initial_type_env(), level=1)
+
+
+def test_nested_let_generalization_levels():
+    src = ("let f = fn x => let g = fn y => (x, y) in g end in "
+           "((f 1) true, (f \"s\") 2) end")
+    out = Session().eval_py(src)
+    assert out == {"1": {"1": 1, "2": True}, "2": {"1": "s", "2": 2}}

@@ -1,0 +1,86 @@
+"""Round-trip and robustness properties of the syntax pipeline."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReproError
+from repro.syntax.parser import parse_expression
+from repro.syntax.pretty import pretty_term
+
+from .genprog import typed_term
+
+
+@given(typed_term(max_depth=2))
+@settings(max_examples=100, deadline=None)
+def test_pretty_parse_pretty_is_stable(pair):
+    """pretty(parse(pretty(t))) == pretty(t) for generated programs."""
+    _t, term = pair
+    text = pretty_term(term)
+    reparsed = parse_expression(text)
+    assert pretty_term(reparsed) == text
+
+
+@given(typed_term(max_depth=2))
+@settings(max_examples=60, deadline=None)
+def test_reparsed_program_means_the_same(pair):
+    """The reparsed program evaluates to the same Python data."""
+    from repro import Session
+    from repro.lang.pyconv import value_to_python
+
+    def strip(v):
+        if isinstance(v, dict):
+            return {k: strip(x) for k, x in v.items() if k != "__oid__"}
+        if isinstance(v, list):
+            return [strip(x) for x in v]
+        return v
+
+    _t, term = pair
+    s = Session(load_prelude=False)
+    original = value_to_python(s.machine.eval(term, s.runtime_env),
+                               s.machine)
+    reparsed = parse_expression(pretty_term(term))
+    again = value_to_python(s.machine.eval(reparsed, s.runtime_env),
+                            s.machine)
+    assert strip(original) == strip(again)
+
+
+_token_soup = st.text(
+    alphabet=string.ascii_letters + string.digits + " []{}()=><:.,;+-*^\"",
+    max_size=60)
+
+
+@given(_token_soup)
+@settings(max_examples=200, deadline=None)
+def test_parser_never_crashes_with_non_repro_errors(text):
+    """Arbitrary input produces either a term or a ReproError — never an
+    internal exception (robustness of the front end)."""
+    try:
+        parse_expression(text)
+    except ReproError:
+        pass
+
+
+@given(_token_soup)
+@settings(max_examples=100, deadline=None)
+def test_full_pipeline_never_crashes(text):
+    """Parse + infer + (if typable) evaluate: only ReproErrors escape."""
+    from repro import Session
+    s = Session(load_prelude=False)
+    try:
+        s.eval(text)
+    except ReproError:
+        pass
+
+
+@given(st.lists(st.sampled_from(
+    ["let", "in", "end", "fn", "=>", "class", "include", "as", "where",
+     "x", "y", "1", "(", ")", "[", "]", "=", ":=", "{", "}", ",", "."]),
+    max_size=25))
+@settings(max_examples=200, deadline=None)
+def test_keyword_soup_never_crashes(tokens):
+    try:
+        parse_expression(" ".join(tokens))
+    except ReproError:
+        pass

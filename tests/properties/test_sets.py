@@ -1,0 +1,102 @@
+"""Algebraic laws of the set operations (Section 2), property-based."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Session
+
+ints = st.lists(st.integers(-20, 20), max_size=8)
+
+
+def lit(xs):
+    return "{" + ", ".join(str(x) for x in xs) + "}"
+
+
+def run(src):
+    return Session(load_prelude=False).eval_py(src)
+
+
+@given(ints)
+@settings(max_examples=40, deadline=None)
+def test_set_literal_dedups_preserving_first_occurrence(xs):
+    out = run(lit(xs))
+    assert out == list(dict.fromkeys(xs))
+
+
+@given(ints, ints)
+@settings(max_examples=40, deadline=None)
+def test_union_is_set_union(xs, ys):
+    out = run(f"union({lit(xs)}, {lit(ys)})")
+    assert set(out) == set(xs) | set(ys)
+
+
+@given(ints, ints)
+@settings(max_examples=40, deadline=None)
+def test_union_commutative_up_to_order(xs, ys):
+    a = run(f"union({lit(xs)}, {lit(ys)})")
+    b = run(f"union({lit(ys)}, {lit(xs)})")
+    assert set(a) == set(b)
+
+
+@given(ints, ints, ints)
+@settings(max_examples=30, deadline=None)
+def test_union_associative(xs, ys, zs):
+    a = run(f"union(union({lit(xs)}, {lit(ys)}), {lit(zs)})")
+    b = run(f"union({lit(xs)}, union({lit(ys)}, {lit(zs)}))")
+    assert a == b  # even the order coincides for left-biased union
+
+
+@given(ints)
+@settings(max_examples=30, deadline=None)
+def test_union_idempotent(xs):
+    assert run(f"union({lit(xs)}, {lit(xs)})") == run(lit(xs))
+
+
+@given(ints, ints)
+@settings(max_examples=40, deadline=None)
+def test_remove_is_set_difference(xs, ys):
+    out = run(f"remove({lit(xs)}, {lit(ys)})")
+    assert set(out) == set(xs) - set(ys)
+
+
+@given(ints, st.integers(-20, 20))
+@settings(max_examples=40, deadline=None)
+def test_member_matches_python(xs, x):
+    assert run(f"member({x}, {lit(xs)})") == (x in xs)
+
+
+@given(ints)
+@settings(max_examples=30, deadline=None)
+def test_size_counts_distinct(xs):
+    assert run(f"size({lit(xs)})") == len(set(xs))
+
+
+@given(ints)
+@settings(max_examples=30, deadline=None)
+def test_hom_sum_equals_python_sum_of_distinct(xs):
+    out = run(f"hom({lit(xs)}, fn x => x, fn a => fn b => a + b, 0)")
+    assert out == sum(set(xs))
+
+
+@given(ints, ints)
+@settings(max_examples=30, deadline=None)
+def test_prod_size(xs, ys):
+    out = run(f"size(prod({lit(xs)}, {lit(ys)}))")
+    assert out == len(set(xs)) * len(set(ys))
+
+
+@given(ints)
+@settings(max_examples=30, deadline=None)
+def test_map_filter_against_python(xs):
+    s = Session()
+    doubled = s.eval_py(f"map(fn x => x * 2, {lit(xs)})")
+    assert set(doubled) == {x * 2 for x in xs}
+    pos = s.eval_py(f"filter(fn x => x > 0, {lit(xs)})")
+    assert pos == [x for x in dict.fromkeys(xs) if x > 0]
+
+
+@given(ints, ints)
+@settings(max_examples=30, deadline=None)
+def test_set_equality_is_extensional(xs, ys):
+    out = run(f"eq({lit(xs)}, {lit(ys)})")
+    assert out == (set(xs) == set(ys))

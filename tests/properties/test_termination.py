@@ -1,0 +1,93 @@
+"""Proposition 5, property-based: extent computation of random recursive
+class graphs terminates, with call chains bounded by the group size."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Session
+
+NAMES = "fn S => map(fn o => query(fn v => v.Name, o), S)"
+
+
+@st.composite
+def class_graph(draw):
+    """A random directed graph of n mutually recursive classes.
+
+    Every class includes a random subset of the group (possibly itself);
+    class 0 owns one object.  Views preserve the [Name = string] shape so
+    everything stays well typed.
+    """
+    n = draw(st.integers(min_value=1, max_value=5))
+    edges = {
+        i: draw(st.lists(st.integers(min_value=0, max_value=n - 1),
+                         unique=True, max_size=n))
+        for i in range(n)}
+    return n, edges
+
+
+def build_program(n, edges) -> str:
+    defs = []
+    for i in range(n):
+        own = "{seed}" if i == 0 else "{}"
+        clauses = "".join(
+            f" includes K{j} as fn x => [Name = x.Name] "
+            f"where fn o => true"
+            for j in edges[i])
+        defs.append(f"K{i} = class {own}{clauses} end")
+    queries = ", ".join(f"c-query(fn S => size(S), K{i})" for i in range(n))
+    body = f"({queries})" if n > 1 else f"c-query(fn S => size(S), K0)"
+    return "let " + " and ".join(defs) + f" in {body} end"
+
+
+@given(class_graph())
+@settings(max_examples=60, deadline=None)
+def test_random_recursive_graphs_terminate(graph):
+    n, edges = graph
+    s = Session()
+    s.exec('val seed = IDView([Name = "seed"])')
+    out = s.eval_py(build_program(n, edges))
+    sizes = list(out.values()) if isinstance(out, dict) else [out]
+    # the one seed object is the only object anywhere
+    assert all(size in (0, 1) for size in sizes)
+
+
+@given(class_graph())
+@settings(max_examples=40, deadline=None)
+def test_extent_call_chains_bounded(graph):
+    """|L| grows along every chain, so nesting depth <= n; the total call
+    count is bounded by the paths in the inclusion graph without repeated
+    classes (<= n * n! as a crude bound, tiny for n <= 5)."""
+    n, edges = graph
+    s = Session()
+    s.exec('val seed = IDView([Name = "seed"])')
+    s.metrics.reset()
+    s.eval(build_program(n, edges))
+    import math
+    assert s.metrics.extent_calls <= n * n * math.factorial(n) + n
+
+
+@given(class_graph())
+@settings(max_examples=30, deadline=None)
+def test_reachability_semantics(graph):
+    """A class's extent contains the seed iff class 0 is reachable from it
+    through include edges (the least-solution reading of Section 4.4)."""
+    n, edges = graph
+    # Python-side reachability: i -> j for j in edges[i]
+    reach = {i: set(edges[i]) for i in range(n)}
+    changed = True
+    while changed:
+        changed = False
+        for i in range(n):
+            new = set()
+            for j in reach[i]:
+                new |= reach[j]
+            if not new <= reach[i]:
+                reach[i] |= new
+                changed = True
+    s = Session()
+    s.exec('val seed = IDView([Name = "seed"])')
+    out = s.eval_py(build_program(n, edges))
+    sizes = (list(out.values()) if isinstance(out, dict) else [out])
+    for i in range(n):
+        expected = 1 if (i == 0 or 0 in reach[i]) else 0
+        assert sizes[i] == expected, (i, edges, sizes)

@@ -1,0 +1,90 @@
+"""Proposition 4, property-based: random class programs translate into the
+object language preserving typing, and (in repaired mode) behaviour."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Session
+from repro.classes.translate import translate_classes
+from repro.core import terms as T
+from repro.core.infer import infer
+from repro.lang.pyconv import value_to_python
+from repro.objects.translate import (internal_representation_matches,
+                                     translate_objects)
+
+NAMES = "fn S => map(fn o => query(fn v => v.Name, o), S)"
+
+
+def _class_free(term: T.Term) -> bool:
+    if isinstance(term, (T.ClassExpr, T.CQuery, T.Insert, T.Delete,
+                         T.LetClasses)):
+        return False
+    return all(_class_free(sub) for sub in T.iter_subterms(term))
+
+
+@st.composite
+def class_program(draw):
+    """A random pipeline of classes over a pool of homogeneous objects.
+
+    Objects share one raw shape (raw-homogeneous so Prop 3/4 apply, see
+    DESIGN.md §6.7): [Name = string, N = int].  Classes chain includes with
+    random thresholds; the program queries the names of the final class.
+    """
+    n_objects = draw(st.integers(min_value=1, max_value=4))
+    objects = [
+        (f'o{i}', draw(st.integers(min_value=0, max_value=9)))
+        for i in range(n_objects)]
+    n_classes = draw(st.integers(min_value=1, max_value=3))
+    lines = []
+    for name, n in objects:
+        lines.append(
+            f'let {name} = IDView([Name = "{name}", N = {n}]) in ')
+    members = ", ".join(name for name, _ in objects)
+    lines.append(f"let C0 = class {{{members}}} end in ")
+    for i in range(1, n_classes + 1):
+        threshold = draw(st.integers(min_value=0, max_value=9))
+        lines.append(
+            f"let C{i} = class {{}} includes C{i-1} "
+            f"as fn x => [Name = x.Name, N = x.N] "
+            f"where fn o => query(fn v => v.N >= {threshold}, o) end in ")
+    lines.append(f"c-query({NAMES}, C{n_classes})")
+    lines.append(" end" * (n_objects + n_classes + 1))
+    return "".join(lines)
+
+
+@given(class_program())
+@settings(max_examples=40, deadline=None)
+def test_class_translation_preserves_typing(src):
+    s = Session()
+    term = s.parse(src)
+    t_ext = infer(term, s.type_env, level=1)
+    mid = translate_classes(term)
+    assert _class_free(mid)
+    t_mid = infer(mid, s.type_env, level=1)
+    assert internal_representation_matches(t_mid, t_ext)
+    core = translate_objects(mid)
+    infer(core, s.type_env, level=1)
+
+
+@given(class_program())
+@settings(max_examples=30, deadline=None)
+def test_class_translation_agrees_with_native(src):
+    s = Session()
+    native = s.eval_py(src)
+    core = translate_objects(translate_classes(s.parse(src)))
+    translated = value_to_python(s.machine.eval(core, s.runtime_env),
+                                 s.machine)
+    assert native == translated
+
+
+@given(class_program())
+@settings(max_examples=20, deadline=None)
+def test_literal_mode_agrees_when_no_inserts(src):
+    # without inserts the Figure 5 staleness cannot be observed
+    s = Session()
+    native = s.eval_py(src)
+    lit = translate_objects(translate_classes(s.parse(src),
+                                              repaired=False))
+    translated = value_to_python(s.machine.eval(lit, s.runtime_env),
+                                 s.machine)
+    assert native == translated

@@ -1,0 +1,111 @@
+"""Type ascription ``(e : tau)`` — a reproduction extension.
+
+Ascribed types are ground; inference unifies them against the expression's
+(principal) type, so an ascription documents and *checks* a signature.
+"""
+
+import pytest
+
+from repro.core import terms as T
+from repro.errors import ParseError, UnificationError
+from repro.syntax.parser import parse_expression
+from tests.conftest import typeof
+
+
+def test_parse_ascription():
+    e = parse_expression("1 : int")
+    assert isinstance(e, T.Ascribe)
+
+
+def test_basic_ascriptions():
+    assert typeof("1 : int") == "int"
+    assert typeof('"s" : string') == "string"
+    assert typeof("{1} : {int}") == "{int}"
+    assert typeof("(fn x => x + 1) : int -> int") == "int -> int"
+
+
+def test_record_type_ascription():
+    assert typeof("[A = 1, B := true] : [A = int, B := bool]") == \
+        "[A = int, B := bool]"
+
+
+def test_obj_and_class_ascription():
+    assert typeof("IDView([A = 1]) : obj([A = int])") == "obj([A = int])"
+    assert typeof("class {IDView([A = 1])} end : class([A = int])") == \
+        "class([A = int])"
+
+
+def test_function_type_right_assoc():
+    assert typeof("(fn x => fn y => x + y) : int -> int -> int") == \
+        "int -> int -> int"
+
+
+def test_wrong_ascription_rejected():
+    with pytest.raises(UnificationError):
+        typeof("1 : bool")
+    with pytest.raises(UnificationError):
+        typeof("[A = 1] : [A = bool]")
+
+
+def test_mutability_mismatch_rejected():
+    with pytest.raises(UnificationError):
+        typeof("[A = 1] : [A := int]")
+
+
+def test_ascription_narrows_polymorphism():
+    # {} : {int} pins the element type
+    assert typeof("union({} : {int}, {})") == "{int}"
+
+
+def test_ascription_cannot_widen():
+    # a monomorphic expression cannot be ascribed an unrelated type
+    with pytest.raises(UnificationError):
+        typeof("(fn x => x + 1) : bool -> bool")
+
+
+def test_parenthesized_type():
+    assert typeof("(fn f => f 1) : (int -> int) -> int") == \
+        "(int -> int) -> int"
+
+
+def test_unknown_type_name_rejected():
+    with pytest.raises(ParseError):
+        parse_expression("1 : banana")
+
+
+def test_ascription_in_record_field():
+    assert typeof("[A = (1 : int)]") == "[A = int]"
+
+
+def test_ascription_evaluates_transparently(session):
+    assert session.eval_py("(21 : int) * 2") == 42
+
+
+def test_ascription_is_erased_by_translation(session):
+    term = session.translate_full(
+        "query(fn x => x.A, IDView([A = 1]) : obj([A = int]))")
+
+    def no_ascribe(t):
+        assert not isinstance(t, T.Ascribe)
+        for sub in T.iter_subterms(t):
+            no_ascribe(sub)
+
+    no_ascribe(term)
+
+
+def test_ascription_checked_before_translation(session):
+    with pytest.raises(UnificationError):
+        session.translate_full.__self__.eval(
+            "query(fn x => x.A, IDView([A = 1]) : obj([A = bool]))")
+
+
+def test_ascription_pretty_prints(session):
+    text = repr(parse_expression("1 : int"))
+    assert text == "(1 : int)"
+    assert isinstance(parse_expression(text), T.Ascribe)
+
+
+def test_value_restriction_interacts(session):
+    # ascribing a lambda keeps it a syntactic value
+    session.exec("val f = (fn x => x) : int -> int")
+    assert session.eval_py("f 7") == 7

@@ -1,0 +1,92 @@
+"""The fun-group desugaring (Section 2's fix+let+record encoding)."""
+
+import pytest
+
+from repro import Session
+from repro.core import terms as T
+from repro.syntax.desugar import FunBinding, desugar_fun_group
+
+
+def test_single_binding_is_fix_of_lambda():
+    out = desugar_fun_group(
+        [FunBinding("f", ["x"], T.Var("x"))], T.Var("f"))
+    assert isinstance(out, T.Let)
+    assert isinstance(out.bound, T.Fix)
+    assert isinstance(out.bound.body, T.Lam)
+
+
+def test_single_binding_is_nonexpansive():
+    from repro.core.infer import is_nonexpansive
+    out = desugar_fun_group(
+        [FunBinding("f", ["x", "y"], T.Var("x"))], T.Var("f"))
+    assert is_nonexpansive(out.bound)  # so it let-generalizes
+
+
+def test_binding_requires_parameters():
+    with pytest.raises(ValueError):
+        FunBinding("f", [], T.Var("x"))
+
+
+def test_mutual_group_builds_record_fix():
+    out = desugar_fun_group(
+        [FunBinding("f", ["x"], T.App(T.Var("g"), T.Var("x"))),
+         FunBinding("g", ["y"], T.Var("y"))],
+        T.Var("f"))
+    # outermost: let <rec> = fix <rec>. [...] in ...
+    assert isinstance(out, T.Let)
+    assert isinstance(out.bound, T.Fix)
+    assert isinstance(out.bound.body, T.RecordExpr)
+    labels = [f.label for f in out.bound.body.fields]
+    assert labels == ["f", "g"]
+
+
+def test_mutual_group_rebinds_inside_first_lambda():
+    """The record must not be dereferenced before it exists: the name
+    rebindings live under the outermost parameter lambda."""
+    out = desugar_fun_group(
+        [FunBinding("f", ["x"], T.Var("g")),
+         FunBinding("g", ["y"], T.Var("f"))],
+        T.Var("f"))
+    field = out.bound.body.fields[0]
+    assert isinstance(field.expr, T.Lam)          # fn x =>
+    assert isinstance(field.expr.body, T.Let)     # let f = R.f in ...
+
+
+def test_mutual_group_runs():
+    s = Session()
+    s.exec("""
+        fun is_even n = if n < 1 then true else is_odd (n - 1)
+        and is_odd n = if n < 1 then false else is_even (n - 1)
+    """)
+    assert s.eval_py("is_even 100") is True
+    assert s.eval_py("is_odd 101") is True
+
+
+def test_three_way_mutual_recursion():
+    s = Session()
+    s.exec("""
+        fun red n = if n < 1 then "red" else green (n - 1)
+        and green n = if n < 1 then "green" else blue (n - 1)
+        and blue n = if n < 1 then "blue" else red (n - 1)
+    """)
+    assert s.eval_py("red 0") == "red"
+    assert s.eval_py("red 1") == "green"
+    assert s.eval_py("red 2") == "blue"
+    assert s.eval_py("red 3") == "red"
+
+
+def test_multi_parameter_mutual_functions():
+    s = Session()
+    s.exec("""
+        fun ack m n = if m < 1 then n + 1
+                      else if n < 1 then ack (m - 1) 1
+                      else ack (m - 1) (ack m (n - 1))
+    """)
+    assert s.eval_py("ack 2 3") == 9
+
+
+def test_let_fun_form():
+    s = Session()
+    assert s.eval_py(
+        "let fun double x = x * 2 and triple x = x * 3 "
+        "in double (triple 2) end") == 12

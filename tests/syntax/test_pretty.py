@@ -1,0 +1,117 @@
+"""Pretty printing: type/kind/scheme notation and term round-trips."""
+
+import pytest
+
+from repro.core.types import (BOOL, FieldReq, FieldType, INT, KRecord,
+                              STRING, TClass, TFun, TLval, TObj, TRecord,
+                              TSet, TVar, TypeScheme, U, UNIT)
+from repro.syntax.parser import parse_expression
+from repro.syntax.pretty import (pretty_kind, pretty_scheme, pretty_term,
+                                 pretty_type)
+
+
+def test_base_types():
+    assert pretty_type(INT) == "int"
+    assert pretty_type(UNIT) == "unit"
+
+
+def test_function_type_right_assoc():
+    assert pretty_type(TFun(INT, TFun(BOOL, STRING))) == \
+        "int -> bool -> string"
+
+
+def test_function_domain_parenthesized():
+    assert pretty_type(TFun(TFun(INT, INT), BOOL)) == "(int -> int) -> bool"
+
+
+def test_set_obj_class_lval():
+    assert pretty_type(TSet(INT)) == "{int}"
+    assert pretty_type(TObj(TRecord({"a": FieldType(INT, False)}))) == \
+        "obj([a = int])"
+    assert pretty_type(TClass(TRecord({"a": FieldType(INT, True)}))) == \
+        "class([a := int])"
+    assert pretty_type(TLval(INT)) == "L(int)"
+
+
+def test_record_type_mutability_markers():
+    t = TRecord({"a": FieldType(INT, False), "b": FieldType(BOOL, True)})
+    assert pretty_type(t) == "[a = int, b := bool]"
+
+
+def test_kind_printing():
+    assert pretty_kind(U) == "U"
+    k = KRecord({"x": FieldReq(INT, True)})
+    assert pretty_kind(k) == "[[x := int]]"
+
+
+def test_scheme_printing_with_kinds():
+    v = TVar(0, KRecord({"f": FieldReq(INT, False)}))
+    s = TypeScheme([v], TFun(v, INT))
+    assert pretty_scheme(s) == "forall t1::[[f = int]]. t1 -> int"
+
+
+def test_var_naming_is_stable_within_one_printing():
+    a, b = TVar(0), TVar(0)
+    s = TypeScheme([a, b], TFun(a, TFun(b, a)))
+    assert pretty_scheme(s) == "forall t1::U. forall t2::U. t1 -> t2 -> t1"
+
+
+ROUND_TRIP_SOURCES = [
+    "42",
+    '"hi"',
+    "true",
+    "()",
+    "fn x => x + 1",
+    "[A = 1, B := 2]",
+    "{1, 2, 3}",
+    "let x = 1 in x end",
+    "if a then b else c",
+    "fix f. fn n => f n",
+    "IDView([A = 1])",
+    "(o as fn x => [B = x.A])",
+    "query(fn x => x.A, o)",
+    "fuse(a, b)",
+    "relobj(l = a, r = b)",
+    "update(r, l, 5)",
+    "[A = extract(r, S)]",
+    "c-query(f, C)",
+    "insert(o, C)",
+    "delete(o, C)",
+    "class {a} include B as f where p end",
+    "prod(s1, s2)",
+    "x.a.b",
+    "f a b",
+    "1 + 2 * 3",
+]
+
+
+@pytest.mark.parametrize("src", ROUND_TRIP_SOURCES)
+def test_pretty_parse_round_trip(src):
+    """pretty(parse(src)) reparses to a term that pretty-prints the same."""
+    term = parse_expression(src)
+    text = pretty_term(term)
+    reparsed = parse_expression(text)
+    assert pretty_term(reparsed) == text
+
+
+def test_let_classes_printing():
+    term = parse_expression(
+        "let A = class {} includes B as f where p end "
+        "and B = class {} end in A end")
+    text = pretty_term(term)
+    assert "A = class" in text and "and B = class" in text
+    assert pretty_term(parse_expression(text)) == text
+
+
+def test_string_escaping():
+    term = parse_expression(r'"say \"hi\""')
+    assert pretty_term(term) == r'"say \"hi\""'
+
+
+def test_infix_rendering():
+    assert pretty_term(parse_expression("1 + 2")) == "1 + 2"
+    assert pretty_term(parse_expression("a < b")) == "a < b"
+
+
+def test_value_printing_matches_input_notation(session):
+    assert session.show('[N = "x", M := {1, 2}]') == '[N = "x", M := {1, 2}]'
