@@ -1,0 +1,98 @@
+"""Dead bindings and unreachable includes (RP3xx).
+
+``RP301`` (warning)
+    a user-written ``let x = e in body end`` binds ``x``, ``x`` is not
+    free in ``body``, and ``e`` has no effect — the binding (often a view
+    that is never queried) is dead.  Effectful bounds are sequencing
+    (``let u = update(...) in ... end``) and stay silent, as do desugared
+    lets (no source span) and hygiene names (``%`` or a ``_`` prefix).
+
+``RP302`` (warning)
+    an include clause whose predicate is statically ``false`` can never
+    contribute an object to the class extent.
+
+``RP303`` (info)
+    an ``if`` whose condition is a literal constant; one branch is
+    unreachable.  Only user-written conditionals are reported (desugared
+    ``andalso``/``orelse`` nodes carry no span).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core import terms as T
+from ..core.terms import free_vars
+from .diagnostics import DiagnosticSink
+from .effects import analyze_effect
+
+__all__ = ["dead_code_pass", "statically_false_pred", "const_bool"]
+
+
+def const_bool(term: T.Term) -> Optional[bool]:
+    """Evaluate a term to a boolean constant, where statically evident."""
+    if isinstance(term, T.Const) and isinstance(term.value, bool):
+        return term.value
+    if isinstance(term, T.Ascribe):
+        return const_bool(term.expr)
+    if isinstance(term, T.If):
+        cond = const_bool(term.cond)
+        if cond is True:
+            return const_bool(term.then)
+        if cond is False:
+            return const_bool(term.else_)
+        # both branches constant and equal (e.g. `p andalso false`)
+        then, else_ = const_bool(term.then), const_bool(term.else_)
+        if then is not None and then == else_:
+            return then
+    if isinstance(term, T.Let):
+        return const_bool(term.body)
+    return None
+
+
+def statically_false_pred(pred: T.Term) -> bool:
+    """Is an include predicate ``fn x => e`` statically ``false``?"""
+    return isinstance(pred, T.Lam) and const_bool(pred.body) is False
+
+
+def _is_hygiene_name(name: str) -> bool:
+    return "%" in name or name.startswith("_")
+
+
+def dead_code_pass(term: T.Term, sink: DiagnosticSink,
+                   latent_names: set[str] | None = None) -> None:
+    latent = set(latent_names or ())
+    _walk(term, latent, sink)
+
+
+def _walk(term: T.Term, latent: set[str], sink: DiagnosticSink) -> None:
+    if isinstance(term, T.Let):
+        if (term.pos is not None
+                and not _is_hygiene_name(term.name)
+                and term.name not in free_vars(term.body)
+                and not analyze_effect(term.bound, latent).impure):
+            sink.emit(
+                "RP301",
+                f"let-bound '{term.name}' is never used",
+                term.pos,
+                notes=("remove the binding, or query the view it names",))
+    if isinstance(term, T.ClassExpr):
+        for i, clause in enumerate(term.includes, start=1):
+            if statically_false_pred(clause.pred):
+                sink.emit(
+                    "RP302",
+                    f"include clause {i} is unreachable: its predicate "
+                    "is statically false, so it never contributes to "
+                    "the class extent",
+                    getattr(clause.pred, "pos", None) or term.pos)
+    if isinstance(term, T.If) and term.pos is not None:
+        cond = const_bool(term.cond)
+        if cond is not None:
+            dead = "else" if cond else "then"
+            sink.emit(
+                "RP303",
+                f"condition is statically {str(cond).lower()}; the "
+                f"'{dead}' branch is unreachable",
+                getattr(term.cond, "pos", None) or term.pos)
+    for sub in T.iter_subterms(term):
+        _walk(sub, latent, sink)

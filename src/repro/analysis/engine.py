@@ -1,0 +1,213 @@
+"""The pass driver: run every analysis over a term or a source program.
+
+``analyze_term`` runs the four passes over one AST; ``lint_source`` runs
+the full front half of the pipeline — parse, (optionally) type inference
+against a caller-supplied environment, then the passes — turning pipeline
+failures into ``RP001``/``RP002`` diagnostics instead of exceptions, so a
+linter run always produces a report.
+
+``Session.lint`` is the session-aware entry point: it supplies the
+session's typing environment and purity knowledge, so session bindings
+resolve and latent effects of bound names are respected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..core import terms as T
+from ..errors import (KindError, LexError, ParseError, RecursiveClassError,
+                      TypeInferenceError)
+from .deadcode import dead_code_pass
+from .diagnostics import Diagnostic, DiagnosticSink, Severity
+from .effects import PurityEnv, effect_pass, expression_is_impure
+from .render import render_diagnostics
+from .sharing import sharing_pass
+from .views import view_update_pass
+
+__all__ = ["PASSES", "analyze_term", "lint_term", "lint_source",
+           "LintResult"]
+
+# Every pass has the same shape: (term, sink, latent_names) -> None.
+Pass = Callable[[T.Term, DiagnosticSink, Optional[set]], None]
+
+PASSES: dict[str, Pass] = {
+    "sharing": sharing_pass,
+    "view-update": view_update_pass,
+    "dead-code": dead_code_pass,
+    "effects": effect_pass,
+}
+
+
+def analyze_term(term: T.Term, sink: Optional[DiagnosticSink] = None,
+                 latent_names: set[str] | None = None,
+                 passes: Optional[list[str]] = None) -> DiagnosticSink:
+    """Run the requested passes (default: all four) over one term."""
+    if sink is None:  # NB: an empty sink is falsy (it has __len__)
+        sink = DiagnosticSink()
+    for name in passes or list(PASSES):
+        PASSES[name](term, sink, latent_names)
+    return sink
+
+
+def lint_term(term: T.Term,
+              latent_names: set[str] | None = None) -> list[Diagnostic]:
+    """All-passes convenience wrapper returning a sorted list."""
+    return analyze_term(term, latent_names=latent_names).diagnostics
+
+
+@dataclass
+class LintResult:
+    """The outcome of linting one source text."""
+
+    filename: str
+    source: str
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+
+    def render(self) -> str:
+        return render_diagnostics(self.diagnostics, self.source,
+                                  self.filename)
+
+    @property
+    def worst(self) -> Optional[Severity]:
+        worst: Optional[Severity] = None
+        for d in self.diagnostics:
+            if worst is None or d.severity.rank > worst.rank:
+                worst = d.severity
+        return worst
+
+    def codes(self) -> set[str]:
+        return {d.code for d in self.diagnostics}
+
+
+def _exc_span(exc: Exception) -> Optional[T.Pos]:
+    span = getattr(exc, "span", None)
+    if span is not None:
+        return span
+    return getattr(exc, "pos", None)
+
+
+def _strip_suffix(message: str) -> str:
+    # "... (line 3, column 7)" — the span renders the location already
+    import re
+    return re.sub(r" \(line \d+(?:, column \d+)?\)$", "", message)
+
+
+def lint_source(src: str, filename: str = "<input>",
+                type_env=None,
+                latent_names: set[str] | None = None,
+                min_severity: Severity = Severity.INFO) -> LintResult:
+    """Parse, optionally type-check, and run all passes over a program.
+
+    ``type_env``: a :class:`repro.core.infer.TypeEnv`; when given, every
+    declaration is type-checked (the environment threads through ``val``/
+    ``fun`` declarations exactly as ``Session.exec`` would) and inference
+    failures become ``RP002`` diagnostics.  When absent the passes run
+    purely syntactically — fragments referencing unseen bindings lint
+    cleanly.
+    """
+    from ..syntax import parser as P
+
+    sink = DiagnosticSink(min_severity)
+    result = LintResult(filename, src)
+    try:
+        decls = P.parse_program(src)
+    except (LexError, ParseError) as exc:
+        sink.emit("RP001", _strip_suffix(exc.message), _exc_span(exc))
+        result.diagnostics = sink.diagnostics
+        return result
+
+    purity = PurityEnv(latent_names)
+    env = type_env
+    for decl in decls:
+        if isinstance(decl, P.FunDecl) and len(decl.bindings) > 1:
+            # a mutual group is typed through its record encoding, like
+            # Session._exec_fun_group; the passes still see each body.
+            for name, term in _decl_terms(decl, sink):
+                analyze_term(term, sink, purity.snapshot())
+                purity.mark(name, expression_is_impure(term, purity))
+            if env is not None:
+                env = _typecheck_fun_group(decl.bindings, env, sink)
+            continue
+        for name, term in _decl_terms(decl, sink):
+            analyze_term(term, sink, purity.snapshot())
+            if env is not None:
+                env = _typecheck(name, term, env, sink)
+            if name is not None:
+                purity.mark(name,
+                            expression_is_impure(term, purity))
+    result.diagnostics = sink.diagnostics
+    return result
+
+
+def _decl_terms(decl, sink: DiagnosticSink):
+    """Yield (bound-name-or-None, term) pairs for one declaration."""
+    from ..objects.algebra import mk_lam
+    from ..syntax import parser as P
+
+    if isinstance(decl, P.ValDecl):
+        yield decl.name, decl.expr
+    elif isinstance(decl, P.FunDecl):
+        for b in decl.bindings:
+            yield b.name, T.Fix(b.name, mk_lam(b.params, b.body))
+    elif isinstance(decl, P.RecClassDecl):
+        try:
+            from ..classes.recursion import check_class_bindings
+            check_class_bindings([n for n, _ in decl.bindings],
+                                 decl.bindings)
+        except RecursiveClassError as exc:
+            sink.emit("RP002", str(exc), _exc_span(exc))
+        for name, cls in decl.bindings:
+            yield name, cls
+    else:
+        assert isinstance(decl, P.ExprDecl)
+        yield None, decl.expr
+
+
+def _typecheck_fun_group(bindings, env, sink: DiagnosticSink):
+    """Type a mutual ``fun ... and ...`` group via its record encoding."""
+    from ..core.infer import infer
+    from ..core.limits import deep_recursion
+    from ..core.types import TypeScheme
+    from ..core.unify import occurs_adjust
+    from ..syntax.desugar import desugar_fun_group
+
+    names = [b.name for b in bindings]
+    tuple_body = T.RecordExpr(
+        [T.RecordField(n, T.Var(n), mutable=False) for n in names])
+    term = desugar_fun_group(bindings, tuple_body)
+    try:
+        with deep_recursion():
+            infer(term, env, level=1)
+            for n in names:
+                field_type = infer(T.Dot(term, n), env, level=1)
+                occurs_adjust(None, field_type, 0)
+                env = env.extend(n, TypeScheme.mono(field_type))
+    except (TypeInferenceError, KindError) as exc:
+        sink.emit("RP002", _strip_suffix(str(exc)), _exc_span(exc))
+    return env
+
+
+def _typecheck(name: Optional[str], term: T.Term, env, sink: DiagnosticSink):
+    """Infer one declaration's type; report failures as RP002."""
+    from ..core.infer import infer_scheme
+    from ..core.limits import deep_recursion
+    from ..core.types import TClass, TVar, TypeScheme
+
+    try:
+        with deep_recursion():
+            if isinstance(term, T.ClassExpr) and name is not None:
+                # a recursive binding group member: type it against a
+                # class-typed assumption for itself (rule (rec-class))
+                tv = TVar(1)
+                env2 = env.extend(name, TypeScheme.mono(TClass(tv)))
+                scheme = infer_scheme(term, env2)
+            else:
+                scheme = infer_scheme(term, env)
+    except (TypeInferenceError, KindError) as exc:
+        sink.emit("RP002", _strip_suffix(str(exc)), _exc_span(exc))
+        return env
+    if name is not None:
+        env = env.extend(name, scheme)
+    return env

@@ -1,0 +1,59 @@
+"""Pretty renderer: diagnostics with caret-underlined source snippets.
+
+The format is deliberately stable (the golden tests pin it)::
+
+    file.mql:3:5: warning[RP301]: let-bound 'v' is never used
+      3 | let v = IDView([A = 1]) in 42 end
+        | ^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^
+      note: remove the binding, or query the view
+
+Spans underline ``column .. end_column - 1``; a span that continues past
+the first line underlines to the end of that line.  Diagnostics without a
+span render as a bare message line.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from .diagnostics import Diagnostic
+
+__all__ = ["render_diagnostic", "render_diagnostics"]
+
+
+def _snippet(diag: Diagnostic, lines: list[str]) -> list[str]:
+    span = diag.span
+    if span is None or not (1 <= span.line <= len(lines)):
+        return []
+    text = lines[span.line - 1].rstrip("\n")
+    gutter = f"  {span.line} | "
+    start = max(span.column, 1)
+    if span.end_line == span.line and span.end_column is not None:
+        width = max(span.end_column - span.column, 1)
+    else:
+        # multi-line (or end unknown): underline to the end of the line
+        width = max(len(text) - start + 1, 1)
+    width = min(width, max(len(text) - start + 1, 1))
+    underline = (" " * (len(gutter) - 2) + "| "
+                 + " " * (start - 1) + "^" * width)
+    return [gutter + text, underline]
+
+
+def render_diagnostic(diag: Diagnostic, source: Optional[str] = None,
+                      filename: str = "<input>") -> str:
+    """Render one diagnostic (with a snippet when ``source`` is given)."""
+    loc = f"{filename}:{diag.location()}: " if diag.span else f"{filename}: "
+    out = [f"{loc}{diag.severity.value}[{diag.code}]: {diag.message}"]
+    if source is not None:
+        out.extend(_snippet(diag, source.splitlines()))
+    for note in diag.notes:
+        out.append(f"  note: {note}")
+    return "\n".join(out)
+
+
+def render_diagnostics(diags: Iterable[Diagnostic],
+                       source: Optional[str] = None,
+                       filename: str = "<input>") -> str:
+    """Render a batch, one blank line between findings."""
+    return "\n\n".join(render_diagnostic(d, source, filename)
+                       for d in diags)

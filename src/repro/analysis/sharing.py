@@ -1,0 +1,159 @@
+"""Sharing / escape analysis (RP1xx).
+
+Tracks which raw-object L-values a function's *result* can alias, in the
+spirit of the sharing analysis of *Tracing sharing in an imperative pure
+calculus* applied to this calculus's L-value store.  Two kinds of facts
+are computed for a function ``fn x => body``, as paths rooted at ``x``:
+
+``WHOLE(path)``
+    the result may be (or contain) the record reached from ``x`` by
+    ``path`` — aliasing it wholesale, mutable fields included;
+``LVAL(path)``
+    the result may contain a mutable L-value alias (an ``extract``) of
+    the field reached by ``path``.
+
+Findings:
+
+``RP101`` (warning)
+    a viewing function embeds its **entire** raw argument in the result
+    (``fn x => [self = x]``, ``fn x => {x}``, ...).  Every mutable field
+    of the underlying object then escapes the view interface, defeating
+    the view's access restriction.  The bare identity ``fn x => x`` is
+    exempt — that is exactly ``IDView``.
+
+``RP102`` (warning)
+    a ``query``/``c-query`` function returns mutable L-values of the raw
+    state (``query(fn v => [s := extract(v, Salary)], o)``).  The paper's
+    discipline routes updates *through* ``query``; handing the L-value to
+    the caller lets it update later, bypassing any view composed on top.
+
+The analysis is deliberately under-approximating where it cannot see
+(function application yields no facts), so it never flags the paper's
+own idioms: ``Salary := extract(x, Salary)`` inside a *view* is the
+sanctioned way to share an L-value and produces no finding.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core import terms as T
+from .diagnostics import DiagnosticSink
+
+__all__ = ["sharing_pass", "escape_facts", "WHOLE", "LVAL"]
+
+WHOLE = "whole"
+LVAL = "lval"
+
+# A fact is (kind, path) with path a tuple of field labels from the root
+# parameter; () is the parameter itself.
+Fact = tuple[str, tuple[str, ...]]
+
+
+def escape_facts(fn: T.Lam) -> set[Fact]:
+    """The alias facts of ``fn``'s result, rooted at its parameter."""
+    env: dict[str, set[Fact]] = {fn.param: {(WHOLE, ())}}
+    return _facts(fn.body, env)
+
+
+def _facts(term: T.Term, env: dict[str, set[Fact]]) -> set[Fact]:
+    if isinstance(term, T.Var):
+        return set(env.get(term.name, ()))
+    if isinstance(term, (T.Const, T.Unit)):
+        return set()
+    if isinstance(term, T.Dot):
+        out = set()
+        for kind, path in _facts(term.expr, env):
+            if kind == WHOLE:
+                # e.l re-reads the R-value: aliases the nested component
+                out.add((WHOLE, path + (term.label,)))
+        return out
+    if isinstance(term, T.Extract):
+        out = set()
+        for kind, path in _facts(term.expr, env):
+            if kind == WHOLE:
+                out.add((LVAL, path + (term.label,)))
+        return out
+    if isinstance(term, T.RecordExpr):
+        out = set()
+        for f in term.fields:
+            out |= _facts(f.expr, env)
+        return out
+    if isinstance(term, T.SetExpr):
+        out = set()
+        for e in term.elems:
+            out |= _facts(e, env)
+        return out
+    if isinstance(term, T.If):
+        return _facts(term.then, env) | _facts(term.else_, env)
+    if isinstance(term, T.Let):
+        inner = dict(env)
+        inner[term.name] = _facts(term.bound, env)
+        return _facts(term.body, inner)
+    if isinstance(term, T.Ascribe):
+        return _facts(term.expr, env)
+    if isinstance(term, T.Lam):
+        # the closure may capture aliases, but using them requires an
+        # application, which the analysis under-approximates anyway.
+        return set()
+    # application, updates, views, classes, prod...: results come from
+    # fresh evaluation — no syntactically visible alias (may-alias
+    # under-approximation; keeps the paper's idioms finding-free).
+    return set()
+
+
+def _span(term: T.Term, fallback: Optional[T.Term]) -> Optional[T.Pos]:
+    span = getattr(term, "pos", None)
+    if span is None and fallback is not None:
+        span = getattr(fallback, "pos", None)
+    return span
+
+
+def _check_view(view: T.Term, where: str, parent: T.Term,
+                sink: DiagnosticSink) -> None:
+    if not isinstance(view, T.Lam):
+        return
+    if isinstance(view.body, T.Var) and view.body.name == view.param:
+        return  # bare identity: exactly IDView, sanctioned
+    facts = escape_facts(view)
+    if (WHOLE, ()) in facts:
+        sink.emit(
+            "RP101",
+            f"the viewing function of {where} embeds its entire raw "
+            "argument in the result; every mutable field of the "
+            "underlying object escapes the view interface",
+            _span(view, parent),
+            notes=("declare the exposed fields explicitly, sharing "
+                   "L-values with 'l := extract(x, l)'",))
+
+
+def _check_query_fn(fn: T.Term, parent: T.Term,
+                    sink: DiagnosticSink) -> None:
+    if not isinstance(fn, T.Lam):
+        return
+    lvals = sorted(".".join(path) for kind, path in escape_facts(fn)
+                   if kind == LVAL)
+    if lvals:
+        fields = ", ".join(f"'{p}'" for p in lvals)
+        sink.emit(
+            "RP102",
+            f"the query function returns mutable L-value(s) of the raw "
+            f"state (field {fields}); callers can then update outside "
+            "any view, bypassing the query discipline",
+            _span(fn, parent),
+            notes=("perform the update inside the query function "
+                   "instead of returning the L-value",))
+
+
+def sharing_pass(term: T.Term, sink: DiagnosticSink,
+                 latent_names: set[str] | None = None) -> None:
+    """Walk a program, checking every view and query-function position."""
+    if isinstance(term, T.AsView):
+        _check_view(term.view, "this 'as' composition", term, sink)
+    elif isinstance(term, T.ClassExpr):
+        for i, clause in enumerate(term.includes, start=1):
+            _check_view(clause.view, f"include clause {i}", term, sink)
+    elif isinstance(term, (T.Query, T.CQuery)):
+        _check_query_fn(term.fn, term, sink)
+    for sub in T.iter_subterms(term):
+        sharing_pass(sub, sink, latent_names)

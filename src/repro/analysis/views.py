@@ -1,0 +1,149 @@
+"""View-update safety (RP2xx) — classify ``query`` functions.
+
+The paper routes every update to an object through ``query`` applied to
+the materialized view; whether such an update *translates* to the raw
+object depends on how the view built the updated field.  In the spirit of
+the well-behavedness conditions that relational-lens treatments impose on
+view updates, each ``query(f, e)`` is classified:
+
+``READ_ONLY``
+    ``f`` has no effect: a pure observation.
+
+``TRANSLATABLE``
+    ``f`` updates field(s) that the view shares with the raw object via
+    ``l := extract(x, l)`` — the write lands on the raw L-value and is
+    visible through every sharing view (the paper's update semantics).
+
+``ANOMALOUS``
+    ``f`` updates a mutable view field that was materialized *fresh*
+    (``l := e`` with a computed initializer).  The write mutates the
+    per-query materialization, which is discarded: it is visible inside
+    this one query and silently lost afterwards, while sharing siblings
+    never see it.  Reported as ``RP201``.
+
+``UNKNOWN``
+    ``f`` has an effect but the view is not syntactically visible
+    (``query(f, someVar)``); nothing is reported.
+
+``RP202`` flags an update through a *fused* object's product view: the
+flat product view is rebuilt per materialization from the sibling views,
+so a write through component ``i`` reaches the shared raw object only if
+sibling ``i``'s view shares that L-value — which fusion does not check.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from ..core import terms as T
+from .diagnostics import DiagnosticSink
+from .effects import analyze_effect
+
+__all__ = ["QueryClass", "classify_query", "view_update_pass",
+           "updated_fields"]
+
+
+class QueryClass(enum.Enum):
+    READ_ONLY = "read-only"
+    TRANSLATABLE = "translatable-update"
+    ANOMALOUS = "anomalous"
+    UNKNOWN = "unknown"
+
+
+def updated_fields(fn: T.Lam) -> set[str]:
+    """Field labels that ``fn`` updates directly on its parameter."""
+    out: set[str] = set()
+
+    def walk(term: T.Term, param_live: bool) -> None:
+        if isinstance(term, T.Update):
+            if (param_live and isinstance(term.expr, T.Var)
+                    and term.expr.name == fn.param):
+                out.add(term.label)
+        if isinstance(term, (T.Lam, T.Fix)):
+            bound = term.param if isinstance(term, T.Lam) else term.name
+            live = param_live and bound != fn.param
+            walk(term.body, live)
+            return
+        if isinstance(term, T.Let):
+            walk(term.bound, param_live)
+            walk(term.body, param_live and term.name != fn.param)
+            return
+        for sub in T.iter_subterms(term):
+            walk(sub, param_live)
+
+    walk(fn.body, True)
+    return out
+
+
+def _view_record(obj: T.Term) -> Optional[T.RecordExpr]:
+    """The record a syntactically-visible view materializes, if any."""
+    if isinstance(obj, T.AsView) and isinstance(obj.view, T.Lam) \
+            and isinstance(obj.view.body, T.RecordExpr):
+        return obj.view.body
+    return None
+
+
+def classify_query(fn: T.Term, obj: T.Term,
+                   latent_names: set[str] | None = None) -> QueryClass:
+    """Classify one ``query(fn, obj)`` site."""
+    effect = analyze_effect(fn, set(latent_names or ()))
+    if not effect.impure:
+        return QueryClass.READ_ONLY
+    if not isinstance(fn, T.Lam):
+        return QueryClass.UNKNOWN
+    record = _view_record(obj)
+    if record is None:
+        return QueryClass.UNKNOWN
+    targets = updated_fields(fn)
+    if not targets:
+        return QueryClass.UNKNOWN
+    by_label = {f.label: f for f in record.fields}
+    for label in targets:
+        f = by_label.get(label)
+        if f is None:
+            continue  # update of an absent field: a type error, not ours
+        if not isinstance(f.expr, T.Extract):
+            return QueryClass.ANOMALOUS
+    return QueryClass.TRANSLATABLE
+
+
+def _span(term: T.Term, fallback: T.Term) -> Optional[T.Pos]:
+    return getattr(term, "pos", None) or getattr(fallback, "pos", None)
+
+
+def view_update_pass(term: T.Term, sink: DiagnosticSink,
+                     latent_names: set[str] | None = None) -> None:
+    """Walk a program; report anomalous updates through views."""
+    if isinstance(term, T.Query):
+        cls = classify_query(term.fn, term.obj, latent_names)
+        if cls is QueryClass.ANOMALOUS:
+            record = _view_record(term.obj)
+            assert record is not None and isinstance(term.fn, T.Lam)
+            by_label = {f.label: f for f in record.fields}
+            lost = sorted(
+                label for label in updated_fields(term.fn)
+                if label in by_label
+                and not isinstance(by_label[label].expr, T.Extract))
+            fields = ", ".join(f"'{x}'" for x in lost)
+            sink.emit(
+                "RP201",
+                f"update to field {fields} through this view writes to "
+                "a per-materialization copy; the write is lost when the "
+                "view is next materialized and sharing siblings never "
+                "see it",
+                _span(term, term),
+                notes=(f"share the field with the raw object: "
+                       f"{lost[0]} := extract(x, {lost[0]})",))
+        if (isinstance(term.obj, T.Fuse) and isinstance(term.fn, T.Lam)
+                and analyze_effect(term.fn, set(latent_names or ())).impure):
+            sink.emit(
+                "RP202",
+                "update through a fused object's product view: the "
+                "write reaches the shared raw object only if the "
+                "targeted component's own view shares that L-value; "
+                "sharing siblings may observe the update reordered or "
+                "not at all",
+                _span(term, term))
+    for sub in T.iter_subterms(term):
+        view_update_pass(sub, sink, latent_names)

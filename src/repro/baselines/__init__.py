@@ -1,1 +1,2 @@
-"""Baselines the paper's design is compared against (materialized views, eager extents)."""
+"""Baselines the paper's design is compared against (materialized views,
+eager extents)."""

@@ -13,34 +13,11 @@ solution of the equations.
 from __future__ import annotations
 
 from ..core import terms as T
+from ..core.terms import free_vars
 from ..errors import RecursiveClassError
 
 __all__ = ["free_vars", "check_recursive_restriction",
            "check_class_bindings"]
-
-
-def free_vars(term: T.Term) -> set[str]:
-    """The free variables of a term (all binders respected)."""
-    if isinstance(term, T.Var):
-        return {term.name}
-    if isinstance(term, (T.Const, T.Unit)):
-        return set()
-    if isinstance(term, T.Lam):
-        return free_vars(term.body) - {term.param}
-    if isinstance(term, T.Fix):
-        return free_vars(term.body) - {term.name}
-    if isinstance(term, T.Let):
-        return free_vars(term.bound) | (free_vars(term.body) - {term.name})
-    if isinstance(term, T.LetClasses):
-        bound = {name for name, _ in term.bindings}
-        inner: set[str] = free_vars(term.body)
-        for _, cls in term.bindings:
-            inner |= free_vars(cls)
-        return inner - bound
-    out: set[str] = set()
-    for sub in T.iter_subterms(term):
-        out |= free_vars(sub)
-    return out
 
 
 def check_class_bindings(names: list[str],

@@ -33,17 +33,39 @@ __all__ = [
     "RecordExpr", "Dot", "Extract", "Update", "SetExpr", "If", "Fix", "Let",
     "Ascribe", "Prod", "IDView", "AsView", "Query", "Fuse", "RelObj",
     "IncludeClause",
-    "ClassExpr", "CQuery", "Insert", "Delete", "LetClasses", "Pos",
-    "iter_subterms",
+    "ClassExpr", "CQuery", "Insert", "Delete", "LetClasses", "Pos", "Span",
+    "iter_subterms", "free_vars",
 ]
 
 
 @dataclass(frozen=True)
 class Pos:
-    """A 1-based source position, attached to nodes by the parser."""
+    """A 1-based source span, attached to nodes by the parser.
+
+    ``line``/``column`` locate the start of the construct; ``end_line``/
+    ``end_column`` (when known) point one past its last character, so a
+    single-line span underlines ``column .. end_column - 1``.  Nodes built
+    programmatically (desugaring, the AST builders) carry no span at all.
+    """
 
     line: int
     column: int
+    end_line: Optional[int] = None
+    end_column: Optional[int] = None
+
+    def merge(self, other: "Optional[Pos]") -> "Pos":
+        """The smallest span covering ``self`` and ``other``."""
+        if other is None:
+            return self
+        start = min((self.line, self.column), (other.line, other.column))
+        ends = [(p.end_line, p.end_column) for p in (self, other)
+                if p.end_line is not None]
+        end = max(ends) if ends else (None, None)
+        return Pos(start[0], start[1], end[0], end[1])
+
+
+# The historical name: positions grew into spans in place.
+Span = Pos
 
 
 class Term:
@@ -402,3 +424,32 @@ def iter_subterms(term: Term) -> Iterator[Term]:
         yield term.body
     else:  # pragma: no cover - exhaustiveness guard
         raise AssertionError(f"unknown term node {type(term).__name__}")
+
+
+def free_vars(term: Term) -> set[str]:
+    """The free variables of a term (all binders respected).
+
+    The single shared implementation: :mod:`repro.classes.recursion`
+    re-exports it for the Section 4.4 restriction and the analysis passes
+    (:mod:`repro.analysis`) build on it.
+    """
+    if isinstance(term, Var):
+        return {term.name}
+    if isinstance(term, (Const, Unit)):
+        return set()
+    if isinstance(term, Lam):
+        return free_vars(term.body) - {term.param}
+    if isinstance(term, Fix):
+        return free_vars(term.body) - {term.name}
+    if isinstance(term, Let):
+        return free_vars(term.bound) | (free_vars(term.body) - {term.name})
+    if isinstance(term, LetClasses):
+        bound = {name for name, _ in term.bindings}
+        inner: set[str] = free_vars(term.body)
+        for _, cls in term.bindings:
+            inner |= free_vars(cls)
+        return inner - bound
+    out: set[str] = set()
+    for sub in iter_subterms(term):
+        out |= free_vars(sub)
+    return out

@@ -9,7 +9,20 @@ from __future__ import annotations
 
 
 class ReproError(Exception):
-    """Base class of every error raised by this library."""
+    """Base class of every error raised by this library.
+
+    Every error may carry an optional source span (a
+    :class:`repro.core.terms.Pos`) in :attr:`span`; stages that know where
+    in the source they are attach one with :meth:`with_span`.
+    """
+
+    span = None  # Optional[repro.core.terms.Pos]
+
+    def with_span(self, span) -> "ReproError":
+        """Attach a source span (no-op when ``span`` is None)."""
+        if span is not None and self.span is None:
+            self.span = span
+        return self
 
 
 class SourceError(ReproError):
@@ -21,13 +34,22 @@ class SourceError(ReproError):
         Human-readable description of the problem.
     line, column:
         1-based position in the source text, when known.
+    end_line, end_column:
+        One past the last character of the offending construct, when known
+        (lexer tokens and parser constructs carry full spans).
     """
 
     def __init__(self, message: str, line: int | None = None,
-                 column: int | None = None):
+                 column: int | None = None, end_line: int | None = None,
+                 end_column: int | None = None):
         self.message = message
         self.line = line
         self.column = column
+        self.end_line = end_line
+        self.end_column = end_column
+        if line is not None:
+            from .core.terms import Pos
+            self.span = Pos(line, column or 1, end_line, end_column)
         super().__init__(self._format())
 
     def _format(self) -> str:

@@ -213,6 +213,19 @@ class Session:
             occurs_adjust(None, t, 0)
             self.type_env = self.type_env.extend(name, TypeScheme.mono(t))
 
+    def lint(self, src: str, filename: str = "<session>"):
+        """Run the static diagnostics engine over a program.
+
+        Parses, type-checks against this session's environment, and runs
+        every analysis pass (sharing/escape, view-update safety, dead
+        code, effects) with the session's purity knowledge.  Nothing is
+        evaluated and the session is not modified.  Returns a
+        :class:`repro.analysis.LintResult`.
+        """
+        from ..analysis import lint_source
+        return lint_source(src, filename, type_env=self.type_env,
+                           latent_names=self.purity.snapshot())
+
     def prepare(self, src: str) -> "PreparedQuery":
         """Parse and type-check once; run many times.
 

@@ -6,146 +6,33 @@ to check whether e2 in this construct changes the state of the raw object
 or not. ... However, this significantly increases the complexity of the
 type system, and is not dealt with here."
 
-This module supplies that check as a *conservative effect analysis*, the
-pragmatic middle ground the paper gestures at.  Every expression is given
-two bits:
+The analysis itself — the ``eval``/``latent`` effect bits — now lives in
+:mod:`repro.analysis.effects`, where it doubles as the RP4xx lint pass of
+the diagnostics engine.  This module keeps the historical API:
+:func:`analyze_effect`, :func:`expression_is_impure`, :class:`PurityEnv`,
+and :func:`check_views_pure`, which ``Session(pure_views=True)`` uses to
+*reject* (rather than merely report) impure viewing functions.
 
-``eval``
-    evaluating the expression may mutate existing state (``update``,
-    ``insert``, ``delete``, or an application of a function whose latent
-    bit is set);
-``latent``
-    the expression's *value* may mutate state when applied later (a lambda
-    whose body has an effect, or a data structure holding such a function).
-
-The bits propagate structurally — through records, sets, lets, fix and
-session-level bindings (:class:`PurityEnv`) — so the paper's examples all
-check precisely, while anything genuinely mutating is flagged.  Unknown
-*parameters* are assumed pure: the analysis checks what a view's own code
-can do, not what callers inject (DESIGN.md records this direction).
-
-Enable with ``Session(pure_views=True)``: every ``as`` composition and
-every class-include viewing function must then be effect-free, while
-``query`` functions and include predicates may update (the paper
-explicitly routes view updates through ``query``).
+Unknown *parameters* are assumed pure: the analysis checks what a view's
+own code can do, not what callers inject (DESIGN.md records this
+direction).  ``query`` functions and include predicates may update (the
+paper explicitly routes view updates through ``query``).
 """
 
 from __future__ import annotations
 
-from typing import NamedTuple
-
+from ..analysis.diagnostics import DiagnosticSink
+from ..analysis.effects import (Effect, PURE, PurityEnv, analyze_effect,
+                                effect_pass, expression_is_impure)
 from ..core import terms as T
 from ..errors import TypeInferenceError
 
-__all__ = ["PurityEnv", "ImpureViewError", "Effect", "analyze_effect",
-           "expression_is_impure", "check_views_pure"]
+__all__ = ["PurityEnv", "ImpureViewError", "Effect", "PURE",
+           "analyze_effect", "expression_is_impure", "check_views_pure"]
 
 
 class ImpureViewError(TypeInferenceError):
     """A viewing function may mutate state (rejected under pure_views)."""
-
-
-class Effect(NamedTuple):
-    """The two effect bits of an expression."""
-
-    eval: bool    # evaluating it may mutate state
-    latent: bool  # its value may mutate state when applied
-
-    def __or__(self, other: "Effect") -> "Effect":  # type: ignore[override]
-        return Effect(self.eval or other.eval, self.latent or other.latent)
-
-    @property
-    def impure(self) -> bool:
-        return self.eval or self.latent
-
-
-PURE = Effect(False, False)
-
-
-class PurityEnv:
-    """Tracks the latent effect of bound names (session-level bindings)."""
-
-    def __init__(self, impure: set[str] | None = None):
-        self._impure: set[str] = set(impure or ())
-
-    def mark(self, name: str, impure: bool) -> None:
-        if impure:
-            self._impure.add(name)
-        else:
-            self._impure.discard(name)
-
-    def is_impure(self, name: str) -> bool:
-        return name in self._impure
-
-    def snapshot(self) -> set[str]:
-        return set(self._impure)
-
-
-def analyze_effect(term: T.Term, latent_names: set[str]) -> Effect:
-    """Compute the effect bits of ``term``.
-
-    ``latent_names`` holds the in-scope names whose values may mutate when
-    applied.
-    """
-    if isinstance(term, (T.Update, T.Insert, T.Delete)):
-        sub = _join_subterms(term, latent_names)
-        return Effect(True, sub.latent)
-    if isinstance(term, T.Var):
-        return Effect(False, term.name in latent_names)
-    if isinstance(term, (T.Const, T.Unit)):
-        return PURE
-    if isinstance(term, T.Lam):
-        body = analyze_effect(term.body, latent_names - {term.param})
-        # applying the lambda runs the body; the result may itself carry a
-        # latent effect (currying) — one latent bit covers both.
-        return Effect(False, body.eval or body.latent)
-    if isinstance(term, T.App):
-        fn = analyze_effect(term.fn, latent_names)
-        arg = analyze_effect(term.arg, latent_names)
-        return Effect(fn.eval or arg.eval or fn.latent,
-                      fn.latent or arg.latent)
-    if isinstance(term, T.Let):
-        bound = analyze_effect(term.bound, latent_names)
-        names = set(latent_names)
-        if bound.latent:
-            names.add(term.name)
-        else:
-            names.discard(term.name)
-        body = analyze_effect(term.body, names)
-        return Effect(bound.eval or body.eval, body.latent)
-    if isinstance(term, T.Fix):
-        # assume the recursive occurrence pure; if the body then shows an
-        # effect, the conservative answer is already "impure".
-        body = analyze_effect(term.body, latent_names - {term.name})
-        return body
-    if isinstance(term, T.Query):
-        fn = analyze_effect(term.fn, latent_names)
-        obj = analyze_effect(term.obj, latent_names)
-        # query applies both the query function and the viewing function
-        return Effect(fn.eval or obj.eval or fn.latent or obj.latent,
-                      fn.latent or obj.latent)
-    if isinstance(term, T.CQuery):
-        fn = analyze_effect(term.fn, latent_names)
-        cls = analyze_effect(term.cls, latent_names)
-        return Effect(fn.eval or cls.eval or fn.latent or cls.latent,
-                      fn.latent or cls.latent)
-    # structural nodes (records, sets, if, dot, views, classes...):
-    # evaluating evaluates the children; the value holds the children's
-    # values, so latent bits propagate through.
-    return _join_subterms(term, latent_names)
-
-
-def _join_subterms(term: T.Term, latent_names: set[str]) -> Effect:
-    out = PURE
-    for sub in T.iter_subterms(term):
-        out = out | analyze_effect(sub, latent_names)
-    return out
-
-
-def expression_is_impure(term: T.Term, env: PurityEnv | None = None) -> bool:
-    """Whether the expression has any effect (either bit set)."""
-    env = env or PurityEnv()
-    return analyze_effect(term, env.snapshot()).impure
 
 
 def check_views_pure(term: T.Term, env: PurityEnv | None = None) -> None:
@@ -153,45 +40,12 @@ def check_views_pure(term: T.Term, env: PurityEnv | None = None) -> None:
 
     Checks the view position of every ``as`` composition (rule (vcomp))
     and of every class include clause; ``query`` functions and include
-    predicates are exempt.
+    predicates are exempt.  Runs the RP4xx effect pass and promotes the
+    first RP401/RP402 finding to an :class:`ImpureViewError`.
     """
     env = env or PurityEnv()
-    _check(term, env.snapshot())
-
-
-def _check(term: T.Term, latent_names: set[str]) -> None:
-    if isinstance(term, T.AsView):
-        if analyze_effect(term.view, latent_names).impure:
-            raise ImpureViewError(
-                "the viewing function of an 'as' composition may update "
-                "state; viewing functions must be pure (Section 3.1)")
-    if isinstance(term, T.ClassExpr):
-        for i, clause in enumerate(term.includes, start=1):
-            if analyze_effect(clause.view, latent_names).impure:
-                raise ImpureViewError(
-                    f"the viewing function of include clause {i} may "
-                    "update state; viewing functions must be pure "
-                    "(Section 3.1)")
-    if isinstance(term, T.LetClasses):
-        for _name, cls in term.bindings:
-            _check(cls, latent_names)
-        _check(term.body, latent_names)
-        return
-    if isinstance(term, T.Let):
-        _check(term.bound, latent_names)
-        bound = analyze_effect(term.bound, latent_names)
-        names = set(latent_names)
-        if bound.latent:
-            names.add(term.name)
-        else:
-            names.discard(term.name)
-        _check(term.body, names)
-        return
-    if isinstance(term, T.Lam):
-        _check(term.body, latent_names - {term.param})
-        return
-    if isinstance(term, T.Fix):
-        _check(term.body, latent_names - {term.name})
-        return
-    for sub in T.iter_subterms(term):
-        _check(sub, latent_names)
+    sink = DiagnosticSink()
+    effect_pass(term, sink, env.snapshot())
+    for diag in sink:
+        if diag.code in ("RP401", "RP402"):
+            raise ImpureViewError(diag.message).with_span(diag.span)

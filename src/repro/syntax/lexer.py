@@ -36,6 +36,10 @@ class Token:
     value: str
     line: int
     column: int
+    # One past the token's last character (same-line tokens:
+    # end_column - column == source width).  0 when unknown.
+    end_line: int = 0
+    end_column: int = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Token({self.kind}, {self.value!r})"
@@ -58,6 +62,9 @@ def tokenize(src: str) -> list[Token]:
             else:
                 col += 1
             i += 1
+
+    def emit(kind: str, value: str, s_line: int, s_col: int) -> None:
+        tokens.append(Token(kind, value, s_line, s_col, line, col))
 
     while i < n:
         ch = src[i]
@@ -102,16 +109,16 @@ def tokenize(src: str) -> list[Token]:
                 raise LexError("unterminated string literal",
                                start_line, start_col)
             advance(1)  # closing quote
-            tokens.append(Token("string", "".join(buf),
-                                start_line, start_col))
+            emit("string", "".join(buf), start_line, start_col)
             continue
         if ch.isdigit():
             start_line, start_col = line, col
             j = i
             while j < n and src[j].isdigit():
                 j += 1
-            tokens.append(Token("int", src[i:j], start_line, start_col))
+            text = src[i:j]
             advance(j - i)
+            emit("int", text, start_line, start_col)
             continue
         if ch.isalpha() or ch == "_":
             start_line, start_col = line, col
@@ -124,17 +131,18 @@ def tokenize(src: str) -> list[Token]:
                 word = "c-query"
                 j = i + len(word)
             kind = "keyword" if word in KEYWORDS else "ident"
-            tokens.append(Token(kind, word, start_line, start_col))
             advance(j - i)
+            emit(kind, word, start_line, start_col)
             continue
         matched = False
         for p in _PUNCT:
             if src.startswith(p, i):
-                tokens.append(Token("punct", p, line, col))
+                start_line, start_col = line, col
                 advance(len(p))
+                emit("punct", p, start_line, start_col)
                 matched = True
                 break
         if not matched:
             raise LexError(f"unexpected character {ch!r}", line, col)
-    tokens.append(Token("eof", "", line, col))
+    tokens.append(Token("eof", "", line, col, line, col))
     return tokens

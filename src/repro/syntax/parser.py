@@ -92,6 +92,7 @@ class _Parser:
     def __init__(self, src: str):
         self.tokens = tokenize(src)
         self.pos = 0
+        self.last: Token | None = None  # most recently consumed token
 
     # -- token plumbing ----------------------------------------------------
 
@@ -102,6 +103,7 @@ class _Parser:
         tok = self.tokens[self.pos]
         if tok.kind != "eof":
             self.pos += 1
+            self.last = tok
         return tok
 
     def at_punct(self, value: str) -> bool:
@@ -112,36 +114,48 @@ class _Parser:
         tok = self.peek()
         return tok.kind == "keyword" and tok.value in values
 
+    def error(self, message: str, tok: Token) -> ParseError:
+        """A :class:`ParseError` carrying the token's full span."""
+        return ParseError(message, tok.line, tok.column,
+                          tok.end_line or None, tok.end_column or None)
+
     def expect_punct(self, value: str) -> Token:
         tok = self.next()
         if tok.kind != "punct" or tok.value != value:
-            raise ParseError(f"expected '{value}', found {tok.value!r}",
-                             tok.line, tok.column)
+            raise self.error(f"expected '{value}', found {tok.value!r}", tok)
         return tok
 
     def expect_keyword(self, value: str) -> Token:
         tok = self.next()
         if tok.kind != "keyword" or tok.value != value:
-            raise ParseError(f"expected '{value}', found {tok.value!r}",
-                             tok.line, tok.column)
+            raise self.error(f"expected '{value}', found {tok.value!r}", tok)
         return tok
 
     def expect_ident(self) -> Token:
         tok = self.next()
         if tok.kind != "ident":
-            raise ParseError(f"expected an identifier, found {tok.value!r}",
-                             tok.line, tok.column)
+            raise self.error(
+                f"expected an identifier, found {tok.value!r}", tok)
         return tok
 
     def expect_label(self) -> str:
         tok = self.next()
         if tok.kind in ("ident", "int"):
             return tok.value
-        raise ParseError(f"expected a field label, found {tok.value!r}",
-                         tok.line, tok.column)
+        raise self.error(f"expected a field label, found {tok.value!r}", tok)
 
     def pos_of(self, tok: Token) -> T.Pos:
-        return T.Pos(tok.line, tok.column)
+        return T.Pos(tok.line, tok.column,
+                     tok.end_line or None, tok.end_column or None)
+
+    def span_from(self, start: "T.Pos | Token") -> T.Pos:
+        """A span from ``start`` to the last consumed token (inclusive)."""
+        if isinstance(start, Token):
+            start = self.pos_of(start)
+        if self.last is None or not self.last.end_line:
+            return start
+        return T.Pos(start.line, start.column,
+                     self.last.end_line, self.last.end_column)
 
     # -- expressions ---------------------------------------------------
 
@@ -181,9 +195,8 @@ class _Parser:
                 inner = self.type_expr()
                 self.expect_punct(")")
                 return TObj(inner)
-            raise ParseError(f"unknown type name '{tok.value}' "
-                             "(ascribed types must be ground)",
-                             tok.line, tok.column)
+            raise self.error(f"unknown type name '{tok.value}' "
+                             "(ascribed types must be ground)", tok)
         if tok.kind == "keyword" and tok.value == "class":
             self.next()
             self.expect_punct("(")
@@ -207,9 +220,8 @@ class _Parser:
                 label = self.expect_label()
                 sep = self.next()
                 if sep.kind != "punct" or sep.value not in ("=", ":="):
-                    raise ParseError(
-                        "expected '=' or ':=' in record type field",
-                        sep.line, sep.column)
+                    raise self.error(
+                        "expected '=' or ':=' in record type field", sep)
                 fields[label] = FieldType(self.type_expr(),
                                           mutable=sep.value == ":=")
                 if self.at_punct(","):
@@ -218,15 +230,14 @@ class _Parser:
                 break
             self.expect_punct("]")
             return TRecord(fields)
-        raise ParseError(f"expected a type, found {tok.value!r}",
-                         tok.line, tok.column)
+        raise self.error(f"expected a type, found {tok.value!r}", tok)
 
     def as_expr(self) -> T.Term:
         e = self.orelse_expr()
         while self.at_keyword("as"):
             tok = self.next()
             view = self.orelse_expr()
-            e = T.AsView(e, view, pos=self.pos_of(tok))
+            e = T.AsView(e, view, pos=self.span_from(tok))
         return e
 
     def orelse_expr(self) -> T.Term:
@@ -301,7 +312,7 @@ class _Parser:
         tok = self.peek()
         e = self.postfix_expr()
         while self._starts_atom():
-            e = T.App(e, self.postfix_expr(), pos=self.pos_of(tok))
+            e = T.App(e, self.postfix_expr(), pos=self.span_from(tok))
         return e
 
     def postfix_expr(self) -> T.Term:
@@ -309,7 +320,7 @@ class _Parser:
         while self.at_punct("."):
             dot = self.next()
             label = self.expect_label()
-            e = T.Dot(e, label, pos=self.pos_of(dot))
+            e = T.Dot(e, label, pos=self.span_from(dot))
         return e
 
     # -- atoms ---------------------------------------------------------
@@ -341,8 +352,7 @@ class _Parser:
                 return T.Const(-int(num.value), INT, pos=pos)
         if tok.kind == "keyword":
             return self._keyword_atom(tok, pos)
-        raise ParseError(f"unexpected token {tok.value!r}",
-                         tok.line, tok.column)
+        raise self.error(f"unexpected token {tok.value!r}", tok)
 
     def _keyword_atom(self, tok: Token, pos: T.Pos) -> T.Term:
         kw = tok.value
@@ -356,7 +366,8 @@ class _Parser:
             self.next()
             param = self.expect_ident().value
             self.expect_punct("=>")
-            return T.Lam(param, self.expression(), pos=pos)
+            body = self.expression()
+            return T.Lam(param, body, pos=self.span_from(pos))
         if kw == "if":
             self.next()
             cond = self.expression()
@@ -364,12 +375,13 @@ class _Parser:
             then = self.expression()
             self.expect_keyword("else")
             else_ = self.expression()
-            return T.If(cond, then, else_, pos=pos)
+            return T.If(cond, then, else_, pos=self.span_from(pos))
         if kw == "fix":
             self.next()
             name = self.expect_ident().value
             self.expect_punct(".")
-            return T.Fix(name, self.expression(), pos=pos)
+            body = self.expression()
+            return T.Fix(name, body, pos=self.span_from(pos))
         if kw == "let":
             return self._let(pos)
         if kw == "class":
@@ -388,18 +400,19 @@ class _Parser:
         if kw == "IDView":
             self.next()
             args = self._call_args(1, 1, "IDView")
-            return T.IDView(args[0], pos=pos)
+            return T.IDView(args[0], pos=self.span_from(pos))
         if kw == "query":
             self.next()
             args = self._call_args(2, 2, "query")
-            return T.Query(args[0], args[1], pos=pos)
+            return T.Query(args[0], args[1], pos=self.span_from(pos))
         if kw == "fuse":
             self.next()
             args = self._call_args(2, None, "fuse")
-            return T.Fuse(args, pos=pos)
+            return T.Fuse(args, pos=self.span_from(pos))
         if kw == "relobj":
             self.next()
-            return T.RelObj(self._labelled_args("relobj"), pos=pos)
+            return T.RelObj(self._labelled_args("relobj"),
+                            pos=self.span_from(pos))
         if kw == "extract":
             self.next()
             self.expect_punct("(")
@@ -407,7 +420,7 @@ class _Parser:
             self.expect_punct(",")
             label = self.expect_label()
             self.expect_punct(")")
-            return T.Extract(e, label, pos=pos)
+            return T.Extract(e, label, pos=self.span_from(pos))
         if kw == "update":
             self.next()
             self.expect_punct("(")
@@ -417,10 +430,11 @@ class _Parser:
             self.expect_punct(",")
             value = self.expression()
             self.expect_punct(")")
-            return T.Update(e, label, value, pos=pos)
+            return T.Update(e, label, value, pos=self.span_from(pos))
         if kw == "prod":
             self.next()
-            return T.Prod(self._call_args(1, None, "prod"), pos=pos)
+            return T.Prod(self._call_args(1, None, "prod"),
+                          pos=self.span_from(pos))
         if kw == "intersect":
             self.next()
             return A.mk_intersect(self._call_args(1, None, "intersect"))
@@ -431,16 +445,16 @@ class _Parser:
         if kw == "c-query":
             self.next()
             args = self._call_args(2, 2, "c-query")
-            return T.CQuery(args[0], args[1], pos=pos)
+            return T.CQuery(args[0], args[1], pos=self.span_from(pos))
         if kw == "insert":
             self.next()
             args = self._call_args(2, 2, "insert")
-            return T.Insert(args[0], args[1], pos=pos)
+            return T.Insert(args[0], args[1], pos=self.span_from(pos))
         if kw == "delete":
             self.next()
             args = self._call_args(2, 2, "delete")
-            return T.Delete(args[0], args[1], pos=pos)
-        raise ParseError(f"unexpected keyword '{kw}'", tok.line, tok.column)
+            return T.Delete(args[0], args[1], pos=self.span_from(pos))
+        raise self.error(f"unexpected keyword '{kw}'", tok)
 
     def _builtin_call(self, name: str, pos: T.Pos) -> T.Term:
         self.expect_punct("(")
@@ -464,10 +478,10 @@ class _Parser:
             args.append(self.expression())
         close = self.expect_punct(")")
         if len(args) < min_n or (max_n is not None and len(args) > max_n):
-            raise ParseError(
+            raise self.error(
                 f"'{who}' takes "
                 + (f"{min_n}" if max_n == min_n else f"at least {min_n}")
-                + f" argument(s), got {len(args)}", close.line, close.column)
+                + f" argument(s), got {len(args)}", close)
         return args
 
     def _labelled_args(self, who: str) -> list[tuple[str, T.Term]]:
@@ -485,7 +499,7 @@ class _Parser:
         return fields
 
     def _parens(self) -> T.Term:
-        self.expect_punct("(")
+        open_tok = self.expect_punct("(")
         if self.at_punct(")"):
             self.next()
             return T.Unit()
@@ -495,11 +509,11 @@ class _Parser:
             while self.at_punct(","):
                 self.next()
                 elems.append(self.expression())
-            close = self.expect_punct(")")
+            self.expect_punct(")")
             return T.RecordExpr([
                 T.RecordField(str(i), e, mutable=False)
                 for i, e in enumerate(elems, start=1)],
-                pos=self.pos_of(close))
+                pos=self.span_from(open_tok))
         self.expect_punct(")")
         return first
 
@@ -507,14 +521,14 @@ class _Parser:
         open_tok = self.expect_punct("[")
         fields: list[T.RecordField] = []
         if self.at_punct("]"):
-            raise ParseError("a record needs at least one field",
-                             open_tok.line, open_tok.column)
+            raise self.error("a record needs at least one field",
+                             open_tok)
         while True:
             label = self.expect_label()
             tok = self.next()
             if tok.kind != "punct" or tok.value not in ("=", ":="):
-                raise ParseError("expected '=' or ':=' in record field",
-                                 tok.line, tok.column)
+                raise self.error("expected '=' or ':=' in record field",
+                                 tok)
             fields.append(T.RecordField(label, self.expression(),
                                         mutable=tok.value == ":="))
             if self.at_punct(","):
@@ -522,7 +536,7 @@ class _Parser:
                 continue
             break
         self.expect_punct("]")
-        return T.RecordExpr(fields, pos=self.pos_of(open_tok))
+        return T.RecordExpr(fields, pos=self.span_from(open_tok))
 
     def _set(self) -> T.Term:
         open_tok = self.expect_punct("{")
@@ -533,7 +547,7 @@ class _Parser:
                 self.next()
                 elems.append(self.expression())
         self.expect_punct("}")
-        return T.SetExpr(elems, pos=self.pos_of(open_tok))
+        return T.SetExpr(elems, pos=self.span_from(open_tok))
 
     def _let(self, pos: T.Pos) -> T.Term:
         self.expect_keyword("let")
@@ -558,15 +572,16 @@ class _Parser:
         if all(isinstance(e, T.ClassExpr) for _, e in bindings):
             # Section 4.4: a (possibly mutually) recursive class definition.
             return T.LetClasses(
-                [(n, e) for n, e in bindings], body, pos=pos)  # type: ignore
+                [(n, e) for n, e in bindings], body,
+                pos=self.span_from(pos))  # type: ignore
         if len(bindings) > 1:
             tok = self.peek()
-            raise ParseError(
+            raise self.error(
                 "'and' bindings in let are only for mutually recursive "
                 "class definitions (use 'let fun ... and ...' for "
-                "functions)", tok.line, tok.column)
+                "functions)", tok)
         name, bound = bindings[0]
-        return T.Let(name, bound, body, pos=pos)
+        return T.Let(name, bound, body, pos=self.span_from(pos))
 
     def _fun_bindings(self) -> list[FunBinding]:
         bindings: list[FunBinding] = []
@@ -600,7 +615,7 @@ class _Parser:
             pred = self.orelse_expr()
             includes.append(T.IncludeClause(sources, view, pred))
         self.expect_keyword("end")
-        return T.ClassExpr(own, includes, pos=pos)
+        return T.ClassExpr(own, includes, pos=self.span_from(pos))
 
     def _relation(self, pos: T.Pos) -> T.Term:
         self.expect_keyword("relation")
@@ -663,16 +678,16 @@ class _Parser:
         if len(bindings) == 1:
             return ValDecl(*bindings[0])
         tok = self.peek()
-        raise ParseError(
+        raise self.error(
             "'val ... and ...' is only for mutually recursive class "
-            "definitions", tok.line, tok.column)
+            "definitions", tok)
 
     def finish_expression(self) -> T.Term:
         e = self.expression()
         tok = self.peek()
         if tok.kind != "eof":
-            raise ParseError(f"trailing input starting at {tok.value!r}",
-                             tok.line, tok.column)
+            raise self.error(f"trailing input starting at {tok.value!r}",
+                             tok)
         return e
 
 

@@ -1,0 +1,84 @@
+"""Dead bindings, unreachable includes, constant conditions (RP3xx)."""
+
+from repro.analysis.deadcode import const_bool, dead_code_pass
+from repro.analysis.diagnostics import DiagnosticSink
+from repro.syntax.parser import parse_expression, parse_program
+
+
+def codes(src, latent=None):
+    sink = DiagnosticSink()
+    for decl in parse_program(src):
+        if hasattr(decl, "expr"):
+            terms = [decl.expr]
+        else:  # a RecClassDecl: (name, class-expression) bindings
+            terms = [cls for _, cls in decl.bindings]
+        for term in terms:
+            dead_code_pass(term, sink, latent)
+    return [d.code for d in sink]
+
+
+def test_const_bool():
+    assert const_bool(parse_expression("true")) is True
+    assert const_bool(parse_expression("false")) is False
+    assert const_bool(parse_expression("x.A")) is None
+    # desugared `p andalso false`: both branches false
+    assert const_bool(parse_expression("p andalso false")) is False
+    assert const_bool(parse_expression("p orelse true")) is True
+    assert const_bool(parse_expression("p andalso q")) is None
+
+
+def test_rp301_unused_let():
+    assert codes("val x = let v = IDView([A := 1]) in 3 end") == ["RP301"]
+
+
+def test_rp301_silent_when_used():
+    assert codes("val x = let v = IDView([A := 1]) in "
+                 "query(fn w => w.A, v) end") == []
+
+
+def test_rp301_silent_for_effectful_bound():
+    # `let u = update(...) in e end` is sequencing, not a dead binding
+    assert codes("val x = let u = update(o, A, 1) in 3 end") == []
+
+
+def test_rp301_silent_for_underscore_names():
+    assert codes("val x = let _tmp = IDView([A := 1]) in 3 end") == []
+
+
+def test_rp301_silent_for_desugared_lets():
+    # `relation ... from x in S, y in Q ...` desugars each binder to a
+    # let with no source span; an unused binder is not reported
+    assert codes("val r = relation [N = x.A] "
+                 "from x in S, y in Q where true") == []
+
+
+def test_rp301_latent_session_binding_is_effectful():
+    # with `dirty` latent, `dirty o` may mutate: the let is sequencing
+    assert codes("val x = let u = dirty o in 3 end", {"dirty"}) == []
+    assert codes("val x = let u = clean o in 3 end", {"dirty"}) == ["RP301"]
+
+
+def test_rp302_statically_false_include():
+    assert codes("val C = class {a} include B as fn x => x "
+                 "where fn x => false end") == ["RP302"]
+
+
+def test_rp302_silent_for_live_predicates():
+    assert codes("val C = class {a} include B as fn x => x "
+                 "where fn x => true end") == []
+    assert codes("val C = class {a} include B as fn x => x "
+                 "where fn x => x.A end") == []
+
+
+def test_rp303_constant_condition_is_info():
+    sink = DiagnosticSink()
+    dead_code_pass(parse_expression("if true then 1 else 2"), sink, None)
+    [d] = list(sink)
+    assert d.code == "RP303"
+    assert "else" in d.message
+
+
+def test_rp303_silent_on_desugared_boolean_operators():
+    # andalso/orelse desugar to If nodes without a source span
+    assert codes("val x = p andalso q") == []
+    assert codes("val x = p orelse q") == []

@@ -1,0 +1,58 @@
+"""The diagnostic core: codes, severities, the sink."""
+
+from repro.analysis.diagnostics import (CODES, Diagnostic, DiagnosticSink,
+                                        Severity)
+from repro.core.terms import Pos
+
+
+def test_severity_ordering():
+    assert Severity.ERROR >= Severity.WARNING >= Severity.INFO
+    assert not Severity.INFO >= Severity.WARNING
+    assert Severity.ERROR.rank > Severity.WARNING.rank > Severity.INFO.rank
+
+
+def test_registry_has_all_code_blocks():
+    blocks = {code[:3] for code in CODES}
+    assert blocks == {"RP0", "RP1", "RP2", "RP3", "RP4"}
+    # the registry agrees with itself
+    for code, dc in CODES.items():
+        assert dc.code == code
+        assert isinstance(dc.severity, Severity)
+        assert dc.title
+
+
+def test_sink_emit_uses_registered_severity():
+    sink = DiagnosticSink()
+    d = sink.emit("RP301", "msg")
+    assert d is not None and d.severity is Severity.WARNING
+    assert sink.has_warnings and not sink.has_errors
+
+
+def test_sink_min_severity_filters_at_emission():
+    sink = DiagnosticSink(Severity.WARNING)
+    assert sink.emit("RP303", "info finding") is None  # RP303 is info
+    assert sink.emit("RP301", "warning finding") is not None
+    assert len(sink) == 1
+
+
+def test_sink_severity_override():
+    sink = DiagnosticSink()
+    d = sink.emit("RP301", "promoted", severity=Severity.ERROR)
+    assert d is not None and d.severity is Severity.ERROR
+
+
+def test_diagnostics_sorted_by_position_then_severity():
+    sink = DiagnosticSink()
+    sink.emit("RP301", "later", Pos(3, 1))
+    sink.emit("RP401", "earlier", Pos(1, 5))
+    sink.emit("RP303", "no span")
+    sink.emit("RP101", "same place, lower severity", Pos(1, 5))
+    out = sink.diagnostics
+    assert [d.code for d in out] == ["RP401", "RP101", "RP301", "RP303"]
+
+
+def test_diagnostic_location_and_title():
+    d = Diagnostic("RP101", Severity.WARNING, "m", Pos(2, 7))
+    assert d.location() == "2:7"
+    assert d.title == CODES["RP101"].title
+    assert Diagnostic("RP101", Severity.WARNING, "m").location() == ""

@@ -1,0 +1,100 @@
+"""The lint gate: the repository's examples must be finding-free, and the
+CLI must report dirty files with the right exit codes."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.cli import lint_python_file, main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+EXAMPLES = REPO_ROOT / "examples"
+
+
+def test_examples_directory_is_clean(capsys):
+    assert EXAMPLES.is_dir()
+    assert main([str(EXAMPLES)]) == 0
+    out = capsys.readouterr().out
+    assert "clean" in out
+
+
+@pytest.mark.parametrize(
+    "example", sorted(p.name for p in EXAMPLES.glob("*.py")))
+def test_each_example_is_clean(example):
+    result = lint_python_file(EXAMPLES / example)
+    assert result.diagnostics == [], result.render()
+
+
+def test_cli_reports_warnings_with_exit_1(tmp_path, capsys):
+    f = tmp_path / "dirty.mql"
+    f.write_text("val x = let v = IDView([A := 1]) in 3 end\n")
+    assert main(["--no-typecheck", str(f)]) == 1
+    out = capsys.readouterr().out
+    assert "RP301" in out and "1 warning(s)" in out
+
+
+def test_cli_reports_errors_with_exit_2(tmp_path, capsys):
+    f = tmp_path / "broken.mql"
+    f.write_text("val x = (\n")
+    assert main(["--no-typecheck", str(f)]) == 2
+    out = capsys.readouterr().out
+    assert "RP001" in out
+
+
+def test_cli_min_severity_filter(tmp_path, capsys):
+    f = tmp_path / "info.mql"
+    f.write_text("val x = if true then 1 else 2\n")
+    assert main(["--no-typecheck", str(f)]) == 0  # info only: exit 0
+    assert "RP303" in capsys.readouterr().out
+    assert main(["--no-typecheck", "--min-severity", "warning",
+                 str(f)]) == 0
+    assert "RP303" not in capsys.readouterr().out
+
+
+def test_cli_typechecks_mql_against_prelude(tmp_path, capsys):
+    f = tmp_path / "typed.mql"
+    f.write_text('val joe = IDView([Name = "Joe", Salary := 100])\n'
+                 "val pay = query(fn x => x.Salary, joe)\n")
+    assert main([str(f)]) == 0
+    f2 = tmp_path / "illtyped.mql"
+    f2.write_text('val x = "a" + 1\n')
+    assert main([str(f2)]) == 2
+    assert "RP002" in capsys.readouterr().out
+
+
+def test_embedded_python_strings_report_shifted_spans(tmp_path):
+    f = tmp_path / "embed.py"
+    f.write_text(
+        "from repro import Session\n"
+        "s = Session()\n"
+        "s.exec('''\n"
+        "    val x = let v = IDView([A := 1]) in 3 end\n"
+        "''')\n")
+    result = lint_python_file(f)
+    [d] = result.diagnostics
+    assert d.code == "RP301"
+    # the let sits on file line 4
+    assert d.span is not None and d.span.line == 4
+    assert "embed.py:4:" in result.render()
+
+
+def test_expected_failure_blocks_are_skipped(tmp_path):
+    f = tmp_path / "expect.py"
+    f.write_text(
+        "from repro import Session\n"
+        "s = Session()\n"
+        "try:\n"
+        "    s.eval('(o as fn x => let u = update(x, A, 0) in x end)')\n"
+        "except Exception:\n"
+        "    pass\n")
+    assert lint_python_file(f).diagnostics == []
+
+
+def test_repro_lint_skip_comment(tmp_path):
+    f = tmp_path / "skip.py"
+    f.write_text(
+        "bad = '(o as fn x => [Self = x])'  # repro-lint: skip\n")
+    assert lint_python_file(f).diagnostics == []
+    f2 = tmp_path / "noskip.py"
+    f2.write_text("bad = '(o as fn x => [Self = x])'\n")
+    assert [d.code for d in lint_python_file(f2).diagnostics] == ["RP101"]

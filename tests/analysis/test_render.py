@@ -1,0 +1,58 @@
+"""Golden-output tests of the diagnostic renderer."""
+
+from repro.analysis import lint_source
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.render import render_diagnostic, render_diagnostics
+
+
+def test_golden_single_line_span():
+    src = "val x = let v = IDView([A := 1]) in 3 end"
+    result = lint_source(src, "demo.mql")
+    assert result.render() == (
+        "demo.mql:1:9: warning[RP301]: let-bound 'v' is never used\n"
+        "  1 | val x = let v = IDView([A := 1]) in 3 end\n"
+        "    |         ^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^\n"
+        "  note: remove the binding, or query the view it names"
+    )
+
+
+def test_golden_parse_error():
+    result = lint_source("val x = query(fn v =>, joe)", "bad.mql")
+    assert result.render() == (
+        "bad.mql:1:22: error[RP001]: unexpected token ','\n"
+        "  1 | val x = query(fn v =>, joe)\n"
+        "    |                      ^"
+    )
+
+
+def test_golden_multi_diagnostic_ordering():
+    src = ("val a = if true then 1 else 2\n"
+           "val b = let w = IDView([A := 1]) in 3 end")
+    result = lint_source(src, "two.mql")
+    rendered = result.render()
+    # both findings, in source order, separated by a blank line
+    first, second = rendered.split("\n\n")
+    assert first.startswith("two.mql:1:12: info[RP303]:")
+    assert second.startswith("two.mql:2:9: warning[RP301]:")
+
+
+def test_render_without_span():
+    d = Diagnostic("RP301", Severity.WARNING, "somewhere", None)
+    assert render_diagnostic(d, "val x = 1", "f.mql") == (
+        "f.mql: warning[RP301]: somewhere")
+
+
+def test_render_multiline_span_underlines_to_line_end():
+    src = "val v = (joe as\n    fn x => [Self = x])"
+    result = lint_source(src, "m.mql")
+    [d] = result.diagnostics
+    assert d.code == "RP101"
+    lines = render_diagnostic(d, src, "m.mql").splitlines()
+    assert lines[0].startswith("m.mql:2:5: warning[RP101]:")
+    assert lines[1] == "  2 |     fn x => [Self = x])"
+    # the caret line underlines from the span start
+    assert lines[2].startswith("    |     ^")
+
+
+def test_render_diagnostics_empty():
+    assert render_diagnostics([], "src", "f.mql") == ""

@@ -1,0 +1,87 @@
+"""Sharing / escape analysis (RP101, RP102)."""
+
+from repro.analysis.diagnostics import DiagnosticSink
+from repro.analysis.sharing import LVAL, WHOLE, escape_facts, sharing_pass
+from repro.syntax.parser import parse_expression
+
+
+def facts(src):
+    return escape_facts(parse_expression(src))
+
+
+def codes(src):
+    sink = DiagnosticSink()
+    sharing_pass(parse_expression(src), sink, None)
+    return [d.code for d in sink]
+
+
+def test_identity_returns_whole_argument():
+    assert (WHOLE, ()) in facts("fn x => x")
+
+
+def test_record_embedding_returns_whole_argument():
+    assert (WHOLE, ()) in facts("fn x => [Self = x]")
+    assert (WHOLE, ()) in facts("fn x => {x}")
+    assert (WHOLE, ()) in facts("fn x => if x.A then x else x")
+    assert (WHOLE, ()) in facts("fn x => let y = x in y end")
+
+
+def test_projection_narrows_the_path():
+    assert facts("fn x => x.A") == {(WHOLE, ("A",))}
+    assert facts("fn x => x.A.B") == {(WHOLE, ("A", "B"))}
+
+
+def test_extract_yields_lval_fact():
+    assert facts("fn x => extract(x, Salary)") == {(LVAL, ("Salary",))}
+    assert ((LVAL, ("Salary",))
+            in facts("fn x => [S := extract(x, Salary)]"))
+
+
+def test_fresh_values_have_no_facts():
+    assert facts("fn x => x.A + 1") == set()
+    assert facts("fn x => f x") == set()  # application: under-approximate
+    assert facts("fn x => update(x, A, 1)") == set()
+
+
+def test_projection_in_record_keeps_narrowed_path():
+    # the embedded component is aliased, but not the whole argument —
+    # no RP101, yet the fact is tracked for nested reasoning
+    assert facts("fn x => [Name = x.Name]") == {(WHOLE, ("Name",))}
+
+
+def test_rp101_on_whole_argument_escape():
+    assert codes("(joe as fn x => [Self = x])") == ["RP101"]
+    assert codes("(joe as fn x => {x})") == ["RP101"]
+
+
+def test_rp101_exempts_bare_identity():
+    # `fn x => x` is exactly IDView
+    assert codes("(joe as fn x => x)") == []
+
+
+def test_rp101_on_include_view():
+    assert codes("class {} include B as fn x => [V = x] "
+                 "where fn x => true end") == ["RP101"]
+
+
+def test_sanctioned_extract_sharing_is_clean():
+    # the paper's idiom: sharing one L-value through the view
+    assert codes("(joe as fn x => [Name = x.Name, "
+                 "Salary := extract(x, Salary)])") == []
+
+
+def test_rp102_on_lval_escaping_query():
+    assert codes("query(fn v => extract(v, Salary), joe)") == ["RP102"]
+    assert codes("query(fn v => [S := extract(v, Salary)], joe)") \
+        == ["RP102"]
+
+
+def test_rp102_not_raised_for_update_inside_query():
+    # updating *inside* the query is the paper's discipline
+    assert codes("query(fn v => update(v, Salary, 0), joe)") == []
+
+
+def test_extract_inside_view_position_is_not_rp102():
+    # extract in a *view* shares state on purpose; only query results
+    # handing out L-values are flagged
+    assert codes("(joe as fn x => [B := extract(x, Bonus)])") == []

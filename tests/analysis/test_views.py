@@ -1,0 +1,82 @@
+"""View-update safety (RP201, RP202) and query classification."""
+
+from repro.analysis.diagnostics import DiagnosticSink
+from repro.analysis.views import (QueryClass, classify_query, updated_fields,
+                                  view_update_pass)
+from repro.core import terms as T
+from repro.syntax.parser import parse_expression
+
+
+def classify(src):
+    q = parse_expression(src)
+    assert isinstance(q, T.Query)
+    return classify_query(q.fn, q.obj, None)
+
+
+def codes(src, latent=None):
+    sink = DiagnosticSink()
+    view_update_pass(parse_expression(src), sink, latent)
+    return [d.code for d in sink]
+
+
+def test_updated_fields_direct_and_shadowed():
+    fn = parse_expression("fn v => update(v, Age, 1)")
+    assert updated_fields(fn) == {"Age"}
+    fn = parse_expression(
+        "fn v => let w = update(v, A, 1) in update(v, B, 2) end")
+    assert updated_fields(fn) == {"A", "B"}
+    # an inner binder shadowing the parameter stops attribution
+    fn = parse_expression("fn v => fn v => update(v, Age, 1)")
+    assert updated_fields(fn) == set()
+    fn = parse_expression(
+        "fn v => let v = w in update(v, Age, 1) end")
+    assert updated_fields(fn) == set()
+
+
+def test_read_only_query():
+    assert classify("query(fn v => v.Name, joe)") is QueryClass.READ_ONLY
+
+
+def test_translatable_update_through_shared_field():
+    assert classify(
+        "query(fn v => update(v, Bonus, 0), "
+        "(joe as fn x => [Name = x.Name, Bonus := extract(x, Bonus)]))") \
+        is QueryClass.TRANSLATABLE
+
+
+def test_anomalous_update_of_materialized_field():
+    assert classify(
+        "query(fn v => update(v, Age, 40), "
+        "(joe as fn x => [Name = x.Name, Age := 39]))") \
+        is QueryClass.ANOMALOUS
+
+
+def test_unknown_when_view_not_syntactic():
+    assert classify("query(fn v => update(v, Age, 40), someview)") \
+        is QueryClass.UNKNOWN
+
+
+def test_rp201_fires_with_note():
+    sink = DiagnosticSink()
+    view_update_pass(parse_expression(
+        "query(fn v => update(v, Age, 40), "
+        "(joe as fn x => [Name = x.Name, Age := 39]))"), sink, None)
+    [d] = list(sink)
+    assert d.code == "RP201"
+    assert "Age" in d.message
+    assert any("extract" in n for n in d.notes)
+
+
+def test_rp201_silent_on_translatable_and_read_only():
+    assert codes("query(fn v => v.Name, "
+                 "(joe as fn x => [Name = x.Name, Age := 39]))") == []
+    assert codes(
+        "query(fn v => update(v, Bonus, 0), "
+        "(joe as fn x => [Bonus := extract(x, Bonus)]))") == []
+
+
+def test_rp202_on_impure_query_of_fused_object():
+    assert codes("query(fn v => update(v, Salary, 0), fuse(a, b))") \
+        == ["RP202"]
+    # reading through a fused view is fine
+    assert codes("query(fn v => v.Salary, fuse(a, b))") == []

@@ -46,7 +46,6 @@ def test_write_through_copy_does_not_reach_raw(s):
 
 
 def test_non_ground_fields_rejected(s):
-    from repro.errors import ReproError
     s.exec("val fancy = IDView([F = fn x => x, N = 1])")
     with pytest.raises(Exception):
         MaterializedView(s, "fancy", "fn x => [F = x.F]")

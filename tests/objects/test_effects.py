@@ -113,6 +113,53 @@ def test_default_session_does_not_enforce_purity():
     assert s.eval_py("query(fn x => x.A, o)") == 7
 
 
+def test_latent_effect_in_set_applied_via_hom():
+    """An effectful function smuggled through a set literal and applied
+    element-wise by ``hom`` must be caught: the set's latent bit flows
+    into the application."""
+    assert impure(
+        "fn x => hom({fn y => update(y, A, 1)}, fn g => g x, "
+        "fn a => fn b => a, x)")
+    # the same shape with a pure element function stays pure
+    assert not impure(
+        "fn x => hom({fn y => y.A}, fn g => g x, fn a => fn b => a, 0)")
+
+
+def test_latent_effect_in_record_field():
+    """Storing an effectful function in a record field and applying the
+    projection is impure; merely storing it is only latent."""
+    assert impure(
+        "fn x => let r = [F = fn y => update(y, A, 1)] in (r.F) x end")
+    # without the application the *expression* still carries the latent
+    # bit (its value can mutate when applied later)
+    assert impure("[F = fn y => update(y, A, 1)]")
+    assert not impure("fn x => let r = [F = fn y => y.A] in (r.F) x end")
+
+
+def test_effect_hidden_under_fix():
+    """A recursive function whose body updates is impure even though the
+    update sits under the ``fix`` binder."""
+    assert impure("fix f. fn x => if x.A < 1 then x "
+                  "else f (update(x, A, x.A))")
+    assert not impure("fix f. fn n => if n < 1 then 1 else f (n - 1)")
+
+
+def test_session_rejects_hom_smuggled_effect():
+    s = Session(pure_views=True)
+    s.exec("val o = IDView([A := 1])")
+    with pytest.raises(ImpureViewError):
+        s.eval("(o as fn x => let u = hom({fn y => update(y, A, 2)}, "
+               "fn g => g x, fn a => fn b => a, ()) in x end)")
+
+
+def test_session_rejects_fix_hidden_effect():
+    s = Session(pure_views=True)
+    s.exec("val o = IDView([A := 1])")
+    with pytest.raises(ImpureViewError):
+        s.eval("(o as fix f. fn x => if x.A < 1 then x "
+               "else let u = update(x, A, x.A - 1) in f x end)")
+
+
 def test_paper_examples_all_pure():
     """Every Section 3.3 / 4.2 viewing function passes the check."""
     s = Session(pure_views=True)

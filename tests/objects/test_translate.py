@@ -149,8 +149,8 @@ def test_heterogeneous_raw_set_gap():
 
 
 def test_internal_representation_matcher_rejects_wrong_shapes():
-    from repro.core.types import (BOOL, FieldType, INT, TFun, TObj, TRecord,
-                                  pair_type)
+    from repro.core.types import (BOOL, FieldType, INT, TFun, TObj,
+                                  TRecord)
     good = TRecord({"1": FieldType(INT, False),
                     "2": FieldType(TFun(INT, BOOL), False)})
     assert internal_representation_matches(good, TObj(BOOL))
