@@ -1,0 +1,94 @@
+"""Robustness overhead: journaling + budget enforcement on §3.3.
+
+The runtime layer promises that its safety machinery is cheap enough to
+leave on: evaluating inside a transaction (undo journaling armed, all
+mutable-field writes recorded) with a step/allocation/deadline budget
+installed must stay within **15%** of plain evaluation on the Section
+3.3 pipeline workload.  ``test_overhead_envelope`` measures the ratio
+directly and enforces the envelope; the two ``benchmark`` tests record
+the absolute timings for EXPERIMENTS.md-style tables.
+"""
+
+import time
+
+from repro import Budget, Session
+
+from bench_section33_pipeline import SECTION33
+from workloads import populate_people
+
+#: §3.3 evaluations per timed sample — large enough that per-sample
+#: fixed costs (transaction capture, budget re-arm) are amortized the
+#: way a real batch workload would amortize them.
+BATCH = 40
+
+# A generous budget: never trips on this workload, but every check in
+# the hot loop still runs.
+_BUDGET = dict(max_steps=500_000_000, max_allocations=100_000_000,
+               max_seconds=3600.0)
+
+
+def _pipeline_session():
+    s = Session()
+    populate_people(s, 50)
+    s.exec("fun monthly o = query(fn v => v.Salary, o)")
+    return s, s.parse(SECTION33), s.parse(
+        "size(select as fn x => [Name = x.Name] from people "
+        "where fn o => monthly o > 1025)")
+
+
+def _run_plain(s, terms):
+    for _ in range(BATCH):
+        for term in terms:
+            s.machine.eval(term, s.runtime_env)
+
+
+def _run_robust(s, terms):
+    with s.transaction(budget=Budget(**_BUDGET)):
+        for _ in range(BATCH):
+            for term in terms:
+                s.machine.eval(term, s.runtime_env)
+
+
+def _sample(fn, *args):
+    t0 = time.perf_counter()
+    fn(*args)
+    return time.perf_counter() - t0
+
+
+def _measure_ratio(s, terms, rounds=7):
+    # Alternate modes round by round so scheduler noise hits both
+    # equally; best-of filters the noise (which only ever inflates).
+    plain = robust = float("inf")
+    for _ in range(rounds):
+        plain = min(plain, _sample(_run_plain, s, terms))
+        robust = min(robust, _sample(_run_robust, s, terms))
+    return plain, robust
+
+
+def test_overhead_envelope():
+    s, sec33, wealthy = _pipeline_session()
+    terms = [sec33, wealthy]
+    _run_plain(s, terms)
+    _run_robust(s, terms)
+    best = float("inf")
+    for attempt in range(4):
+        plain, robust = _measure_ratio(s, terms)
+        ratio = robust / plain
+        print(f"\nplain {plain * 1e3:.2f} ms  robust {robust * 1e3:.2f} ms"
+              f"  overhead {100 * (ratio - 1):+.1f}%")
+        best = min(best, ratio)
+        if best <= 1.15:
+            break
+    assert best <= 1.15, (
+        f"journaling + budget overhead {100 * (best - 1):.1f}% exceeds "
+        "the 15% envelope")
+
+
+def test_eval_section33_plain(benchmark):
+    s, sec33, wealthy = _pipeline_session()
+    benchmark(_run_plain, s, [sec33, wealthy])
+
+
+def test_eval_section33_robust(benchmark):
+    s, sec33, wealthy = _pipeline_session()
+    benchmark(_run_robust, s, [sec33, wealthy])

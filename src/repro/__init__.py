@@ -14,17 +14,20 @@ Quickstart
 2000
 """
 
-from .errors import (EvalError, KindError, LexError, OccursCheckError,
-                     ParseError, RecursiveClassError, ReproError,
+from .errors import (BudgetExceededError, EvalError, KindError, LexError,
+                     OccursCheckError, ParseError, PersistenceError,
+                     RecursiveClassError, ReproError, ResourceError,
                      SourceError, TranslationError, TypeInferenceError,
                      UnificationError)
 from .lang.api import Session
+from .runtime import Budget
 
 __version__ = "1.0.0"
 
 __all__ = [
-    "Session", "ReproError", "SourceError", "LexError", "ParseError",
-    "KindError", "TypeInferenceError", "UnificationError",
+    "Session", "Budget", "ReproError", "SourceError", "LexError",
+    "ParseError", "KindError", "TypeInferenceError", "UnificationError",
     "OccursCheckError", "TranslationError", "EvalError",
-    "RecursiveClassError", "__version__",
+    "RecursiveClassError", "ResourceError", "BudgetExceededError",
+    "PersistenceError", "__version__",
 ]

@@ -1,1 +1,4 @@
-"""A small object-database layer (catalog of named classes) built on the calculus."""
+"""A small object-database layer (catalog of named classes) built on the
+calculus, with crash-safe persistence: atomic checksummed snapshots
+(:mod:`repro.db.persist`) and an append-only write-ahead log of catalog
+mutations (:mod:`repro.db.wal`)."""

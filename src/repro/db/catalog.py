@@ -12,14 +12,28 @@ against class extents.  :class:`Catalog` packages that workflow:
 
 Everything goes through a :class:`~repro.lang.api.Session`, so every
 definition is type-checked before it takes effect.
+
+Robustness guarantees (see ``docs/ROBUSTNESS.md``):
+
+* every mutating operation is **all-or-nothing** — it runs inside a
+  session transaction, and the catalog's own registries roll back with it,
+  so a failed definition leaves neither half-applied bindings nor a stale
+  spec;
+* a catalog can be given a :class:`~repro.db.wal.WriteAheadLog`; each
+  mutation is appended (inside the same atomic scope) and
+  :meth:`Catalog.recover` rebuilds the catalog from the log after a
+  crash, tolerating a torn tail record.
 """
 
 from __future__ import annotations
 
+import copy
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
-from ..errors import ReproError
+from ..errors import PersistenceError, ReproError
 from ..lang.api import Session
+from .wal import WriteAheadLog, read_wal
 
 __all__ = ["Catalog", "IncludeSpec", "ClassSpec", "ObjectSpec"]
 
@@ -83,12 +97,103 @@ class ClassSpec:
 
 
 class Catalog:
-    """A registry of named objects and classes over one session."""
+    """A registry of named objects and classes over one session.
 
-    def __init__(self, session: Session | None = None):
+    ``wal`` (a :class:`~repro.db.wal.WriteAheadLog`, or a path to open one
+    at) makes the catalog durable: every mutation is appended to the log
+    and :meth:`recover` replays it after a crash.
+    """
+
+    def __init__(self, session: Session | None = None,
+                 wal: "WriteAheadLog | str | None" = None):
         self.session = session if session is not None else Session()
         self.objects: dict[str, ObjectSpec] = {}
         self.classes: dict[str, ClassSpec] = {}
+        self.wal = WriteAheadLog(wal) if isinstance(wal, str) else wal
+        self._replaying = False
+
+    # -- atomicity and the WAL ---------------------------------------------
+
+    @contextmanager
+    def _atomic(self):
+        """Make one catalog operation all-or-nothing.
+
+        Wraps the operation in a session transaction and snapshots the
+        spec registries; any failure — a type error in generated source, a
+        WAL append fault, an injected fault — restores both, so the
+        catalog never holds a spec whose definition did not take effect
+        (or vice versa).
+        """
+        saved_objects = copy.deepcopy(self.objects)
+        saved_classes = copy.deepcopy(self.classes)
+        try:
+            with self.session.transaction():
+                yield
+        except BaseException:
+            self.objects = saved_objects
+            self.classes = saved_classes
+            raise
+
+    def _log(self, op: str, **args) -> None:
+        """Append a mutation record (no-op without a WAL or during replay).
+
+        Called inside :meth:`_atomic`, so an append failure rolls the
+        whole operation back: the in-memory catalog never runs ahead of
+        the log.  (The log may run ahead of memory by at most the one
+        record whose fsync failed — redo-log semantics; recovery replays
+        it.)
+        """
+        if self.wal is not None and not self._replaying:
+            self.wal.append(op, args)
+
+    @classmethod
+    def recover(cls, wal_path: str, session: Session | None = None,
+                fsync: bool = True) -> "Catalog":
+        """Rebuild a catalog by replaying its WAL from an empty session.
+
+        Tolerates a torn tail record (truncated on open); re-arms the
+        catalog with the same log so subsequent mutations keep appending.
+        """
+        records, _torn = read_wal(wal_path)
+        cat = cls(session)
+        cat._replaying = True
+        try:
+            for record in records:
+                cat._apply(record)
+        finally:
+            cat._replaying = False
+        cat.wal = WriteAheadLog(wal_path, fsync=fsync)
+        return cat
+
+    def _apply(self, record: dict) -> None:
+        op, args = record.get("op"), record.get("args", {})
+        if op == "new_object":
+            self.new_object(args["name"], mutable=args["mutable"],
+                            **args["immutable"])
+        elif op == "define_class":
+            self.define_class(
+                args["name"], own=args["own"],
+                includes=[IncludeSpec(i["sources"], i["view"], i["pred"])
+                          for i in args["includes"]],
+                own_views=args["own_views"] or None,
+                element_type=args["element_type"])
+        elif op == "define_classes":
+            self.define_classes({
+                spec["name"]: ClassSpec(
+                    spec["name"], [tuple(m) for m in spec["own"]],
+                    [IncludeSpec(i["sources"], i["view"], i["pred"])
+                     for i in spec["includes"]])
+                for spec in args["specs"]})
+        elif op == "insert":
+            self.insert(args["class"], args["object"], view=args["view"])
+        elif op == "delete":
+            self.delete(args["class"], args["object"])
+        elif op == "update_object":
+            self.update_object(args["object"], args["label"], args["value"])
+        else:
+            raise PersistenceError(
+                f"WAL record lsn {record.get('lsn')} has unknown op "
+                f"{op!r}")
 
     # -- objects ------------------------------------------------------------
 
@@ -105,8 +210,11 @@ class Catalog:
               for label, value in (mutable or {}).items())])
         if not spec.fields:
             raise ReproError("an object needs at least one field")
-        self.session.bind(name, spec.render())
-        self.objects[name] = spec
+        with self._atomic():
+            self.session.bind(name, spec.render())
+            self.objects[name] = spec
+            self._log("new_object", name=name, immutable=dict(fields),
+                      mutable=dict(mutable or {}))
 
     # -- classes --------------------------------------------------------
 
@@ -130,18 +238,33 @@ class Catalog:
         rendered = spec.render()
         if element_type is not None:
             rendered = f"({rendered}) : class({element_type})"
-        self.session.exec(f"val {name} = {rendered}")
-        self.classes[name] = spec
+        with self._atomic():
+            self.session.exec(f"val {name} = {rendered}")
+            self.classes[name] = spec
+            self._log("define_class", name=name, own=list(own or []),
+                      includes=[{"sources": i.sources, "view": i.view,
+                                 "pred": i.pred} for i in (includes or [])],
+                      own_views=dict(views), element_type=element_type)
 
     def define_classes(self, specs: dict[str, ClassSpec]) -> None:
         """Define a mutually recursive class group (Section 4.4)."""
         group = list(specs)
         rendered = " and ".join(
             f"{name} = {spec.render()}" for name, spec in specs.items())
-        self.session.exec(f"val {rendered}")
-        for name, spec in specs.items():
-            spec.group = group
-            self.classes[name] = spec
+        with self._atomic():
+            self.session.exec(f"val {rendered}")
+            for name, spec in specs.items():
+                spec.group = group
+                self.classes[name] = spec
+            # A list, not a dict: the WAL serializes canonically with
+            # sorted keys, and group *order* is part of the definition.
+            self._log("define_classes", specs=[
+                {"name": name,
+                 "own": [list(m) for m in spec.own],
+                 "includes": [{"sources": i.sources, "view": i.view,
+                               "pred": i.pred}
+                              for i in spec.includes]}
+                for name, spec in specs.items()])
 
     # -- updates ------------------------------------------------------------
 
@@ -150,16 +273,52 @@ class Catalog:
         """Insert a named object (optionally re-viewed) into a class."""
         self._require_class(class_name)
         obj_src = object_name if view is None else f"({object_name} as {view})"
-        self.session.eval(f"insert({obj_src}, {class_name})")
-        self.classes[class_name].own.append((object_name, view))
+        with self._atomic():
+            self.session.eval(f"insert({obj_src}, {class_name})")
+            self.classes[class_name].own.append((object_name, view))
+            self._log("insert", **{"class": class_name},
+                      object=object_name, view=view)
 
     def delete(self, class_name: str, object_name: str) -> None:
         """Remove a named object from a class's own extent (by objeq)."""
         self._require_class(class_name)
-        self.session.eval(f"delete({object_name}, {class_name})")
-        self.classes[class_name].own = [
-            (m, v) for m, v in self.classes[class_name].own
-            if m != object_name]
+        with self._atomic():
+            self.session.eval(f"delete({object_name}, {class_name})")
+            self.classes[class_name].own = [
+                (m, v) for m, v in self.classes[class_name].own
+                if m != object_name]
+            self._log("delete", **{"class": class_name}, object=object_name)
+
+    def update_object(self, object_name: str, label: str, value) -> None:
+        """Update a mutable field of a named raw object.
+
+        The label is validated against the object's spec up front, so a
+        typo or an immutable field raises a :class:`ReproError` naming
+        the field instead of a downstream inference error from generated
+        source.
+        """
+        spec = self.objects.get(object_name)
+        if spec is None:
+            raise ReproError(f"unknown object '{object_name}'")
+        for spec_label, _value, mutable in spec.fields:
+            if spec_label == label:
+                if not mutable:
+                    raise ReproError(
+                        f"field '{label}' of object '{object_name}' is "
+                        "immutable; declare it in `mutable=` at creation "
+                        "to update it")
+                break
+        else:
+            known = ", ".join(lbl for lbl, _v, _m in spec.fields)
+            raise ReproError(
+                f"object '{object_name}' has no field '{label}' "
+                f"(fields: {known})")
+        with self._atomic():
+            self.session.eval(
+                f"query(fn x => update(x, {label}, {_literal(value)}), "
+                f"{object_name})")
+            self._log("update_object", object=object_name, label=label,
+                      value=value)
 
     # -- queries --------------------------------------------------------
 
@@ -174,14 +333,6 @@ class Catalog:
         """Run a set-level query (surface syntax) against a class extent."""
         self._require_class(class_name)
         return self.session.eval_py(f"c-query({fn_src}, {class_name})")
-
-    def update_object(self, object_name: str, label: str, value) -> None:
-        """Update a mutable field of a named raw object."""
-        if object_name not in self.objects:
-            raise ReproError(f"unknown object '{object_name}'")
-        self.session.eval(
-            f"query(fn x => update(x, {label}, {_literal(value)}), "
-            f"{object_name})")
 
     def names(self) -> list[str]:
         return sorted(self.classes)

@@ -1,4 +1,4 @@
-"""Best-effort persistence for catalogs.
+"""Crash-safe, best-effort persistence for catalogs.
 
 The paper explicitly leaves persistent data to future work (Section 1 and 5:
 it "requires some form of dynamic typing", pointing to Connor et al.'s
@@ -6,23 +6,38 @@ existential-type mechanism).  This module therefore persists *definitions*,
 not arbitrary runtime values: a snapshot records every named object's ground
 field data (reading through the store, so it captures current mutable-field
 values) and every class definition's source text.  Restoring replays the
-definitions through a fresh, fully type-checked session.
+definitions through a fully type-checked session.
 
 What is *not* captured — and diagnosed loudly — are bindings made behind the
 catalog's back and objects reachable only through closures.
+
+Durability: :func:`dump_json` writes atomically (temp file + fsync +
+rename), wraps the snapshot in a checksummed, versioned envelope, and
+:func:`load_json` verifies the checksum before replaying anything — a torn
+or bit-flipped snapshot raises :class:`~repro.errors.PersistenceError`
+instead of silently rebuilding a wrong catalog.  :func:`restore` into an
+existing catalog is all-or-nothing.  Pair snapshots with the
+:mod:`repro.db.wal` mutation log via :func:`checkpoint` for
+point-in-time recovery.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
+import os
 from typing import Any
 
-from ..errors import ReproError
+from ..errors import PersistenceError, ReproError
+from ..runtime.faults import fire
 from .catalog import Catalog, ClassSpec, IncludeSpec
 
-__all__ = ["snapshot", "restore", "dump_json", "load_json"]
+__all__ = ["snapshot", "restore", "dump_json", "load_json", "checkpoint"]
 
 _FORMAT_VERSION = 1
+#: Envelope version for the on-disk file (checksummed wrapper around the
+#: version-1 snapshot payload).  Version-1 files (bare payload) still load.
+_ENVELOPE_VERSION = 2
 
 
 def snapshot(catalog: Catalog) -> dict[str, Any]:
@@ -40,7 +55,6 @@ def snapshot(catalog: Catalog) -> dict[str, Any]:
             fields.append([label, current[label], mutable])
         objects.append({"name": name, "fields": fields})
     classes = []
-    seen_groups: set[frozenset[str]] = set()
     for name, spec in catalog.classes.items():
         classes.append({
             "name": name,
@@ -55,50 +69,125 @@ def snapshot(catalog: Catalog) -> dict[str, Any]:
 
 
 def restore(data: dict[str, Any], catalog: Catalog | None = None) -> Catalog:
-    """Rebuild a catalog (typed, from scratch) from a snapshot."""
+    """Rebuild a catalog (typed, from scratch) from a snapshot.
+
+    Restoring *into* an existing catalog is all-or-nothing: a failure
+    midway (bad snapshot data, injected fault) rolls the catalog and its
+    session back to the pre-restore state.
+    """
     if data.get("version") != _FORMAT_VERSION:
         raise ReproError(
             f"unsupported snapshot version {data.get('version')!r}")
     cat = catalog if catalog is not None else Catalog()
-    for obj in data["objects"]:
-        immutable = {label: value for label, value, mutable in obj["fields"]
-                     if not mutable}
-        mutable = {label: value for label, value, mutable in obj["fields"]
-                   if mutable}
-        cat.new_object(obj["name"], mutable=mutable, **immutable)
-    # Recursive groups must be defined together, exactly once.
-    done: set[str] = set()
-    by_name = {c["name"]: c for c in data["classes"]}
-    for cls in data["classes"]:
-        if cls["name"] in done:
-            continue
-        group = cls["group"] or [cls["name"]]
-        specs: dict[str, ClassSpec] = {}
-        for member in group:
-            raw = by_name[member]
-            specs[member] = ClassSpec(
-                member,
-                [(m, v) for m, v in raw["own"]],
-                [IncludeSpec(i["sources"], i["view"], i["pred"])
-                 for i in raw["includes"]],
-                group=list(group) if cls["group"] else [])
-        if cls["group"]:
-            cat.define_classes(specs)
-        else:
-            spec = specs[cls["name"]]
-            cat.classes[cls["name"]] = spec
-            cat.session.exec(f"val {cls['name']} = {spec.render()}")
-        done.update(group)
+    with cat._atomic():
+        for obj in data["objects"]:
+            immutable = {label: value
+                         for label, value, mutable in obj["fields"]
+                         if not mutable}
+            mutable = {label: value for label, value, mutable in obj["fields"]
+                       if mutable}
+            cat.new_object(obj["name"], mutable=mutable, **immutable)
+        # Recursive groups must be defined together, exactly once.
+        done: set[str] = set()
+        by_name = {c["name"]: c for c in data["classes"]}
+        for cls in data["classes"]:
+            if cls["name"] in done:
+                continue
+            group = cls["group"] or [cls["name"]]
+            specs: dict[str, ClassSpec] = {}
+            for member in group:
+                raw = by_name[member]
+                specs[member] = ClassSpec(
+                    member,
+                    [(m, v) for m, v in raw["own"]],
+                    [IncludeSpec(i["sources"], i["view"], i["pred"])
+                     for i in raw["includes"]],
+                    group=list(group) if cls["group"] else [])
+            if cls["group"]:
+                cat.define_classes(specs)
+            else:
+                spec = specs[cls["name"]]
+                cat.session.exec(f"val {cls['name']} = {spec.render()}")
+                cat.classes[cls["name"]] = spec
+            done.update(group)
     return cat
 
 
+def _canonical(payload: dict[str, Any]) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
 def dump_json(catalog: Catalog, path: str) -> None:
-    """Snapshot a catalog to a JSON file."""
-    with open(path, "w") as f:
-        json.dump(snapshot(catalog), f, indent=2)
+    """Snapshot a catalog to a JSON file, atomically.
+
+    The snapshot is written to ``<path>.tmp``, fsynced, then renamed over
+    the target — a crash at any point leaves either the old complete file
+    or the new complete file, never a torn one.  The payload is wrapped in
+    a checksummed envelope that :func:`load_json` verifies.
+    """
+    payload = snapshot(catalog)
+    envelope = {
+        "format": _ENVELOPE_VERSION,
+        "checksum": hashlib.sha256(
+            _canonical(payload).encode("utf-8")).hexdigest(),
+        "snapshot": payload,
+    }
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as f:
+        json.dump(envelope, f, indent=2)
+        f.write("\n")
+        f.flush()
+        os.fsync(f.fileno())
+    fire("snapshot.rename")
+    os.replace(tmp, path)
+    # Make the rename itself durable where the platform allows it.
+    try:  # pragma: no cover - platform dependent
+        dir_fd = os.open(os.path.dirname(os.path.abspath(path)), os.O_RDONLY)
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)
+    except OSError:  # pragma: no cover
+        pass
 
 
 def load_json(path: str) -> Catalog:
-    """Restore a catalog from a JSON file."""
-    with open(path) as f:
-        return restore(json.load(f))
+    """Restore a catalog from a JSON file, verifying its checksum.
+
+    Accepts both the current checksummed envelope and the bare version-1
+    payload written by earlier releases.
+    """
+    try:
+        with open(path, encoding="utf-8") as f:
+            data = json.load(f)
+    except ValueError as exc:
+        raise PersistenceError(
+            f"snapshot '{path}' is not valid JSON ({exc}); the file is "
+            "torn or corrupt") from None
+    if isinstance(data, dict) and "snapshot" in data:
+        if data.get("format") != _ENVELOPE_VERSION:
+            raise PersistenceError(
+                f"unsupported snapshot envelope format "
+                f"{data.get('format')!r}")
+        payload = data["snapshot"]
+        digest = hashlib.sha256(
+            _canonical(payload).encode("utf-8")).hexdigest()
+        if digest != data.get("checksum"):
+            raise PersistenceError(
+                f"snapshot '{path}' failed checksum verification; "
+                "refusing to restore from a corrupt file")
+        data = payload
+    return restore(data)
+
+
+def checkpoint(catalog: Catalog, path: str) -> None:
+    """Atomically snapshot the catalog, then truncate its WAL.
+
+    After a checkpoint, recovery is ``load_json(path)`` followed by
+    replaying the (now short) WAL.  The WAL is truncated only once the
+    snapshot is durably on disk, so a crash between the two steps merely
+    leaves a longer log to replay — never data loss.
+    """
+    dump_json(catalog, path)
+    if catalog.wal is not None:
+        catalog.wal.truncate()

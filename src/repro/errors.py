@@ -97,6 +97,40 @@ class EvalError(ReproError):
     """
 
 
+class ResourceError(ReproError):
+    """A program exceeded an operational resource limit.
+
+    Unlike :class:`EvalError`, a resource error says nothing about the
+    program being wrong — only that the session's configured limits were
+    reached.  It is guaranteed recoverable: the session stays usable and
+    an enclosing transaction rolls back cleanly.
+    """
+
+
+class BudgetExceededError(ResourceError):
+    """An execution budget (steps, allocations or wall clock) ran out.
+
+    Raised from the evaluator's hot loop by
+    :class:`repro.runtime.budget.Budget`; :attr:`dimension` names which
+    limit tripped (``"steps"``, ``"allocations"`` or ``"seconds"``).
+    """
+
+    def __init__(self, message: str, dimension: str, limit):
+        super().__init__(message)
+        self.dimension = dimension
+        self.limit = limit
+
+
+class PersistenceError(ReproError):
+    """A snapshot or write-ahead log is corrupt or cannot be applied.
+
+    Torn *tail* records of a WAL are tolerated by recovery (the crash
+    window); this error marks damage that recovery must not paper over —
+    checksum mismatches in a snapshot, corruption before the WAL tail, or
+    unreplayable records.
+    """
+
+
 class RecursiveClassError(ReproError):
     """A recursive class definition violates the syntactic restriction of
     Section 4.4 (class identifiers may only appear in include-source

@@ -84,6 +84,8 @@ class Machine:
         self.metrics = Metrics()
         # Optional repro.lang.explain.Tracer; None means no tracing.
         self.tracer = None
+        # Optional repro.runtime.budget.Budget; None means unlimited.
+        self.budget = None
 
     def make_set(self, elems: list[Value]) -> VSet:
         """Build a set under the machine's object-union semantics."""
@@ -218,6 +220,9 @@ class Machine:
 
     def eval(self, term: T.Term, env: Env) -> Value:
         """Evaluate ``term`` under ``env``."""
+        budget = self.budget
+        if budget is not None:
+            budget.tick(self)
         if isinstance(term, T.Const):
             name = term.type.name
             if name == "int":
@@ -252,7 +257,7 @@ class Machine:
             rec = self.eval(term.expr, env)
             if not isinstance(rec, VRecord):
                 raise EvalError("update on a non-record value")
-            rec.write(term.label, self.eval(term.value, env))
+            rec.write(term.label, self.eval(term.value, env), self.store)
             return UNIT_VALUE
         if isinstance(term, T.SetExpr):
             return self.make_set([self.eval(e, env) for e in term.elems])
@@ -312,15 +317,15 @@ class Machine:
             obj = self._eval_object(term.obj, env, "insert")
             cls = self._eval_class(term.cls, env, "insert")
             # union(OwnExt, {e}) — the existing element wins on collision.
-            cls.own = self.make_set(cls.own.elems + [obj])
+            self._replace_own(cls, self.make_set(cls.own.elems + [obj]))
             return UNIT_VALUE
         if isinstance(term, T.Delete):
             obj = self._eval_object(term.obj, env, "delete")
             cls = self._eval_class(term.cls, env, "delete")
             from .equality import value_key
             key = value_key(obj)
-            cls.own = self.make_set(
-                [e for e in cls.own.elems if value_key(e) != key])
+            self._replace_own(cls, self.make_set(
+                [e for e in cls.own.elems if value_key(e) != key]))
             return UNIT_VALUE
         if isinstance(term, T.LetClasses):
             # Create the shells first so mutually recursive include-source
@@ -336,6 +341,13 @@ class Machine:
             f"unknown term node {type(term).__name__}")  # pragma: no cover
 
     # -- helpers -----------------------------------------------------------
+
+    def _replace_own(self, cls: VClass, new_own: VSet) -> None:
+        """Replace a class's own extent, journaled under a transaction."""
+        store = self.store
+        if store.journaling:
+            store.note_undo(lambda c=cls, o=cls.own: setattr(c, "own", o))
+        cls.own = new_own
 
     def _eval_record(self, term: T.RecordExpr, env: Env) -> VRecord:
         cells: dict[str, object] = {}

@@ -1,20 +1,32 @@
-"""The store of mutable record fields.
+"""The store of mutable record fields, with an undo journal.
 
 The paper's operational semantics implements records by references; mutable
 fields denote *L-values* that can be shared between records via ``extract``.
 Here an L-value is a :class:`Location` — a first-class mutable cell.  The
 :class:`Store` is the allocator; it exists (rather than bare cells) so that
-allocation metrics are observable by the benchmark harness.
+allocation metrics are observable by the benchmark harness, and so that
+mutation can be made *transactional*: inside a savepoint every write and
+allocation is journaled, and :meth:`Store.rollback` restores the exact
+pre-savepoint state — including the location-id counter, so a rolled-back
+and retried program allocates the same ids (deterministic replay).
+
+Location ids are per-:class:`Store`: two sessions running the same program
+observe the same ids.  Constructing a :class:`Location` directly (outside
+any store) falls back to a module-level counter and is not transactional.
 """
 
 from __future__ import annotations
 
 import itertools
-from typing import Any
+from typing import Any, Callable
 
-__all__ = ["Location", "Store"]
+from ..runtime.faults import fire
 
-_location_ids = itertools.count(1)
+__all__ = ["Location", "Store", "Savepoint"]
+
+# Fallback ids for Locations constructed outside a Store (tests, ad-hoc
+# values).  Store-allocated locations use the store's own counter.
+_fallback_ids = itertools.count(1)
 
 
 class Location:
@@ -26,22 +38,126 @@ class Location:
 
     __slots__ = ("id", "value")
 
-    def __init__(self, value: Any):
-        self.id = next(_location_ids)
+    def __init__(self, value: Any, loc_id: int | None = None):
+        self.id = next(_fallback_ids) if loc_id is None else loc_id
         self.value = value
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<loc {self.id}>"
 
 
-class Store:
-    """Allocator for :class:`Location` cells, with an allocation counter."""
+class Savepoint:
+    """A point in a store's journal that :meth:`Store.rollback` returns to."""
 
-    __slots__ = ("allocations",)
+    __slots__ = ("depth", "index")
+
+    def __init__(self, depth: int, index: int):
+        self.depth = depth
+        self.index = index
+
+
+# Journal entry tags.
+_WRITE = 0   # (tag, location, previous value)
+_ALLOC = 1   # (tag,) — undone by rewinding counters
+_UNDO = 2    # (tag, zero-argument callback)
+
+
+class Store:
+    """Allocator for :class:`Location` cells with journaled mutation.
+
+    Outside a savepoint, writes and allocations are direct (no journal is
+    kept; overhead is a ``None`` check).  :meth:`savepoint` opens a journal;
+    every subsequent :meth:`write`, :meth:`alloc` and :meth:`note_undo` is
+    recorded until the matching :meth:`commit`/:meth:`rollback`.  Savepoints
+    nest: an inner commit keeps its entries so an outer rollback still
+    undoes them.
+    """
+
+    __slots__ = ("allocations", "_next_id", "_journal", "_depth")
 
     def __init__(self) -> None:
         self.allocations = 0
+        self._next_id = 1
+        self._journal: list | None = None
+        self._depth = 0
+
+    # -- allocation and mutation -------------------------------------------
 
     def alloc(self, value: Any) -> Location:
+        loc = Location(value, self._next_id)
+        self._next_id += 1
         self.allocations += 1
-        return Location(value)
+        j = self._journal
+        if j is not None:
+            fire("journal.append")
+            j.append((_ALLOC,))
+        return loc
+
+    def write(self, location: Location, value: Any) -> None:
+        """Mutate ``location`` — the single choke point for field updates."""
+        fire("store.write")
+        j = self._journal
+        if j is not None:
+            fire("journal.append")
+            j.append((_WRITE, location, location.value))
+        location.value = value
+
+    @property
+    def journaling(self) -> bool:
+        """True while at least one savepoint is open."""
+        return self._journal is not None
+
+    def note_undo(self, undo: Callable[[], None]) -> None:
+        """Journal a generic undo action (e.g. a class-extent replacement).
+
+        A no-op outside a savepoint; inside, ``undo()`` runs (in reverse
+        journal order) when the savepoint is rolled back.
+        """
+        j = self._journal
+        if j is not None:
+            fire("journal.append")
+            j.append((_UNDO, undo))
+
+    # -- savepoints ---------------------------------------------------------
+
+    def savepoint(self) -> Savepoint:
+        """Open a (nestable) savepoint and start journaling."""
+        if self._journal is None:
+            self._journal = []
+        self._depth += 1
+        return Savepoint(self._depth, len(self._journal))
+
+    def commit(self, sp: Savepoint) -> None:
+        """Close ``sp``, keeping its effects.
+
+        Entries are retained while an outer savepoint is still open so that
+        the outer rollback can undo them; the journal is dropped when the
+        outermost savepoint closes.
+        """
+        self._close(sp)
+
+    def rollback(self, sp: Savepoint) -> None:
+        """Undo every journaled effect since ``sp`` and close it."""
+        j = self._journal
+        if j is None:
+            raise RuntimeError("rollback without an open savepoint")
+        while len(j) > sp.index:
+            entry = j.pop()
+            tag = entry[0]
+            if tag == _WRITE:
+                entry[1].value = entry[2]
+            elif tag == _ALLOC:
+                self.allocations -= 1
+                self._next_id -= 1
+            else:
+                entry[1]()
+        self._close(sp)
+
+    def _close(self, sp: Savepoint) -> None:
+        if sp.depth != self._depth:
+            raise RuntimeError(
+                f"savepoint closed out of order (depth {sp.depth}, "
+                f"store at {self._depth})")
+        self._depth -= 1
+        if self._depth == 0:
+            self._journal = None

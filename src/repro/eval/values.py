@@ -112,13 +112,21 @@ class VRecord(Value):
                 f"field '{label}' is not mutable; cannot extract its L-value")
         return cell
 
-    def write(self, label: str, value: Value) -> None:
-        """``update(r, l, v)``; the type system guarantees mutability."""
+    def write(self, label: str, value: Value, store=None) -> None:
+        """``update(r, l, v)``; the type system guarantees mutability.
+
+        When a :class:`~repro.eval.store.Store` is supplied the write goes
+        through it, so an open transaction journals the old value; the
+        machine always passes its store.
+        """
         if label not in self.mutable_labels:
             raise EvalError(f"field '{label}' is immutable; cannot update")
         cell = self.cells[label]
         assert isinstance(cell, Location)
-        cell.value = value
+        if store is None:
+            cell.value = value
+        else:
+            store.write(cell, value)
 
     def labels(self):
         return self.cells.keys()

@@ -23,6 +23,9 @@ Example
 
 from __future__ import annotations
 
+from contextlib import contextmanager
+from typing import TYPE_CHECKING
+
 from ..core import terms as T
 from ..core.env import initial_type_env
 from ..core.infer import TypeEnv, infer, infer_scheme
@@ -35,6 +38,9 @@ from ..syntax.desugar import FunBinding, desugar_fun_group
 from ..syntax.pretty import pretty_scheme, pretty_value
 from .prelude import PRELUDE_SOURCE
 from .pyconv import value_to_python
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..runtime.budget import Budget
 
 __all__ = ["Session", "PreparedQuery"]
 
@@ -134,29 +140,93 @@ class Session:
         self.type_env = self.type_env.extend(name, scheme)
         self._global_frame[name] = value
 
-    def exec(self, src: str) -> Value | None:
+    # -- transactions ---------------------------------------------------
+
+    @contextmanager
+    def transaction(self, budget: "Budget | None" = None):
+        """Execute a block atomically against this session.
+
+        On *any* exception the session is restored exactly as it was:
+        bindings, inferred types, purity marks, store contents (mutable
+        fields, class extents) and the location-id counter all roll back,
+        so a failed multi-declaration program leaves no trace.  Optionally
+        enforces a :class:`~repro.runtime.Budget` for the duration;
+        transactions nest.
+
+        >>> s = Session()
+        >>> s.exec('val joe = IDView([Name = "Joe", Salary := 2000])')
+        >>> try:
+        ...     with s.transaction():
+        ...         s.exec('query(fn x => update(x, Salary, 9), joe)'
+        ...                ' nonsense')
+        ... except Exception:
+        ...     pass
+        >>> s.eval_py('query(fn x => x.Salary, joe)')
+        2000
+        """
+        from ..runtime.transaction import SessionState
+        state = SessionState.capture(self)
+        store = self.machine.store
+        sp = store.savepoint()
+        with self._with_budget(budget):
+            try:
+                yield self
+            except BaseException:
+                store.rollback(sp)
+                state.restore(self)
+                raise
+            else:
+                store.commit(sp)
+
+    @contextmanager
+    def _with_budget(self, budget: "Budget | None"):
+        """Install ``budget`` on the machine for the duration (nestable)."""
+        if budget is None:
+            yield
+            return
+        previous = self.machine.budget
+        self.machine.budget = budget.start(self.machine)
+        try:
+            yield
+        finally:
+            self.machine.budget = previous
+
+    def exec(self, src: str, *, atomic: bool = False,
+             budget: "Budget | None" = None) -> Value | None:
         """Run a program: ``val``/``fun`` declarations and expressions.
 
         Returns the value of the last bare expression, if any (also bound
-        to ``it``).
+        to ``it``).  With ``atomic=True`` the whole program runs in a
+        :meth:`transaction`: a failure in any declaration rolls the
+        session back to its pre-``exec`` state.  ``budget`` bounds the
+        evaluation effort either way.
         """
+        if atomic:
+            with self.transaction(budget=budget):
+                return self._exec_inner(src)
+        with self._with_budget(budget):
+            return self._exec_inner(src)
+
+    def _exec_inner(self, src: str) -> Value | None:
+        from ..core.limits import deep_recursion
         last: Value | None = None
-        for decl in P.parse_program(src):
-            if isinstance(decl, P.ValDecl):
-                self.bind(decl.name, decl.expr)
-            elif isinstance(decl, P.FunDecl):
-                self._exec_fun_group(decl.bindings)
-            elif isinstance(decl, P.RecClassDecl):
-                self._exec_rec_classes(decl.bindings)
-            else:
-                assert isinstance(decl, P.ExprDecl)
-                term = decl.expr
-                scheme = infer_scheme(term, self.type_env)
-                if self.pure_views:
-                    from ..objects.effects import check_views_pure
-                    check_views_pure(term, self.purity)
-                last = self.machine.eval(term, self.runtime_env)
-                self._install("it", scheme, last)
+        with deep_recursion():
+            for decl in P.parse_program(src):
+                if isinstance(decl, P.ValDecl):
+                    self._bind_inner(decl.name, decl.expr)
+                elif isinstance(decl, P.FunDecl):
+                    self._exec_fun_group(decl.bindings)
+                elif isinstance(decl, P.RecClassDecl):
+                    self._exec_rec_classes(decl.bindings)
+                else:
+                    assert isinstance(decl, P.ExprDecl)
+                    term = decl.expr
+                    scheme = infer_scheme(term, self.type_env)
+                    if self.pure_views:
+                        from ..objects.effects import check_views_pure
+                        check_views_pure(term, self.purity)
+                    last = self.machine.eval(term, self.runtime_env)
+                    self._install("it", scheme, last)
         return last
 
     def _exec_fun_group(self, bindings: list[FunBinding]) -> None:
@@ -236,11 +306,13 @@ class Session:
         shared), but must already exist and be type-compatible when
         ``prepare`` is called.
         """
-        term = self.parse(src)
-        scheme = infer_scheme(term, self.type_env)
-        if self.pure_views:
-            from ..objects.effects import check_views_pure
-            check_views_pure(term, self.purity)
+        from ..core.limits import deep_recursion
+        with deep_recursion():
+            term = self.parse(src)
+            scheme = infer_scheme(term, self.type_env)
+            if self.pure_views:
+                from ..objects.effects import check_views_pure
+                check_views_pure(term, self.purity)
         return PreparedQuery(self, term, scheme)
 
     # -- translations -------------------------------------------------------

@@ -1,0 +1,20 @@
+"""Transactional, budgeted, fault-testable execution (the runtime layer).
+
+The calculus itself (``repro.core`` … ``repro.eval``) says nothing about
+fault boundaries; this package adds them:
+
+* :class:`~repro.runtime.budget.Budget` — step/allocation/wall-clock
+  limits enforced in the evaluator's hot loop;
+* :class:`~repro.runtime.transaction.SessionState` — the snapshot half of
+  ``Session.transaction()`` (the store half is the journal in
+  :mod:`repro.eval.store`);
+* :mod:`~repro.runtime.faults` — named fault-injection points driving the
+  crash-consistency test matrix.
+"""
+
+from .budget import Budget
+from .faults import InjectedFault, POINTS, fire, inject, reset
+from .transaction import SessionState
+
+__all__ = ["Budget", "SessionState", "InjectedFault", "POINTS", "fire",
+           "inject", "reset"]

@@ -1,0 +1,97 @@
+"""Execution budgets for the evaluator.
+
+The machine is a tree-walking evaluator; a runaway ``fix`` or an
+accidentally quadratic query would otherwise hang the session forever.  A
+:class:`Budget` bounds one execution along three dimensions:
+
+* **steps** — evaluator node visits (fuel), checked on every visit;
+* **allocations** — store locations created since the budget started;
+* **seconds** — wall clock, from a monotonic deadline.
+
+The hot path is a single integer increment and compare; allocation, clock
+and fault-injection checks run every 256 steps so the overhead on the
+evaluator stays within the benchmarked ≤ 15% envelope
+(``benchmarks/bench_runtime_overhead.py``).
+
+Exhaustion raises :class:`~repro.errors.BudgetExceededError`, a
+:class:`~repro.errors.ResourceError`: the session remains usable and an
+enclosing :meth:`Session.transaction` rolls back cleanly.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..errors import BudgetExceededError
+from .faults import fire
+
+__all__ = ["Budget"]
+
+_UNLIMITED = float("inf")
+
+#: How often (in steps) the slow checks — allocations, wall clock, fault
+#: injection — run.  Must be a power of two minus handy for masking.
+_SLOW_EVERY_MASK = 255
+
+
+class Budget:
+    """A per-execution resource budget (steps, allocations, wall clock).
+
+    A budget is reusable: :meth:`start` re-arms it for a new execution
+    (``Session.transaction(budget=...)`` and ``Session.exec(budget=...)``
+    call it for you).  ``steps`` holds the fuel consumed so far, which the
+    benchmark harness also reads as an effort metric.
+    """
+
+    __slots__ = ("max_steps", "max_allocations", "max_seconds",
+                 "steps", "_step_limit", "_alloc_base", "_deadline")
+
+    def __init__(self, max_steps: int | None = None,
+                 max_allocations: int | None = None,
+                 max_seconds: float | None = None):
+        if all(limit is None
+               for limit in (max_steps, max_allocations, max_seconds)):
+            raise ValueError("a Budget needs at least one limit "
+                             "(max_steps, max_allocations or max_seconds)")
+        self.max_steps = max_steps
+        self.max_allocations = max_allocations
+        self.max_seconds = max_seconds
+        self.steps = 0
+        self._step_limit = _UNLIMITED if max_steps is None else max_steps
+        self._alloc_base = 0
+        self._deadline: float | None = None
+
+    def start(self, machine) -> "Budget":
+        """Arm the budget against ``machine`` for one execution."""
+        self.steps = 0
+        self._alloc_base = machine.store.allocations
+        self._deadline = (None if self.max_seconds is None
+                          else time.monotonic() + self.max_seconds)
+        return self
+
+    def tick(self, machine) -> None:
+        """One evaluator step; called from the machine's hot loop."""
+        s = self.steps + 1
+        self.steps = s
+        if s > self._step_limit:
+            raise BudgetExceededError(
+                f"evaluation exceeded its step budget of {self.max_steps} "
+                "steps (a non-terminating fix, or raise max_steps)",
+                dimension="steps", limit=self.max_steps)
+        if not s & _SLOW_EVERY_MASK:
+            self._slow_checks(machine)
+
+    def _slow_checks(self, machine) -> None:
+        fire("budget.tick")
+        if self.max_allocations is not None:
+            used = machine.store.allocations - self._alloc_base
+            if used > self.max_allocations:
+                raise BudgetExceededError(
+                    f"evaluation exceeded its allocation budget of "
+                    f"{self.max_allocations} locations ({used} allocated)",
+                    dimension="allocations", limit=self.max_allocations)
+        if self._deadline is not None and time.monotonic() > self._deadline:
+            raise BudgetExceededError(
+                f"evaluation exceeded its wall-clock budget of "
+                f"{self.max_seconds}s",
+                dimension="seconds", limit=self.max_seconds)

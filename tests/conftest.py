@@ -2,6 +2,10 @@
 
 from __future__ import annotations
 
+import os
+import signal
+import threading
+
 import pytest
 
 from repro import Session
@@ -9,6 +13,35 @@ from repro.core.env import initial_type_env
 from repro.core.infer import infer, infer_scheme
 from repro.syntax.parser import parse_expression
 from repro.syntax.pretty import pretty_scheme
+
+#: Per-test wall-clock deadline in seconds (pytest-timeout is not a
+#: dependency, so this is wired at the conftest level).  A regression in
+#: budget enforcement would otherwise hang the suite silently; with the
+#: deadline it fails loudly instead.  Override with REPRO_TEST_DEADLINE
+#: (0 disables, e.g. for interactive debugging).
+_DEADLINE = float(os.environ.get("REPRO_TEST_DEADLINE", "300") or 0)
+
+
+@pytest.fixture(autouse=True)
+def _per_test_deadline():
+    if (_DEADLINE <= 0 or not hasattr(signal, "SIGALRM")
+            or threading.current_thread() is not threading.main_thread()):
+        yield
+        return
+
+    def _on_alarm(signum, frame):
+        raise TimeoutError(
+            f"test exceeded the {_DEADLINE:.0f}s per-test deadline "
+            "(REPRO_TEST_DEADLINE) — a hang, probably in budget or "
+            "recursion enforcement")
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, _DEADLINE)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture()

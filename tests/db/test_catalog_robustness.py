@@ -1,0 +1,98 @@
+"""Catalog robustness: atomic operations and up-front update validation."""
+
+import pytest
+
+from repro.db.catalog import Catalog, IncludeSpec
+from repro.db.persist import restore, snapshot
+from repro.errors import ReproError
+
+
+@pytest.fixture()
+def cat():
+    c = Catalog()
+    c.new_object("alice", Name="Alice", Sex="female",
+                 mutable={"Salary": 3000})
+    c.define_class("Staff", own=["alice"])
+    return c
+
+
+# -- update_object validation (names the field, no downstream errors) -----
+
+def test_update_unknown_object(cat):
+    with pytest.raises(ReproError, match="unknown object 'ghost'"):
+        cat.update_object("ghost", "Salary", 1)
+
+
+def test_update_unknown_field_names_field_and_candidates(cat):
+    with pytest.raises(ReproError, match=r"no field 'Wage'.*Salary"):
+        cat.update_object("alice", "Wage", 1)
+
+
+def test_update_immutable_field_names_field(cat):
+    with pytest.raises(ReproError, match="field 'Name'.*immutable"):
+        cat.update_object("alice", "Name", "Eve")
+    # Nothing changed.
+    assert cat.extent("Staff")[0]["Name"] == "Alice"
+
+
+# -- all-or-nothing catalog operations ------------------------------------
+
+def _observe(cat):
+    return (sorted(cat.objects), sorted(cat.classes),
+            sorted(cat.session._global_frame), cat.extent("Staff"))
+
+
+def test_failed_define_class_leaves_no_trace(cat):
+    before = _observe(cat)
+    with pytest.raises(ReproError):
+        cat.define_class("Bad", own=["alice"],
+                         element_type="[Name = int]")  # schema mismatch
+    assert _observe(cat) == before
+    assert "Bad" not in cat.session._global_frame
+
+
+def test_failed_new_object_leaves_no_trace(cat):
+    before = _observe(cat)
+    with pytest.raises(ReproError):
+        cat.new_object("weird", Value=3.14159)  # floats not embeddable
+    assert _observe(cat) == before
+
+
+def test_failed_insert_leaves_no_trace(cat):
+    before = _observe(cat)
+    with pytest.raises(ReproError):
+        cat.insert("Staff", "ghost")  # unbound object name
+    assert _observe(cat) == before
+
+
+def test_failed_include_class_leaves_no_trace(cat):
+    before = _observe(cat)
+    with pytest.raises(ReproError):
+        cat.define_class("Broken", includes=[IncludeSpec(
+            ["Staff"], "fn x => [Name = x.NoSuchField]")])
+    assert _observe(cat) == before
+
+
+def test_failed_restore_into_catalog_rolls_back(cat):
+    snap = snapshot(cat)
+    # Corrupt one class definition so the replay fails midway, after the
+    # objects were already recreated.
+    snap["classes"][0]["own"] = [["ghost", None]]
+    target = Catalog()
+    target.new_object("keep", Tag="original")
+    before = (sorted(target.objects), sorted(target.classes),
+              sorted(target.session._global_frame))
+    with pytest.raises(ReproError):
+        restore(snap, target)
+    assert (sorted(target.objects), sorted(target.classes),
+            sorted(target.session._global_frame)) == before
+    # The target session still answers queries.
+    assert target.session.eval_py("query(fn x => x.Tag, keep)") == "original"
+
+
+def test_catalog_usable_after_failures(cat):
+    for _ in range(2):
+        with pytest.raises(ReproError):
+            cat.define_class("Bad", own=["ghost"])
+    cat.define_class("Fine", own=["alice"])
+    assert [r["Name"] for r in cat.extent("Fine")] == ["Alice"]

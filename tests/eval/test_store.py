@@ -1,4 +1,6 @@
-"""The store: locations, sharing, allocation accounting."""
+"""The store: locations, sharing, allocation accounting, journaling."""
+
+import pytest
 
 from repro import Session
 from repro.eval.store import Location, Store
@@ -56,3 +58,117 @@ def test_immutable_field_sharing_is_read_only():
     # reads go through the shared location
     s.eval("update(r, a, 9)")
     assert s.eval_py("ro.b") == 9
+
+
+# -- per-store location ids (regression: was a module-global counter) ------
+
+def test_location_ids_are_per_store():
+    a, b = Store(), Store()
+    assert a.alloc(1).id == b.alloc(2).id == 1
+    assert a.alloc(3).id == b.alloc(4).id == 2
+
+
+def test_sessions_allocate_deterministic_ids():
+    def ids(session):
+        session.exec("val r = [a := 10, b := 20]")
+        r = session.runtime_env.lookup("r")
+        return sorted(cell.id for cell in r.cells.values())
+
+    assert ids(Session()) == ids(Session())
+
+
+# -- the undo journal ------------------------------------------------------
+
+def test_rollback_restores_written_value():
+    store = Store()
+    loc = store.alloc(1)
+    sp = store.savepoint()
+    store.write(loc, 2)
+    store.write(loc, 3)
+    store.rollback(sp)
+    assert loc.value == 1
+    assert not store.journaling
+
+
+def test_rollback_rewinds_allocations_and_ids():
+    store = Store()
+    store.alloc(0)
+    sp = store.savepoint()
+    store.alloc(1)
+    store.alloc(2)
+    store.rollback(sp)
+    assert store.allocations == 1
+    assert store.alloc(3).id == 2  # same id a non-rolled-back run gets
+
+
+def test_commit_keeps_effects():
+    store = Store()
+    loc = store.alloc(1)
+    sp = store.savepoint()
+    store.write(loc, 2)
+    store.commit(sp)
+    assert loc.value == 2
+    assert not store.journaling
+
+
+def test_nested_savepoints_inner_commit_outer_rollback():
+    store = Store()
+    loc = store.alloc(1)
+    outer = store.savepoint()
+    inner = store.savepoint()
+    store.write(loc, 2)
+    store.commit(inner)
+    store.write(loc, 3)
+    store.rollback(outer)
+    assert loc.value == 1
+
+
+def test_nested_savepoints_inner_rollback_only():
+    store = Store()
+    loc = store.alloc(1)
+    outer = store.savepoint()
+    store.write(loc, 2)
+    inner = store.savepoint()
+    store.write(loc, 3)
+    store.rollback(inner)
+    assert loc.value == 2
+    store.commit(outer)
+    assert loc.value == 2
+
+
+def test_note_undo_runs_on_rollback_in_reverse_order():
+    store = Store()
+    ran = []
+    sp = store.savepoint()
+    store.note_undo(lambda: ran.append("first"))
+    store.note_undo(lambda: ran.append("second"))
+    store.rollback(sp)
+    assert ran == ["second", "first"]
+
+
+def test_note_undo_outside_savepoint_is_noop():
+    store = Store()
+    store.note_undo(lambda: (_ for _ in ()).throw(AssertionError))
+    # no savepoint: nothing recorded, nothing to undo
+
+
+def test_out_of_order_close_is_rejected():
+    store = Store()
+    outer = store.savepoint()
+    store.savepoint()
+    with pytest.raises(RuntimeError):
+        store.commit(outer)
+
+
+def test_rollback_without_savepoint_is_rejected():
+    store = Store()
+    with pytest.raises(RuntimeError):
+        store.rollback(object())
+
+
+def test_writes_outside_savepoint_are_direct():
+    store = Store()
+    loc = store.alloc(1)
+    store.write(loc, 5)
+    assert loc.value == 5
+    assert not store.journaling

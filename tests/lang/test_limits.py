@@ -65,3 +65,57 @@ def test_excessive_depth_reports_cleanly():
 
     with pytest.raises(EvalError, match="nesting exceeds"):
         bottomless()
+
+
+# -- every Session entry point is guarded (regression: exec's bare-
+# -- expression path, fun groups and rec-class groups used to run
+# -- inference outside deep_recursion and die with a raw RecursionError) --
+
+def _deep_expr(levels=800):
+    return "(" * levels + "1" + ")" * levels + "".join(
+        [" + 1"] * 0)
+
+
+def test_exec_bare_expression_is_guarded():
+    s = Session()
+    low = sys.getrecursionlimit()
+    sys.setrecursionlimit(1000)
+    try:
+        assert s.exec(_deep_expr()).value == 1  # would blow a 1000 stack
+    finally:
+        sys.setrecursionlimit(low)
+
+
+def test_exec_fun_group_is_guarded():
+    s = Session()
+    body = _deep_expr(600)
+    sys.setrecursionlimit(1000)
+    try:
+        s.exec(f"fun deep_f x = {body} and deep_g x = deep_f x")
+        assert s.eval_py("deep_g 0") == 1
+    finally:
+        sys.setrecursionlimit(50_000)
+
+
+def test_exec_rec_classes_is_guarded():
+    s = Session()
+    deep_pred = "fn o => " + "(" * 500 + "true" + ")" * 500
+    sys.setrecursionlimit(1000)
+    try:
+        s.exec("val A = class {} includes B as fn x => x "
+               f"where {deep_pred} end "
+               "and B = class {} includes A as fn x => x "
+               "where fn o => true end")
+        assert s.eval_py("c-query(fn S => size(S), A)") == 0
+    finally:
+        sys.setrecursionlimit(50_000)
+
+
+def test_prepare_is_guarded():
+    s = Session()
+    sys.setrecursionlimit(1000)
+    try:
+        q = s.prepare(_deep_expr())
+        assert q().value == 1
+    finally:
+        sys.setrecursionlimit(50_000)

@@ -1,0 +1,81 @@
+"""Execution budgets: fuel, allocation caps and wall-clock deadlines."""
+
+import pytest
+
+from repro import Budget, BudgetExceededError, Session
+from repro.errors import ResourceError
+
+
+@pytest.fixture()
+def s():
+    session = Session()
+    session.exec("fun loop x = loop x")
+    return session
+
+
+def test_budget_needs_a_limit():
+    with pytest.raises(ValueError):
+        Budget()
+
+
+def test_nonterminating_fix_raises_within_step_budget(s):
+    budget = Budget(max_steps=50_000)
+    with pytest.raises(BudgetExceededError) as exc:
+        s.exec("loop 1", budget=budget)
+    assert exc.value.dimension == "steps"
+    assert budget.steps <= 50_000 + 1
+
+
+def test_session_usable_after_budget_blow(s):
+    with pytest.raises(BudgetExceededError):
+        s.exec("loop 1", budget=Budget(max_steps=10_000))
+    # The acceptance bar: the same session evaluates subsequent programs
+    # correctly afterwards, with no budget left installed.
+    assert s.machine.budget is None
+    assert s.eval_py("1 + 2") == 3
+    s.exec('val v = [a := 41] val u = update(v, a, 42)')
+    assert s.eval_py("v.a") == 42
+
+
+def test_budget_error_is_resource_error(s):
+    with pytest.raises(ResourceError):
+        s.exec("loop 1", budget=Budget(max_steps=5_000))
+
+
+def test_allocation_budget():
+    s = Session()
+    s.exec("fun alloc n = if n = 0 then 0 else "
+           "let r = [a := n] in alloc (n - 1) end")
+    with pytest.raises(BudgetExceededError) as exc:
+        s.exec("alloc 10000", budget=Budget(max_allocations=500))
+    assert exc.value.dimension == "allocations"
+
+
+def test_wall_clock_budget(s):
+    with pytest.raises(BudgetExceededError) as exc:
+        s.exec("loop 1", budget=Budget(max_seconds=0.05))
+    assert exc.value.dimension == "seconds"
+
+
+def test_budget_within_transaction_rolls_back(s):
+    s.exec("val r = [a := 1]")
+    with pytest.raises(BudgetExceededError):
+        with s.transaction(budget=Budget(max_steps=10_000)):
+            s.exec("update(r, a, 99)")
+            s.exec("loop 1")
+    assert s.eval_py("r.a") == 1
+    assert s.machine.budget is None
+
+
+def test_generous_budget_does_not_interfere(s):
+    s.exec("fun count n = if n = 0 then 0 else count (n - 1)")
+    assert s.exec("count 100", budget=Budget(max_steps=10**9)).value == 0
+
+
+def test_budget_is_reusable(s):
+    budget = Budget(max_steps=100_000)
+    s.exec("fun count n = if n = 0 then 0 else count (n - 1)")
+    s.exec("count 50", budget=budget)
+    first = budget.steps
+    s.exec("count 50", budget=budget)
+    assert budget.steps == first  # start() re-armed the fuel counter

@@ -1,0 +1,143 @@
+"""Transactional sessions: Session.transaction and exec(atomic=True)."""
+
+import pytest
+
+from repro import Session
+from repro.errors import ReproError, TypeInferenceError
+
+
+@pytest.fixture()
+def s():
+    session = Session()
+    session.exec('val joe = IDView([Name = "Joe", Salary := 2000, '
+                 'Bonus := 5000])')
+    return session
+
+
+def observe(session):
+    """The observable session state the transaction guarantees cover."""
+    return {
+        "names": sorted(session._global_frame),
+        "types": sorted(session.type_env.names()),
+        "impure": session.purity.snapshot(),
+        "allocations": session.machine.store.allocations,
+        "salary": session.eval_py("query(fn x => x.Salary, joe)"),
+        "bonus": session.eval_py("query(fn x => x.Bonus, joe)"),
+    }
+
+
+def test_failed_program_leaves_no_trace(s):
+    before = observe(s)
+    with pytest.raises(TypeInferenceError):
+        with s.transaction():
+            s.exec('query(fn x => update(x, Salary, 9), joe) '
+                   'val keep = [a := 1] '
+                   'val bad = 1 + true')
+    assert observe(s) == before
+
+
+def test_exec_atomic_is_all_or_nothing(s):
+    before = observe(s)
+    with pytest.raises(ReproError):
+        s.exec('query(fn x => update(x, Salary, 9), joe) '
+               'val bad = nonsense', atomic=True)
+    assert observe(s) == before
+
+
+def test_exec_non_atomic_keeps_prefix(s):
+    with pytest.raises(ReproError):
+        s.exec('query(fn x => update(x, Salary, 9), joe) val bad = nonsense')
+    assert s.eval_py("query(fn x => x.Salary, joe)") == 9
+
+
+def test_commit_keeps_effects(s):
+    with s.transaction():
+        s.exec('query(fn x => update(x, Salary, 7777), joe) '
+               'val extra = [a := 1]')
+    assert s.eval_py("query(fn x => x.Salary, joe)") == 7777
+    assert "extra" in s._global_frame
+
+
+def test_rollback_restores_shared_locations(s):
+    # A location shared via extract is rolled back exactly once, and both
+    # sharers observe the original value (the Section 2 aliasing example).
+    s.exec('val base = [Salary := 100]')
+    s.exec('val mirror = [S := extract(base, Salary)]')
+    with pytest.raises(ReproError):
+        with s.transaction():
+            s.exec('update(mirror, S, 1) val bad = nonsense')
+    assert s.eval_py("base.Salary") == 100
+    assert s.eval_py("mirror.S") == 100
+
+
+def test_rollback_restores_class_extents(s):
+    s.exec("val C = class {joe} end")
+    with pytest.raises(ReproError):
+        with s.transaction():
+            s.exec('val ann = IDView([Name = "Ann", Salary := 1, '
+                   'Bonus := 2]) '
+                   'insert(ann, C) '
+                   'val bad = nonsense')
+    assert s.eval_py("c-query(fn S => size(S), C)") == 1
+    with pytest.raises(ReproError):
+        with s.transaction():
+            s.exec('delete(joe, C) val bad = nonsense')
+    assert s.eval_py("c-query(fn S => size(S), C)") == 1
+
+
+def test_nested_inner_commit_outer_rollback(s):
+    with pytest.raises(ReproError):
+        with s.transaction():
+            with s.transaction():
+                s.exec('query(fn x => update(x, Salary, 9), joe)')
+            # Inner committed; outer failure must still undo it.
+            s.exec('val bad = nonsense')
+    assert s.eval_py("query(fn x => x.Salary, joe)") == 2000
+
+
+def test_nested_inner_rollback_outer_commit(s):
+    with s.transaction():
+        s.exec('query(fn x => update(x, Salary, 1111), joe)')
+        with pytest.raises(ReproError):
+            with s.transaction():
+                s.exec('query(fn x => update(x, Bonus, 0), joe) '
+                       'val bad = nonsense')
+    assert s.eval_py("query(fn x => x.Salary, joe)") == 1111
+    assert s.eval_py("query(fn x => x.Bonus, joe)") == 5000
+
+
+def test_purity_marks_roll_back(s):
+    with pytest.raises(ReproError):
+        with s.transaction():
+            s.exec('val impure_one = fn x => update(joe, Salary, x) '
+                   'val bad = nonsense')
+    assert "impure_one" not in s.purity.snapshot()
+
+
+def test_session_usable_after_rollback(s):
+    with pytest.raises(ReproError):
+        with s.transaction():
+            s.exec('val bad = nonsense')
+    assert s.eval_py("1 + 2") == 3
+    s.exec("val later = 10")
+    assert s.eval_py("later") == 10
+
+
+def test_rollback_rewinds_location_ids(s):
+    """Rolled-back allocations rewind the id counter, so a retry allocates
+    identical ids — deterministic replay (regression for the module-global
+    counter)."""
+    with pytest.raises(ReproError):
+        with s.transaction():
+            s.exec('val r = [a := 1, b := 2] val bad = nonsense')
+    s.exec('val r = [a := 1, b := 2]')
+    ids_retry = sorted(c.id for c in
+                       s.runtime_env.lookup("r").cells.values())
+
+    s2 = Session()
+    s2.exec('val joe = IDView([Name = "Joe", Salary := 2000, '
+            'Bonus := 5000])')
+    s2.exec('val r = [a := 1, b := 2]')
+    ids_fresh = sorted(c.id for c in
+                       s2.runtime_env.lookup("r").cells.values())
+    assert ids_retry == ids_fresh
