@@ -14,8 +14,9 @@ Quickstart
 2000
 """
 
-from .errors import (BudgetExceededError, EvalError, KindError, LexError,
-                     OccursCheckError, ParseError, PersistenceError,
+from .errors import (BudgetExceededError, ConflictError, EvalError,
+                     KindError, LexError, OccursCheckError, OverloadedError,
+                     ParseError, PersistenceError, ReadOnlyError,
                      RecursiveClassError, ReproError, ResourceError,
                      SourceError, TranslationError, TypeInferenceError,
                      UnificationError)
@@ -29,5 +30,6 @@ __all__ = [
     "ParseError", "KindError", "TypeInferenceError", "UnificationError",
     "OccursCheckError", "TranslationError", "EvalError",
     "RecursiveClassError", "ResourceError", "BudgetExceededError",
-    "PersistenceError", "__version__",
+    "PersistenceError", "ConflictError", "OverloadedError", "ReadOnlyError",
+    "__version__",
 ]

@@ -28,6 +28,7 @@ Robustness guarantees (see ``docs/ROBUSTNESS.md``):
 from __future__ import annotations
 
 import copy
+import threading
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
@@ -111,6 +112,15 @@ class Catalog:
         self.classes: dict[str, ClassSpec] = {}
         self.wal = WriteAheadLog(wal) if isinstance(wal, str) else wal
         self._replaying = False
+        #: Serializes every operation that touches the session/store.  The
+        #: session's evaluator is not thread-safe; multi-threaded callers
+        #: (and the server, which uses this same lock as its statement
+        #: lock) interleave at operation granularity, never inside one.
+        self.lock = threading.RLock()
+        #: When set (by a server transaction), :meth:`_log` appends records
+        #: here instead of the WAL; the server flushes them to the WAL at
+        #: commit, so the log only ever contains *committed* transactions.
+        self._log_sink: list[tuple[str, dict]] | None = None
 
     # -- atomicity and the WAL ---------------------------------------------
 
@@ -124,15 +134,16 @@ class Catalog:
         catalog never holds a spec whose definition did not take effect
         (or vice versa).
         """
-        saved_objects = copy.deepcopy(self.objects)
-        saved_classes = copy.deepcopy(self.classes)
-        try:
-            with self.session.transaction():
-                yield
-        except BaseException:
-            self.objects = saved_objects
-            self.classes = saved_classes
-            raise
+        with self.lock:
+            saved_objects = copy.deepcopy(self.objects)
+            saved_classes = copy.deepcopy(self.classes)
+            try:
+                with self.session.transaction():
+                    yield
+            except BaseException:
+                self.objects = saved_objects
+                self.classes = saved_classes
+                raise
 
     def _log(self, op: str, **args) -> None:
         """Append a mutation record (no-op without a WAL or during replay).
@@ -143,7 +154,11 @@ class Catalog:
         record whose fsync failed — redo-log semantics; recovery replays
         it.)
         """
-        if self.wal is not None and not self._replaying:
+        if self._replaying:
+            return
+        if self._log_sink is not None:
+            self._log_sink.append((op, args))
+        elif self.wal is not None:
             self.wal.append(op, args)
 
     @classmethod
@@ -190,6 +205,12 @@ class Catalog:
             self.delete(args["class"], args["object"])
         elif op == "update_object":
             self.update_object(args["object"], args["label"], args["value"])
+        elif op == "txn":
+            # A server transaction's mutations, group-committed as one
+            # record so a crash mid-flush tears at most one *transaction*
+            # (the torn-tail guarantee), never splits one.
+            for sub in args["ops"]:
+                self._apply(sub)
         else:
             raise PersistenceError(
                 f"WAL record lsn {record.get('lsn')} has unknown op "
@@ -325,14 +346,16 @@ class Catalog:
     def extent(self, class_name: str) -> list[dict]:
         """The materialized extent as a list of Python dicts."""
         self._require_class(class_name)
-        return self.session.eval_py(
-            f"c-query(fn S => map(fn o => query(fn v => v, o), S), "
-            f"{class_name})")
+        with self.lock:
+            return self.session.eval_py(
+                f"c-query(fn S => map(fn o => query(fn v => v, o), S), "
+                f"{class_name})")
 
     def query(self, class_name: str, fn_src: str):
         """Run a set-level query (surface syntax) against a class extent."""
         self._require_class(class_name)
-        return self.session.eval_py(f"c-query({fn_src}, {class_name})")
+        with self.lock:
+            return self.session.eval_py(f"c-query({fn_src}, {class_name})")
 
     def names(self) -> list[str]:
         return sorted(self.classes)

@@ -1,0 +1,54 @@
+"""Filesystem durability helpers shared by the persistence layer.
+
+POSIX only guarantees that a rename (or a truncation) survives power loss
+once the *containing directory* has itself been fsynced: ``fsync`` on the
+file makes the bytes durable, but the directory entry pointing at them
+lives in the directory's own blocks.  ``tmp + fsync + rename`` without the
+directory fsync can therefore lose the whole file on power loss —
+the classic "atomic rename" durability bug.
+
+:func:`fsync_dir` closes that window.  On platforms where directories
+cannot be opened or fsynced (Windows, some network filesystems raising
+``EINVAL``/``EBADF``), it degrades to a no-op — matching the durability
+the platform can actually offer — but genuine I/O failures propagate so
+the circuit breaker and fault matrix see them.
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+
+from ..runtime.faults import fire
+
+__all__ = ["fsync_dir"]
+
+#: errno values that mean "this platform/filesystem cannot fsync a
+#: directory" rather than "the fsync failed": tolerated as a no-op.
+_UNSUPPORTED = {errno.EINVAL, errno.EBADF, errno.ENOSYS, errno.EACCES}
+
+
+def fsync_dir(path: str) -> None:
+    """Fsync the directory containing ``path`` (POSIX durability).
+
+    Call after ``os.replace`` or an in-place truncation so the directory
+    entry itself is durable.  Fires the ``persist.dirsync`` fault point
+    before the fsync — the window a crash can still lose the rename.
+    """
+    if not hasattr(os, "O_DIRECTORY"):  # pragma: no cover - non-POSIX
+        return
+    fire("persist.dirsync")
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    try:
+        dir_fd = os.open(directory, os.O_RDONLY | os.O_DIRECTORY)
+    except OSError as exc:  # pragma: no cover - platform dependent
+        if exc.errno in _UNSUPPORTED:
+            return
+        raise
+    try:
+        os.fsync(dir_fd)
+    except OSError as exc:  # pragma: no cover - platform dependent
+        if exc.errno not in _UNSUPPORTED:
+            raise
+    finally:
+        os.close(dir_fd)

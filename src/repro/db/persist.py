@@ -31,6 +31,7 @@ from typing import Any
 from ..errors import PersistenceError, ReproError
 from ..runtime.faults import fire
 from .catalog import Catalog, ClassSpec, IncludeSpec
+from .fsutil import fsync_dir
 
 __all__ = ["snapshot", "restore", "dump_json", "load_json", "checkpoint"]
 
@@ -140,15 +141,10 @@ def dump_json(catalog: Catalog, path: str) -> None:
         os.fsync(f.fileno())
     fire("snapshot.rename")
     os.replace(tmp, path)
-    # Make the rename itself durable where the platform allows it.
-    try:  # pragma: no cover - platform dependent
-        dir_fd = os.open(os.path.dirname(os.path.abspath(path)), os.O_RDONLY)
-        try:
-            os.fsync(dir_fd)
-        finally:
-            os.close(dir_fd)
-    except OSError:  # pragma: no cover
-        pass
+    # Make the rename itself durable: fsync the containing directory, so
+    # power loss after the replace cannot resurrect the old file (or lose
+    # the new one).  See repro.db.fsutil.
+    fsync_dir(path)
 
 
 def load_json(path: str) -> Catalog:

@@ -30,6 +30,7 @@ from typing import Any, Iterator
 
 from ..errors import PersistenceError
 from ..runtime.faults import fire
+from .fsutil import fsync_dir
 
 __all__ = ["WriteAheadLog", "read_wal"]
 
@@ -119,6 +120,7 @@ class WriteAheadLog:
                 f.write(keep)
                 f.flush()
                 os.fsync(f.fileno())
+            fsync_dir(path)
         self._file = open(path, "a", encoding="utf-8")
 
     def append(self, op: str, args: dict[str, Any]) -> int:
@@ -145,6 +147,9 @@ class WriteAheadLog:
         with open(self.path, "w", encoding="utf-8") as f:
             f.flush()
             os.fsync(f.fileno())
+        # The truncation must itself survive power loss, or recovery would
+        # replay a log the checkpoint already absorbed.
+        fsync_dir(self.path)
         self._file = open(self.path, "a", encoding="utf-8")
         self.lsn = 0
 

@@ -121,6 +121,40 @@ class BudgetExceededError(ResourceError):
         self.limit = limit
 
 
+class ConflictError(ResourceError):
+    """An optimistic-concurrency conflict detected at commit validation.
+
+    Raised when a transaction's read set went stale (another transaction
+    committed a write to a location or class extent it read) or when it
+    tried to write a location another in-flight transaction has already
+    written (write-write conflict).  Like every :class:`ResourceError` it
+    is guaranteed recoverable: the conflicting transaction is rolled back
+    completely and the session/catalog stays usable — the server's retry
+    policy treats it as the signal to re-run the transaction.
+    """
+
+
+class OverloadedError(ResourceError):
+    """The server shed this request instead of stalling on it.
+
+    Raised by admission control when the bounded request queue is full,
+    or when a request's enqueue-anchored deadline
+    (:class:`~repro.runtime.budget.Budget` ``max_queue_wait``) expired
+    before a worker picked it up.  Shed load is not an evaluation
+    failure: nothing was executed and nothing needs rolling back —
+    clients back off and resubmit.
+    """
+
+
+class ReadOnlyError(ReproError):
+    """The server is degraded to read-only mode.
+
+    Raised for write transactions while the persistence circuit breaker
+    is open (WAL appends kept failing).  Read transactions keep being
+    served; writes are accepted again once a probe append succeeds.
+    """
+
+
 class PersistenceError(ReproError):
     """A snapshot or write-ahead log is corrupt or cannot be applied.
 

@@ -27,7 +27,7 @@ from dataclasses import dataclass
 from ..core import terms as T
 from ..errors import EvalError
 from .builtins import builtin_values, make_builtin
-from .store import Store
+from .store import Location, Store
 from .values import (FALSE, TRUE, UNIT_VALUE, Env, ResolvedInclude, VBool,
                      VBuiltin, VClass, VClosure, VInt, VObject, VRecord,
                      VSet, VString, Value)
@@ -165,6 +165,12 @@ class Machine:
         class equations.
         """
         self.metrics.extent_calls += 1
+        t = self.store.tracker
+        if t is not None:
+            # Every class on the inclusion path contributes to the result,
+            # so OCC must validate each of their extent versions — an
+            # insert into an included source changes this extent too.
+            t.did_read_extent(cls)
         if cls.oid in visiting:
             if self.tracer is not None:
                 self.tracer.event(
@@ -248,6 +254,11 @@ class Machine:
             rec = self.eval(term.expr, env)
             if not isinstance(rec, VRecord):
                 raise EvalError("field extraction on a non-record value")
+            t = self.store.tracker
+            if t is not None:
+                cell = rec.cells.get(term.label)
+                if isinstance(cell, Location):
+                    t.did_read(cell)
             return rec.read(term.label)
         if isinstance(term, T.Extract):
             raise EvalError(
@@ -345,8 +356,16 @@ class Machine:
     def _replace_own(self, cls: VClass, new_own: VSet) -> None:
         """Replace a class's own extent, journaled under a transaction."""
         store = self.store
+        t = store.tracker
+        if t is not None:
+            # May raise ConflictError — before any mutation.
+            t.will_write_extent(cls)
         if store.journaling:
-            store.note_undo(lambda c=cls, o=cls.own: setattr(c, "own", o))
+            def undo(c=cls, o=cls.own, v=cls.version):
+                c.own = o
+                c.version = v
+            store.note_undo(undo)
+        cls.version = store.next_stamp()
         cls.own = new_own
 
     def _eval_record(self, term: T.RecordExpr, env: Env) -> VRecord:

@@ -13,6 +13,16 @@ and retried program allocates the same ids (deterministic replay).
 Location ids are per-:class:`Store`: two sessions running the same program
 observe the same ids.  Constructing a :class:`Location` directly (outside
 any store) falls back to a module-level counter and is not transactional.
+
+Concurrency (``repro.server``): every location carries a **version stamp**
+drawn from the store's monotonic stamp counter.  A committed or in-flight
+write bumps the stamp; rolling a write back restores the location's
+previous stamp, but the counter itself never rewinds, so a stamp value is
+never reused for a *different* value of the same location (no ABA).  The
+optional :attr:`Store.tracker` lets an optimistic-concurrency transaction
+observe reads and intercept writes; with no tracker installed the cost is
+one ``None`` check.  The store itself is not thread-safe — the server
+serializes statements on the catalog lock.
 """
 
 from __future__ import annotations
@@ -33,17 +43,22 @@ class Location:
     """A mutable cell holding the current value of a mutable field.
 
     Two records that share a location (via ``extract``) observe each other's
-    updates — the joe/Doe/john example of Section 2.
+    updates — the joe/Doe/john example of Section 2.  ``version`` is the
+    store stamp of the last write (0 for a location never written through a
+    store); the server's optimistic concurrency control validates read
+    versions at commit.
     """
 
-    __slots__ = ("id", "value")
+    __slots__ = ("id", "value", "version")
 
-    def __init__(self, value: Any, loc_id: int | None = None):
+    def __init__(self, value: Any, loc_id: int | None = None,
+                 version: int = 0):
         self.id = next(_fallback_ids) if loc_id is None else loc_id
         self.value = value
+        self.version = version
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"<loc {self.id}>"
+        return f"<loc {self.id} v{self.version}>"
 
 
 class Savepoint:
@@ -57,7 +72,7 @@ class Savepoint:
 
 
 # Journal entry tags.
-_WRITE = 0   # (tag, location, previous value)
+_WRITE = 0   # (tag, location, previous value, previous version)
 _ALLOC = 1   # (tag,) — undone by rewinding counters
 _UNDO = 2    # (tag, zero-argument callback)
 
@@ -73,18 +88,35 @@ class Store:
     undoes them.
     """
 
-    __slots__ = ("allocations", "_next_id", "_journal", "_depth")
+    __slots__ = ("allocations", "tracker", "_next_id", "_journal", "_depth",
+                 "_stamp")
 
     def __init__(self) -> None:
         self.allocations = 0
         self._next_id = 1
         self._journal: list | None = None
         self._depth = 0
+        #: Monotonic version-stamp counter.  Never rewound — not even by
+        #: rollback — so (location, stamp) pairs uniquely identify a value.
+        self._stamp = 0
+        #: Optional read/write observer installed by the server's OCC layer
+        #: (must provide ``did_read``/``will_write`` and the ``_extent``
+        #: variants); None outside a server transaction.
+        self.tracker = None
+
+    def next_stamp(self) -> int:
+        """Draw a fresh, never-reused version stamp."""
+        self._stamp += 1
+        return self._stamp
 
     # -- allocation and mutation -------------------------------------------
 
     def alloc(self, value: Any) -> Location:
-        loc = Location(value, self._next_id)
+        # Fresh allocations are stamped too: a rolled-back allocation's id
+        # is reused (deterministic replay) but its stamp never is, so a
+        # reader of the doomed location cannot validate against the reborn
+        # one.
+        loc = Location(value, self._next_id, self.next_stamp())
         self._next_id += 1
         self.allocations += 1
         j = self._journal
@@ -96,10 +128,16 @@ class Store:
     def write(self, location: Location, value: Any) -> None:
         """Mutate ``location`` — the single choke point for field updates."""
         fire("store.write")
+        t = self.tracker
+        if t is not None:
+            # May raise ConflictError (write-write conflict) — before any
+            # mutation, so there is nothing to undo.
+            t.will_write(location)
         j = self._journal
         if j is not None:
             fire("journal.append")
-            j.append((_WRITE, location, location.value))
+            j.append((_WRITE, location, location.value, location.version))
+        location.version = self.next_stamp()
         location.value = value
 
     @property
@@ -146,6 +184,7 @@ class Store:
             tag = entry[0]
             if tag == _WRITE:
                 entry[1].value = entry[2]
+                entry[1].version = entry[3]
             elif tag == _ALLOC:
                 self.allocations -= 1
                 self._next_id -= 1

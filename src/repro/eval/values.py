@@ -246,15 +246,19 @@ class VClass(Value):
     ``own`` is replaced wholesale by ``insert``/``delete``; the include
     clauses are fixed at class creation.  The full extent is computed on
     demand by :meth:`Machine.class_extent` with the ``f_i(L)`` cycle-cutting
-    discipline of Section 4.4.
+    discipline of Section 4.4.  ``version`` is the store stamp of the last
+    ``insert``/``delete`` (0 for an untouched extent); the server's
+    optimistic concurrency control validates extent read versions at
+    commit, exactly like location versions.
     """
 
-    __slots__ = ("oid", "own", "includes")
+    __slots__ = ("oid", "own", "includes", "version")
 
     def __init__(self, own: VSet, includes: list[ResolvedInclude]):
         self.oid = next(_oids)
         self.own = own
         self.includes = includes
+        self.version = 0
 
 
 class Env:

@@ -24,7 +24,7 @@ Example
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable
 
 from ..core import terms as T
 from ..core.env import initial_type_env
@@ -143,7 +143,8 @@ class Session:
     # -- transactions ---------------------------------------------------
 
     @contextmanager
-    def transaction(self, budget: "Budget | None" = None):
+    def transaction(self, budget: "Budget | None" = None,
+                    on_commit: "Callable[[], None] | None" = None):
         """Execute a block atomically against this session.
 
         On *any* exception the session is restored exactly as it was:
@@ -152,6 +153,12 @@ class Session:
         so a failed multi-declaration program leaves no trace.  Optionally
         enforces a :class:`~repro.runtime.Budget` for the duration;
         transactions nest.
+
+        ``on_commit`` is the concurrency hook: it runs after the block but
+        *before* the savepoint commits, and a raise from it (e.g. a
+        :class:`~repro.errors.ConflictError` from the server's
+        optimistic-concurrency validation) rolls the whole transaction
+        back through the same machinery as any other failure.
 
         >>> s = Session()
         >>> s.exec('val joe = IDView([Name = "Joe", Salary := 2000])')
@@ -171,6 +178,8 @@ class Session:
         with self._with_budget(budget):
             try:
                 yield self
+                if on_commit is not None:
+                    on_commit()
             except BaseException:
                 store.rollback(sp)
                 state.restore(self)

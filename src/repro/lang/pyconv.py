@@ -21,10 +21,19 @@ __all__ = ["value_to_python", "record_to_python"]
 
 
 def record_to_python(rec: VRecord, machine: Machine) -> dict[str, Any]:
+    tracker = machine.store.tracker
     out: dict[str, Any] = {}
     for label in rec.labels():
         cell = rec.cells[label]
-        inner = cell.value if isinstance(cell, Location) else cell
+        if isinstance(cell, Location):
+            # Conversion is an observation: a server transaction that
+            # returns this value to a client has *read* these cells, so
+            # OCC must validate their versions at commit.
+            if tracker is not None:
+                tracker.did_read(cell)
+            inner = cell.value
+        else:
+            inner = cell
         out[label] = value_to_python(inner, machine)
     return out
 

@@ -16,6 +16,14 @@ evaluator stays within the benchmarked ≤ 15% envelope
 Exhaustion raises :class:`~repro.errors.BudgetExceededError`, a
 :class:`~repro.errors.ResourceError`: the session remains usable and an
 enclosing :meth:`Session.transaction` rolls back cleanly.
+
+Serving (``repro.server``) adds a fourth, *queue-aware* dimension:
+``max_queue_wait`` bounds how long a request may sit in the admission
+queue, and :meth:`Budget.note_enqueued` anchors the wall-clock deadline at
+**enqueue time** rather than dequeue time — a request that waited 900 ms
+of its 1 s budget has 100 ms of evaluation left, not a fresh second.  A
+deadline that expires while still queued is *shed load*
+(:class:`~repro.errors.OverloadedError`), not an evaluation failure.
 """
 
 from __future__ import annotations
@@ -41,32 +49,83 @@ class Budget:
     (``Session.transaction(budget=...)`` and ``Session.exec(budget=...)``
     call it for you).  ``steps`` holds the fuel consumed so far, which the
     benchmark harness also reads as an effort metric.
+
+    ``max_queue_wait`` only has meaning for budgets attached to server
+    requests: the server calls :meth:`note_enqueued` at admission and
+    :meth:`queue_expired` at dequeue, shedding the request instead of
+    evaluating it when the wait was too long.
     """
 
     __slots__ = ("max_steps", "max_allocations", "max_seconds",
-                 "steps", "_step_limit", "_alloc_base", "_deadline")
+                 "max_queue_wait", "steps", "_step_limit", "_alloc_base",
+                 "_deadline", "_enqueued_at")
 
     def __init__(self, max_steps: int | None = None,
                  max_allocations: int | None = None,
-                 max_seconds: float | None = None):
+                 max_seconds: float | None = None,
+                 max_queue_wait: float | None = None):
         if all(limit is None
-               for limit in (max_steps, max_allocations, max_seconds)):
+               for limit in (max_steps, max_allocations, max_seconds,
+                             max_queue_wait)):
             raise ValueError("a Budget needs at least one limit "
-                             "(max_steps, max_allocations or max_seconds)")
+                             "(max_steps, max_allocations, max_seconds or "
+                             "max_queue_wait)")
         self.max_steps = max_steps
         self.max_allocations = max_allocations
         self.max_seconds = max_seconds
+        self.max_queue_wait = max_queue_wait
         self.steps = 0
         self._step_limit = _UNLIMITED if max_steps is None else max_steps
         self._alloc_base = 0
         self._deadline: float | None = None
+        self._enqueued_at: float | None = None
+
+    # -- queue awareness ----------------------------------------------------
+
+    def note_enqueued(self, now: float | None = None) -> None:
+        """Anchor this budget's wall clock at admission time.
+
+        Called by the server when the request enters the queue; from here
+        on, ``max_seconds`` counts from *this* moment, so queue wait
+        consumes the request's budget exactly like evaluation would.
+        """
+        self._enqueued_at = time.monotonic() if now is None else now
+
+    def queue_wait(self, now: float | None = None) -> float:
+        """Seconds spent queued so far (0.0 if never enqueued)."""
+        if self._enqueued_at is None:
+            return 0.0
+        return (time.monotonic() if now is None else now) - self._enqueued_at
+
+    def queue_expired(self, now: float | None = None) -> bool:
+        """True when the request's deadline passed while it was queued.
+
+        Checked at dequeue time; an expired request is shed
+        (:class:`~repro.errors.OverloadedError`) without evaluating
+        anything — the wait itself exhausted the budget.
+        """
+        wait = self.queue_wait(now)
+        if self.max_queue_wait is not None and wait > self.max_queue_wait:
+            return True
+        return self.max_seconds is not None and wait > self.max_seconds
+
+    # -- execution ----------------------------------------------------------
 
     def start(self, machine) -> "Budget":
-        """Arm the budget against ``machine`` for one execution."""
+        """Arm the budget against ``machine`` for one execution.
+
+        The wall-clock deadline is anchored at enqueue time when
+        :meth:`note_enqueued` was called (server requests) and at start
+        time otherwise (direct session use).
+        """
         self.steps = 0
         self._alloc_base = machine.store.allocations
-        self._deadline = (None if self.max_seconds is None
-                          else time.monotonic() + self.max_seconds)
+        if self.max_seconds is None:
+            self._deadline = None
+        else:
+            anchor = (self._enqueued_at if self._enqueued_at is not None
+                      else time.monotonic())
+            self._deadline = anchor + self.max_seconds
         return self
 
     def tick(self, machine) -> None:

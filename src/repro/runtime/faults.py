@@ -32,6 +32,22 @@ The registered points, and where they fire:
     fsynced but before it atomically replaces the target.
 ``budget.tick``
     :meth:`repro.runtime.budget.Budget.tick`'s periodic slow path.
+``persist.dirsync``
+    :func:`repro.db.fsutil.fsync_dir`, before the containing directory is
+    fsynced — the window in which a rename or truncation is complete in
+    the file but not yet durable in the directory.
+``server.conflict``
+    :meth:`repro.server.service.Server._commit`, before read-set
+    validation — an injected :class:`~repro.errors.ConflictError` here
+    forces the conflict/retry path at commit time.
+``server.queue``
+    :meth:`repro.server.admission.AdmissionQueue.put`, before a request is
+    admitted — an injected :class:`~repro.errors.OverloadedError`
+    simulates a full queue (load shedding).
+``server.worker``
+    the server worker loop, after a request is dequeued but before it
+    executes — an injected fault kills the worker thread (worker death);
+    the pool must respawn and the request must survive.
 """
 
 from __future__ import annotations
@@ -58,6 +74,10 @@ POINTS = (
     "wal.fsync",
     "snapshot.rename",
     "budget.tick",
+    "persist.dirsync",
+    "server.conflict",
+    "server.queue",
+    "server.worker",
 )
 
 

@@ -1,0 +1,30 @@
+"""repro.server — a concurrent, self-healing service over the catalog.
+
+The serving layer for the paper's database model: many clients, one
+shared catalog, with optimistic concurrency control, retry/backoff,
+admission control (load shedding + a persistence circuit breaker) and
+crash recovery on startup.  See ``docs/ROBUSTNESS.md`` §"Concurrency &
+serving" for the protocol.
+"""
+
+from .admission import AdmissionQueue, CircuitBreaker
+from .occ import LatchTable, OCCTransaction
+from .recover import RecoveryReport, recover
+from .retry import RetryPolicy
+from .service import (ClientSession, ClientTransaction, Server, ServerConfig,
+                      ServerStats)
+
+__all__ = [
+    "AdmissionQueue",
+    "CircuitBreaker",
+    "ClientSession",
+    "ClientTransaction",
+    "LatchTable",
+    "OCCTransaction",
+    "RecoveryReport",
+    "RetryPolicy",
+    "Server",
+    "ServerConfig",
+    "ServerStats",
+    "recover",
+]

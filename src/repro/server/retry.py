@@ -1,0 +1,81 @@
+"""Retry with jittered exponential backoff for recoverable failures.
+
+Optimistic concurrency turns interference into
+:class:`~repro.errors.ConflictError` — an error that *means* "run me
+again".  Naive immediate retry under contention produces convoys (every
+loser retries at once and collides again); the standard fix is
+exponential backoff with **full jitter**: attempt ``n`` sleeps a uniform
+random duration in ``[0, min(cap, base * 2**n)]``, which decorrelates the
+retriers (see "Exponential Backoff And Jitter", AWS Architecture Blog).
+
+The policy is deliberately tiny and deterministic under test: callers
+pass their own :class:`random.Random` so stress tests can seed it.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from ..errors import ConflictError
+
+__all__ = ["RetryPolicy"]
+
+
+class RetryPolicy:
+    """How many times to re-run a transaction, and how long to wait.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total attempts including the first; the final failure is
+        re-raised to the client.
+    base_delay / max_delay:
+        Backoff envelope in seconds: attempt ``n`` (0-based) sleeps
+        uniformly in ``[0, min(max_delay, base_delay * 2**n)]``.
+    retry_on:
+        Exception types that mean "retry"; everything else propagates
+        immediately.  :class:`~repro.errors.ConflictError` by default —
+        evaluation errors, type errors and budget exhaustion are *not*
+        transient and retrying them would just repeat the failure.
+    """
+
+    __slots__ = ("max_attempts", "base_delay", "max_delay", "retry_on")
+
+    def __init__(self, max_attempts: int = 8, base_delay: float = 0.002,
+                 max_delay: float = 0.1,
+                 retry_on: tuple[type, ...] = (ConflictError,)):
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        self.max_attempts = max_attempts
+        self.base_delay = base_delay
+        self.max_delay = max_delay
+        self.retry_on = retry_on
+
+    def is_retriable(self, exc: BaseException) -> bool:
+        return isinstance(exc, self.retry_on)
+
+    def backoff(self, attempt: int, rng: random.Random) -> float:
+        """The jittered sleep before retry number ``attempt + 1``."""
+        ceiling = min(self.max_delay, self.base_delay * (2 ** attempt))
+        return rng.uniform(0.0, ceiling)
+
+    def run(self, attempt_fn, rng: random.Random | None = None,
+            on_retry=None):
+        """Run ``attempt_fn()`` until success or the attempts run out.
+
+        ``on_retry(attempt, exc)`` is called before each backoff sleep
+        (the server uses it for stats).  The last failure is re-raised.
+        """
+        rng = rng if rng is not None else random.Random()
+        for attempt in range(self.max_attempts):
+            try:
+                return attempt_fn()
+            except BaseException as exc:
+                if (not self.is_retriable(exc)
+                        or attempt + 1 >= self.max_attempts):
+                    raise
+                if on_retry is not None:
+                    on_retry(attempt, exc)
+                time.sleep(self.backoff(attempt, rng))
+        raise AssertionError("unreachable")  # pragma: no cover

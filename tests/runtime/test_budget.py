@@ -1,5 +1,7 @@
 """Execution budgets: fuel, allocation caps and wall-clock deadlines."""
 
+import time
+
 import pytest
 
 from repro import Budget, BudgetExceededError, Session
@@ -79,3 +81,46 @@ def test_budget_is_reusable(s):
     first = budget.steps
     s.exec("count 50", budget=budget)
     assert budget.steps == first  # start() re-armed the fuel counter
+
+
+# -- the queue-wait dimension (serving) -------------------------------------
+
+def test_queue_wait_alone_is_a_valid_limit():
+    b = Budget(max_queue_wait=0.5)
+    assert b.queue_wait() == 0.0
+    assert not b.queue_expired()
+
+
+def test_note_enqueued_anchors_the_wait():
+    b = Budget(max_queue_wait=1.0)
+    b.note_enqueued(now=100.0)
+    assert b.queue_wait(now=100.25) == 0.25
+    assert not b.queue_expired(now=100.9)
+    assert b.queue_expired(now=101.1)
+
+
+def test_wall_clock_budget_counts_from_enqueue(s):
+    # A request that waited most of its wall-clock budget in the queue
+    # has only the remainder left for evaluation: the deadline anchors
+    # at enqueue time, not at start().
+    s.exec("fun loop n = loop (n + 1)")
+    b = Budget(max_seconds=0.25)
+    b.note_enqueued(now=time.monotonic() - 0.2)  # 0.2s already spent queued
+    t0 = time.perf_counter()
+    with pytest.raises(BudgetExceededError) as exc:
+        s.exec("loop 1", budget=b)
+    assert exc.value.dimension == "seconds"
+    assert time.perf_counter() - t0 < 0.2  # far less than the full 0.25s
+
+
+def test_deadline_spent_entirely_in_queue_counts_as_expired():
+    b = Budget(max_seconds=0.1)
+    b.note_enqueued(now=50.0)
+    assert b.queue_expired(now=50.2)  # max_seconds doubles as the bound
+
+
+def test_queue_wait_does_not_leak_into_direct_use(s):
+    # A budget never enqueued behaves exactly as before: deadline from
+    # start() time.
+    s.exec("fun count n = if n = 0 then 0 else count (n - 1)")
+    assert s.exec("count 100", budget=Budget(max_seconds=30.0)).value == 0

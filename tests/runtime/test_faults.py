@@ -11,12 +11,13 @@ consistency scenario fails this suite.
 
 import pytest
 
-from repro import Budget, Session
+from repro import Budget, ConflictError, OverloadedError, Session
 from repro.db.catalog import Catalog
 from repro.db.persist import dump_json, load_json
 from repro.db.wal import read_wal
 from repro.runtime import InjectedFault, faults
 from repro.runtime.faults import inject
+from repro.server import Server
 
 
 @pytest.fixture(autouse=True)
@@ -137,6 +138,76 @@ def _snapshot_rename_scenario(tmp_path, point):
     assert load_json(path).extent("Staff")[0]["Salary"] == 7777
 
 
+def _dirsync_scenario(tmp_path, point):
+    # The fault hits after the atomic rename but before the directory
+    # entry is durable: the snapshot file itself is complete either way,
+    # so a load at any point sees old-complete or new-complete.
+    cat = _catalog(tmp_path)
+    path = str(tmp_path / "db.json")
+    dump_json(cat, path)
+    cat.update_object("alice", "Salary", 4444)
+    with inject(point):
+        with pytest.raises(InjectedFault):
+            dump_json(cat, path)
+    assert load_json(path).extent("Staff")[0]["Salary"] in (3000, 4444)
+    assert cat.extent("Staff")[0]["Salary"] == 4444
+    dump_json(cat, path)
+    assert load_json(path).extent("Staff")[0]["Salary"] == 4444
+
+
+def _server_conflict_scenario(tmp_path, point):
+    cat = _catalog(tmp_path)
+    with Server(cat) as server:
+        client = server.connect()
+        # An injected conflict at commit forces rollback + backoff +
+        # retry; the second attempt (firing #2, not armed) commits.
+        with inject(point, exc_type=ConflictError):
+            client.run(lambda txn: txn.update_object("alice", "Salary", 1))
+        assert server.stats.conflicts == 1
+        assert server.stats.retries == 1
+        assert cat.extent("Staff")[0]["Salary"] == 1
+        # A non-retriable fault at the same point rolls back and surfaces.
+        with inject(point):
+            with pytest.raises(InjectedFault):
+                client.run(
+                    lambda txn: txn.update_object("alice", "Salary", 2))
+        assert cat.extent("Staff")[0]["Salary"] == 1
+    _assert_wal_replayable(cat)
+
+
+def _server_queue_scenario(tmp_path, point):
+    cat = _catalog(tmp_path)
+    before = _observe_catalog(cat)
+    with Server(cat) as server:
+        client = server.connect()
+        with inject(point, exc_type=OverloadedError):
+            with pytest.raises(OverloadedError):
+                client.run(
+                    lambda txn: txn.update_object("alice", "Salary", 5))
+        # Shed at admission: nothing was executed, nothing changed.
+        assert _observe_catalog(cat) == before
+        assert server.stats.shed == 1
+        # The next submission is served normally.
+        client.run(lambda txn: txn.update_object("alice", "Salary", 5))
+        assert cat.extent("Staff")[0]["Salary"] == 5
+    _assert_wal_replayable(cat)
+
+
+def _server_worker_scenario(tmp_path, point):
+    cat = _catalog(tmp_path)
+    with Server(cat) as server:
+        client = server.connect()
+        # The worker that dequeues the request dies; the pool respawns a
+        # replacement and re-queues the request, which then succeeds —
+        # worker death is invisible to the client.
+        with inject(point):
+            client.run(lambda txn: txn.update_object("alice", "Salary", 8),
+                       timeout=30)
+        assert server.stats.worker_deaths == 1
+        assert cat.extent("Staff")[0]["Salary"] == 8
+    _assert_wal_replayable(cat)
+
+
 SCENARIOS = {
     "store.write": lambda tmp, p: _session_scenario(tmp, p),
     "journal.append": lambda tmp, p: _session_scenario(tmp, p),
@@ -145,6 +216,10 @@ SCENARIOS = {
     "wal.append": _wal_append_scenario,
     "wal.fsync": _wal_fsync_scenario,
     "snapshot.rename": _snapshot_rename_scenario,
+    "persist.dirsync": _dirsync_scenario,
+    "server.conflict": _server_conflict_scenario,
+    "server.queue": _server_queue_scenario,
+    "server.worker": _server_worker_scenario,
 }
 
 

@@ -1,0 +1,137 @@
+"""Crash-recovery doctor tests: replay, reconciliation, idempotence."""
+
+import json
+
+from repro.db.catalog import Catalog
+from repro.db.persist import dump_json
+from repro.server import Server, recover
+
+
+def _seed(wal_path):
+    cat = Catalog(wal=str(wal_path))
+    cat.new_object("joe", Name="Joe", mutable={"Salary": 100})
+    cat.new_object("amy", Name="Amy", mutable={"Salary": 200})
+    cat.define_class("Emp", own=["joe"])
+    cat.insert("Emp", "amy")
+    cat.update_object("joe", "Salary", 111)
+    return cat
+
+
+def _observe(cat):
+    return {
+        "classes": {name: list(spec.own) for name, spec in
+                    cat.classes.items()},
+        "extent": sorted((r["Name"], r["Salary"])
+                         for r in cat.extent("Emp")),
+    }
+
+
+def test_plain_wal_replay(tmp_path):
+    wal = tmp_path / "db.wal"
+    expected = _observe(_seed(wal))
+    cat, report = recover(str(wal))
+    assert _observe(cat) == expected
+    assert report.replayed == report.wal_records == 5
+    assert not report.torn_tail
+    assert report.reconciled == [] and report.rolled_back == []
+
+
+def test_recover_is_idempotent(tmp_path):
+    wal = tmp_path / "db.wal"
+    _seed(wal)
+    first, r1 = recover(str(wal))
+    second, r2 = recover(str(wal))
+    assert _observe(first) == _observe(second)
+    assert r1.wal_records == r2.wal_records
+
+
+def test_snapshot_overlap_is_reconciled_not_double_applied(tmp_path):
+    # Crash window: checkpoint snapshot written, WAL *not yet* truncated.
+    # Blind replay would re-insert amy (duplicating the membership) and
+    # re-run every definition; reconciliation must skip what the snapshot
+    # already holds.
+    wal = tmp_path / "db.wal"
+    snap = tmp_path / "db.json"
+    cat = _seed(wal)
+    dump_json(cat, str(snap))
+    expected = _observe(cat)
+    recovered, report = recover(str(wal), snapshot_path=str(snap))
+    assert _observe(recovered) == expected
+    assert report.snapshot_loaded
+    assert report.replayed == 0
+    assert len(report.reconciled) == 5
+    # In particular: exactly one amy membership, not two.
+    assert [m for m, _v in recovered.classes["Emp"].own] == ["joe", "amy"]
+
+
+def test_snapshot_plus_wal_suffix(tmp_path):
+    # Checkpoint mid-history: the snapshot holds a prefix, the WAL the
+    # whole history; the suffix replays, the prefix reconciles.
+    wal = tmp_path / "db.wal"
+    snap = tmp_path / "db.json"
+    cat = Catalog(wal=str(wal))
+    cat.new_object("joe", Name="Joe", mutable={"Salary": 100})
+    cat.define_class("Emp", own=["joe"])
+    dump_json(cat, str(snap))
+    cat.update_object("joe", "Salary", 555)  # after the checkpoint
+    recovered, report = recover(str(wal), snapshot_path=str(snap))
+    assert recovered.extent("Emp") == [{"Name": "Joe", "Salary": 555}]
+    assert report.replayed == 1
+    assert len(report.reconciled) == 2
+
+
+def test_torn_tail_is_truncated_and_reported(tmp_path):
+    wal = tmp_path / "db.wal"
+    expected = _observe(_seed(wal))
+    with open(wal, "ab") as fh:
+        fh.write(b'{"op": "update_object", "args"')  # crash mid-append
+    recovered, report = recover(str(wal))
+    assert report.torn_tail
+    assert any("torn tail" in note for note in report.rolled_back)
+    assert _observe(recovered) == expected
+    # Idempotent: the truncation was durable, a second pass is clean.
+    again, report2 = recover(str(wal))
+    assert not report2.torn_tail
+    assert _observe(again) == expected
+
+
+def test_group_commit_txn_records_replay_atomically(tmp_path):
+    wal = tmp_path / "db.wal"
+    cat = _seed(wal)
+    with Server(cat) as server:
+
+        def two_updates(txn):
+            txn.update_object("joe", "Salary", 1000)
+            txn.update_object("amy", "Salary", 2000)
+
+        server.connect().run(two_updates)
+        expected = _observe(cat)
+    # The transaction went to disk as ONE record...
+    with open(wal) as fh:
+        records = [json.loads(line) for line in fh if line.strip()]
+    txn_records = [r for r in records if r["op"] == "txn"]
+    assert len(txn_records) == 1
+    assert [sub["op"] for sub in txn_records[0]["args"]["ops"]] == [
+        "update_object", "update_object"]
+    # ...and replays back as both updates.
+    recovered, report = recover(str(wal))
+    assert _observe(recovered) == expected
+
+
+def test_recovered_catalog_keeps_logging(tmp_path):
+    wal = tmp_path / "db.wal"
+    _seed(wal)
+    cat, _report = recover(str(wal))
+    cat.update_object("joe", "Salary", 42)
+    cat2, _ = recover(str(wal))
+    assert cat2.extent("Emp")[0]["Salary"] in (42, 111)
+    assert any(r["Salary"] == 42 for r in cat2.extent("Emp"))
+
+
+def test_report_summary_is_human_readable(tmp_path):
+    wal = tmp_path / "db.wal"
+    _seed(wal)
+    _cat, report = recover(str(wal))
+    text = report.summary()
+    assert "5/5 WAL records replayed" in text
+    assert str(wal) in text

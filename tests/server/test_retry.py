@@ -1,0 +1,84 @@
+"""Unit tests for the retry policy and its jittered backoff."""
+
+import random
+
+import pytest
+
+from repro.errors import ConflictError, EvalError
+from repro.server.retry import RetryPolicy
+
+
+def test_backoff_stays_inside_the_jitter_envelope():
+    policy = RetryPolicy(base_delay=0.002, max_delay=0.1)
+    rng = random.Random(42)
+    for attempt in range(12):
+        ceiling = min(0.1, 0.002 * (2 ** attempt))
+        for _ in range(20):
+            delay = policy.backoff(attempt, rng)
+            assert 0.0 <= delay <= ceiling
+
+
+def test_backoff_is_deterministic_with_a_seeded_rng():
+    policy = RetryPolicy()
+    a = [policy.backoff(i, random.Random(7)) for i in range(5)]
+    b = [policy.backoff(i, random.Random(7)) for i in range(5)]
+    assert a == b
+
+
+def test_run_retries_conflicts_until_success():
+    policy = RetryPolicy(max_attempts=5, base_delay=0.0001, max_delay=0.001)
+    attempts = []
+
+    def flaky():
+        attempts.append(1)
+        if len(attempts) < 3:
+            raise ConflictError("try again")
+        return "done"
+
+    assert policy.run(flaky, rng=random.Random(1)) == "done"
+    assert len(attempts) == 3
+
+
+def test_run_reraises_after_attempts_run_out():
+    policy = RetryPolicy(max_attempts=3, base_delay=0.0001, max_delay=0.001)
+    attempts = []
+
+    def always_conflicts():
+        attempts.append(1)
+        raise ConflictError("never resolves")
+
+    with pytest.raises(ConflictError):
+        policy.run(always_conflicts, rng=random.Random(1))
+    assert len(attempts) == 3
+
+
+def test_run_does_not_retry_non_retriable_errors():
+    policy = RetryPolicy(max_attempts=5)
+    attempts = []
+
+    def type_error():
+        attempts.append(1)
+        raise EvalError("this is a bug, not contention")
+
+    with pytest.raises(EvalError):
+        policy.run(type_error)
+    assert len(attempts) == 1
+
+
+def test_on_retry_observes_each_backoff():
+    policy = RetryPolicy(max_attempts=4, base_delay=0.0001, max_delay=0.001)
+    seen = []
+
+    def flaky():
+        if len(seen) < 2:
+            raise ConflictError("again")
+        return "ok"
+
+    policy.run(flaky, rng=random.Random(1),
+               on_retry=lambda attempt, exc: seen.append(attempt))
+    assert seen == [0, 1]
+
+
+def test_max_attempts_validated():
+    with pytest.raises(ValueError):
+        RetryPolicy(max_attempts=0)
