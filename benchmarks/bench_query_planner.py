@@ -1,0 +1,115 @@
+"""Query-planner speedups: naive scan vs. index vs. materialized view.
+
+One workload, three access paths.  A class extent of ``n`` employees
+(50 departments, so an equality filter selects ~2% of the extent) is
+queried with the same surface expression::
+
+    c-query(fn S => filter(fn o => query(fn v => v.Dept = "d7", o), S), E)
+
+* **naive** — the unoptimized session: a full ``hom`` fold per run;
+* **indexed** — the planner with materialized views disabled: a hash
+  lookup on the ``Dept`` secondary index per run;
+* **materialized** — the full planner: after the scan → build warm-up,
+  each run serves the cached result set (watermark-validated).
+
+The series at 1k and 10k objects is printed and written to
+``BENCH_query.json``.  The acceptance gate from the issue is enforced at
+10k: the indexed run must beat the naive scan by **at least 5×**.
+
+``REPRO_BENCH_QUICK=1`` (the CI smoke mode) runs the 1k size only and
+checks ordering, not the 10k envelope.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro import Session
+from repro.query import bulk_insert
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_query.json"
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK") == "1"
+SIZES = (1_000,) if QUICK else (1_000, 10_000)
+DEPTS = 50
+ROUNDS = 3 if QUICK else 5
+
+_QUERY = ('c-query(fn S => filter('
+          'fn o => query(fn v => v.Dept = "d7", o), S), E)')
+
+
+def _populate(session: Session, n: int) -> None:
+    session.exec('val seed = IDView([Name = "seed", Dept = "d0", '
+                 'Salary := 0])\n'
+                 'val E = class {seed} end')
+    bulk_insert(session, "E",
+                [{"Name": f"e{i}", "Dept": f"d{i % DEPTS}", "Salary": i}
+                 for i in range(n - 1)],
+                mutable=("Salary",))
+
+
+def _best(session: Session, rounds: int = ROUNDS) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        session.eval(_QUERY)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _measure(n: int) -> dict:
+    naive = Session()
+    _populate(naive, n)
+    expected = len(naive.eval(_QUERY).elems)
+
+    indexed = Session(optimize=True)
+    _populate(indexed, n)
+    indexed._ensure_planner().cost.use_materialized_views = False
+    assert len(indexed.eval(_QUERY).elems) == expected  # builds the index
+    assert indexed.planner.stats.index_hits >= 1
+
+    mat = Session(optimize=True)
+    _populate(mat, n)
+    for _ in range(3):                  # scan, materialize, first hit
+        assert len(mat.eval(_QUERY).elems) == expected
+    assert mat.planner.stats.mv_hits >= 1
+
+    naive_s = _best(naive)
+    indexed_s = _best(indexed)
+    mat_s = _best(mat)
+    return {
+        "objects": n,
+        "selected": expected,
+        "naive_ms": round(naive_s * 1e3, 3),
+        "indexed_ms": round(indexed_s * 1e3, 3),
+        "matview_ms": round(mat_s * 1e3, 3),
+        "speedup_indexed": round(naive_s / indexed_s, 1),
+        "speedup_matview": round(naive_s / mat_s, 1),
+    }
+
+
+def test_planner_speedup_series():
+    rows = [_measure(n) for n in SIZES]
+    for row in rows:
+        print(f"\n{row['objects']:>6} objects: "
+              f"naive {row['naive_ms']:>8.2f} ms  "
+              f"indexed {row['indexed_ms']:>7.2f} ms "
+              f"({row['speedup_indexed']:.0f}x)  "
+              f"matview {row['matview_ms']:>7.2f} ms "
+              f"({row['speedup_matview']:.0f}x)")
+    BENCH_JSON.write_text(json.dumps(
+        {"workload": "dept-equality-filter",
+         "departments": DEPTS,
+         "quick": QUICK,
+         "series": rows}, indent=2) + "\n")
+    # Both optimized paths must beat the scan at every size.
+    for row in rows:
+        assert row["speedup_indexed"] > 1.0
+        assert row["speedup_matview"] > 1.0
+    if not QUICK:
+        at_10k = rows[-1]
+        assert at_10k["objects"] == 10_000
+        assert at_10k["speedup_indexed"] >= 5.0, (
+            f"indexed lookup only {at_10k['speedup_indexed']:.1f}x over "
+            "the naive scan at 10k objects; the issue requires >= 5x")

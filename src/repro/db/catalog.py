@@ -106,8 +106,10 @@ class Catalog:
     """
 
     def __init__(self, session: Session | None = None,
-                 wal: "WriteAheadLog | str | None" = None):
-        self.session = session if session is not None else Session()
+                 wal: "WriteAheadLog | str | None" = None,
+                 optimize: bool = False):
+        self.session = (session if session is not None
+                        else Session(optimize=optimize))
         self.objects: dict[str, ObjectSpec] = {}
         self.classes: dict[str, ClassSpec] = {}
         self.wal = WriteAheadLog(wal) if isinstance(wal, str) else wal
@@ -356,6 +358,13 @@ class Catalog:
         self._require_class(class_name)
         with self.lock:
             return self.session.eval_py(f"c-query({fn_src}, {class_name})")
+
+    def explain(self, class_name: str, fn_src: str) -> str:
+        """Render the query plan for :meth:`query` without executing it."""
+        self._require_class(class_name)
+        with self.lock:
+            return self.session.explain_plan(
+                f"c-query({fn_src}, {class_name})")
 
     def names(self) -> list[str]:
         return sorted(self.classes)

@@ -365,8 +365,12 @@ class Machine:
                 c.own = o
                 c.version = v
             store.note_undo(undo)
+        old_own, old_version = cls.own, cls.version
         cls.version = store.next_stamp()
         cls.own = new_own
+        obs = store.observer
+        if obs is not None:
+            obs.extent_replaced(cls, old_own, old_version)
 
     def _eval_record(self, term: T.RecordExpr, env: Env) -> VRecord:
         cells: dict[str, object] = {}

@@ -88,8 +88,8 @@ class Store:
     undoes them.
     """
 
-    __slots__ = ("allocations", "tracker", "_next_id", "_journal", "_depth",
-                 "_stamp")
+    __slots__ = ("allocations", "tracker", "observer", "_next_id",
+                 "_journal", "_depth", "_stamp")
 
     def __init__(self) -> None:
         self.allocations = 0
@@ -103,6 +103,13 @@ class Store:
         #: (must provide ``did_read``/``will_write`` and the ``_extent``
         #: variants); None outside a server transaction.
         self.tracker = None
+        #: Optional *change* observer (the query engine's index/view
+        #: maintenance).  Unlike ``tracker`` it is permanent once
+        #: installed, sees mutations *after* they happen, and must never
+        #: raise.  Rollbacks are deliberately not notified: the engine
+        #: detects them through version stamps, which rollback restores
+        #: while the stamp counter keeps advancing.
+        self.observer = None
 
     def next_stamp(self) -> int:
         """Draw a fresh, never-reused version stamp."""
@@ -139,6 +146,9 @@ class Store:
             j.append((_WRITE, location, location.value, location.version))
         location.version = self.next_stamp()
         location.value = value
+        obs = self.observer
+        if obs is not None:
+            obs.location_written(location)
 
     @property
     def journaling(self) -> bool:

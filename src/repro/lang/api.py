@@ -55,10 +55,17 @@ class Session:
         examples compute ``Age = 39`` for ``BirthYear = 1955``).
     load_prelude:
         Load the derived operations (``map``, ``filter``, ...) on start.
+    optimize:
+        Route expressions through the :mod:`repro.query` planner
+        (secondary indexes, materialized views).  Off by default; the
+        planner only ever accelerates pure, recognized query shapes and
+        falls back to naive evaluation for everything else, so results
+        are identical either way.
     """
 
     def __init__(self, this_year: int = 1994, load_prelude: bool = True,
-                 pure_views: bool = False, object_union: str = "choose"):
+                 pure_views: bool = False, object_union: str = "choose",
+                 optimize: bool = False):
         from ..objects.effects import PurityEnv
         self.machine = Machine(this_year, object_union=object_union)
         self.pure_views = pure_views
@@ -69,8 +76,44 @@ class Session:
         # Reach the globals through the same frame object so bind() mutations
         # are visible to the existing env chain.
         self._global_frame = self.runtime_env.frame
+        self.optimize = optimize
+        self.planner = None
+        self._pristine_names: dict[str, Value] = {}
         if load_prelude:
             self.exec(PRELUDE_SOURCE)
+        # The values the structural names hold *right now* — before any
+        # user code could rebind them.  The query planner recognizes
+        # shapes built from these names and must refuse to plan once a
+        # rebinding changes what they mean.
+        for _name in ("hom", "union", "eq", "map", "filter"):
+            if _name in self._global_frame:
+                self._pristine_names[_name] = self._global_frame[_name]
+
+    def _ensure_planner(self):
+        if self.planner is None:
+            from ..query import QueryEngine
+            self.planner = QueryEngine(self, enabled=self.optimize)
+        return self.planner
+
+    def _eval_planned(self, term: T.Term) -> Value:
+        """Evaluate through the query planner when optimization is on."""
+        if self.optimize:
+            return self._ensure_planner().execute(term, self.runtime_env)
+        return self.machine.eval(term, self.runtime_env)
+
+    def explain_plan(self, src: str) -> str:
+        """Render the query plan the optimizer would use for ``src``.
+
+        Works whether or not the session was created with
+        ``optimize=True`` (planning is read-only); the expression is
+        type-checked but not executed.
+        """
+        from ..core.limits import deep_recursion
+        with deep_recursion():
+            term = self.parse(src)
+            infer(term, self.type_env, level=1)
+            return self._ensure_planner().plan(
+                term, self.runtime_env).render()
 
     # -- metrics ------------------------------------------------------------
 
@@ -100,7 +143,7 @@ class Session:
                 if self.pure_views:
                     from ..objects.effects import check_views_pure
                     check_views_pure(term, self.purity)
-            return self.machine.eval(term, self.runtime_env)
+            return self._eval_planned(term)
 
     def eval(self, src: str) -> Value:
         """Type-check then evaluate an expression; returns the raw value."""
@@ -234,7 +277,7 @@ class Session:
                     if self.pure_views:
                         from ..objects.effects import check_views_pure
                         check_views_pure(term, self.purity)
-                    last = self.machine.eval(term, self.runtime_env)
+                    last = self._eval_planned(term)
                     self._install("it", scheme, last)
         return last
 
@@ -355,8 +398,7 @@ class PreparedQuery:
         self.scheme = scheme
 
     def __call__(self) -> Value:
-        return self.session.machine.eval(self.term,
-                                         self.session.runtime_env)
+        return self.session._eval_planned(self.term)
 
     def run_py(self):
         """Run and convert to Python data."""

@@ -25,7 +25,8 @@ _BANNER = (
 _HELP = (
     ":type <expr>       infer a type without evaluating\n"
     ":translate <expr>  show the class+object compilation into the core\n"
-    ":explain <expr>    evaluate, tracing materializations and extents\n"
+    ":explain <expr>    show the query plan, then evaluate tracing\n"
+    "                   materializations and extents\n"
     ":metrics           show evaluator effort counters\n"
     ":quit              exit\n"
     "val x = <expr> / fun f x = <expr> / bare expressions are evaluated.\n")
@@ -49,9 +50,11 @@ def run_line(session: Session, line: str) -> str | None:
         return pretty_term(term)
     if stripped.startswith(":explain "):
         from .explain import explain
-        report = explain(session, stripped[len(":explain "):])
+        src = stripped[len(":explain "):]
+        plan = session.explain_plan(src)
+        report = explain(session, src)
         trace = report.render() or "(no lazy evaluation happened)"
-        return f"{trace}\n=> {report.result!r}"
+        return f"{plan}\n{trace}\n=> {report.result!r}"
     value = session.exec(stripped)
     if value is None:
         return "ok"
@@ -63,7 +66,9 @@ def run_line(session: Session, line: str) -> str | None:
 
 
 def main(argv: list[str] | None = None) -> int:
-    session = Session()
+    # The interactive REPL runs with the query planner on, so ':explain'
+    # shows the access path the evaluation will actually take.
+    session = Session(optimize=True)
     sys.stdout.write(_BANNER)
     buffer: list[str] = []
     while True:

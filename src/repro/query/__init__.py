@@ -1,0 +1,37 @@
+"""`repro.query` — a set-query planner over the paper's ``hom`` algebra.
+
+Every query in the calculus ultimately evaluates as a ``hom`` fold over a
+set — the paper derives ``map``, ``filter``, ``select … from … where`` and
+``relation`` from it (Section 3.1), and class extents arrive through
+``c-query`` (Section 4.3).  Naively each of those is a full-extent scan.
+This package adds an *optimizing* layer that is semantically invisible:
+
+* :mod:`repro.query.ir` — a small set-algebra IR plus a recognizer that
+  lifts the exact ``hom`` shapes emitted by :mod:`repro.objects.algebra`
+  (and the prelude's ``map``/``filter``) out of raw terms;
+* :mod:`repro.query.rewrite` — result-equivalent rewrite passes:
+  hom/hom fusion, select fusion, view-composition flattening, predicate
+  pushdown through ``prod``, and product elimination for ``intersect``;
+* :mod:`repro.query.indexes` — secondary hash indexes on class extents
+  keyed on immutable record fields, delta-maintained from store
+  notifications and invalidated by version stamps;
+* :mod:`repro.query.matview` — a materialized-view cache with delta
+  maintenance on insert/delete and stamp-based staleness checks;
+* :mod:`repro.query.cost` — the scan vs. index vs. cached-view decision;
+* :mod:`repro.query.engine` — :class:`QueryEngine`, the coordinator that
+  :class:`~repro.lang.api.Session` consults, with ``explain()`` plan
+  rendering surfaced in the REPL (``:explain``) and the server.
+
+The planner *never* changes results: recognition refuses impure stage
+functions, every physical shortcut registers the same reads with the
+store's tracker that the naive scan would (so OCC conflicts still fire),
+and any surprise during planned execution aborts back to the naive
+evaluator before any effect has happened.
+"""
+
+from .bulk import bulk_insert
+from .cost import CostModel
+from .engine import PlanReport, QueryEngine, QueryStats
+
+__all__ = ["QueryEngine", "QueryStats", "PlanReport", "CostModel",
+           "bulk_insert"]

@@ -1,0 +1,38 @@
+"""The scan vs. index vs. cached-view decision.
+
+The model is deliberately coarse — the workloads this engine serves are
+in-memory extents, where the only quantities that matter are the extent
+cardinality (is the hash-index bucket lookup worth the build?) and query
+repetition (is the result worth materializing?).  Estimates use the *own*
+extent size, which is exact for include-free classes and a lower bound
+otherwise; both thresholds are constructor arguments so the benchmarks
+and tests can force either path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CostModel"]
+
+
+@dataclass
+class CostModel:
+    """Thresholds steering the planner's physical choices."""
+
+    #: Minimum estimated extent size before an index is built/used; below
+    #: this a scan's constant factor wins over hashing.
+    index_min_extent: int = 32
+    #: Number of times a plan fingerprint must be seen before its result
+    #: set is materialized (1 = cache on first execution).
+    materialize_after: int = 2
+    #: Master switches, mostly for benchmarks isolating one mechanism.
+    use_indexes: bool = True
+    use_materialized_views: bool = True
+
+    def should_index(self, extent_estimate: int) -> bool:
+        return self.use_indexes and extent_estimate >= self.index_min_extent
+
+    def should_materialize(self, times_seen: int) -> bool:
+        return (self.use_materialized_views
+                and times_seen >= self.materialize_after)

@@ -1,0 +1,205 @@
+"""Secondary hash indexes on class extents.
+
+An index maps the value of one **immutable** record field to the extent
+objects carrying it, in extent order.  Immutability is what makes the key
+stable: immutable fields live directly in the record's cells (no
+:class:`~repro.eval.store.Location`), so no write can ever change a key —
+the only events that move an object between buckets are ``insert`` and
+``delete``, which replace the class's own extent wholesale.
+
+Eligibility is strict, and checked per build:
+
+* every extent element is an object under the **identity view** (so the
+  field the query's predicate sees through ``query`` *is* the raw field);
+* the field exists, is immutable, and holds a base value (int/string/
+  bool) — the only values whose builtin ``eq`` coincides with the set
+  machinery's ``value_key``, making hash lookup sound;
+
+anything else blacklists the ``(class, field)`` pair so the planner stops
+trying.
+
+Maintenance is incremental but **lazy**: extent replacements observed via
+the store notification hook are queued as deltas (computed from the old
+and new own-extent key sets — no user code runs inside the notification)
+and applied at the next lookup, provided the version chain is contiguous.
+A rollback restores extent versions without notifications, which breaks
+the chain; the version validation at lookup catches it and the index
+rebuilds.  Indexes on classes with include clauses are never
+delta-maintained (an insert into a *source* class changes their extent
+too); they validate against every inclusion-path class version recorded
+at build time and rebuild when any moved.
+"""
+
+from __future__ import annotations
+
+from ..eval.equality import value_key
+from ..eval.store import Location
+from ..eval.values import VBool, VBuiltin, VClass, VInt, VObject, VString
+from .tracking import DepTracker, recording_reads
+
+__all__ = ["HashIndex", "IndexManager"]
+
+
+class HashIndex:
+    """One ``(class, field)`` index: buckets in extent order plus the
+    recorded read dependencies that gate its validity."""
+
+    __slots__ = ("cls", "label", "buckets", "by_src", "deps", "pending")
+
+    def __init__(self, cls: VClass, label: str,
+                 deps: DepTracker) -> None:
+        self.cls = cls
+        self.label = label
+        #: field key -> extent objects carrying it, in extent order
+        self.buckets: dict[tuple, list[VObject]] = {}
+        #: element src key (raw oid) -> field key, for delta deletes
+        self.by_src: dict[tuple, tuple] = {}
+        self.deps = deps
+        #: queued (added, removed_src_keys, old_version, new_version)
+        #: extent deltas, applied lazily at the next lookup
+        self.pending: list[tuple[list, frozenset, int, int]] = []
+
+    def add(self, obj: VObject) -> bool:
+        """Insert one extent object; False if it is index-ineligible."""
+        key = _field_key(obj, self.label)
+        if key is None:
+            return False
+        self.buckets.setdefault(key, []).append(obj)
+        self.by_src[value_key(obj)] = key
+        return True
+
+    def remove(self, src_key: tuple) -> None:
+        key = self.by_src.pop(src_key, None)
+        if key is None:
+            return
+        bucket = self.buckets.get(key)
+        if bucket is not None:
+            bucket[:] = [o for o in bucket if value_key(o) != src_key]
+            if not bucket:
+                del self.buckets[key]
+
+    def lookup(self, key: tuple) -> list[VObject]:
+        return self.buckets.get(key, [])
+
+
+def _field_key(obj, label: str):
+    """The index key of one extent element, or None if ineligible."""
+    if not isinstance(obj, VObject):
+        return None
+    view = obj.view
+    if not (isinstance(view, VBuiltin) and view.name == "<identity-view>"):
+        return None
+    cell = obj.raw.cells.get(label)
+    if cell is None or isinstance(cell, Location):
+        return None
+    if not isinstance(cell, (VInt, VString, VBool)):
+        return None
+    return value_key(cell)
+
+
+class IndexManager:
+    """All indexes of one session's store, maintained from its
+    notifications (installed by the engine as ``store.observer``)."""
+
+    __slots__ = ("machine", "indexes", "blacklist", "builds", "deltas",
+                 "rebuilds")
+
+    def __init__(self, machine) -> None:
+        self.machine = machine
+        self.indexes: dict[tuple[int, str], HashIndex] = {}
+        self.blacklist: set[tuple[int, str]] = set()
+        self.builds = 0
+        self.deltas = 0
+        self.rebuilds = 0
+
+    # -- store notifications ------------------------------------------------
+
+    def extent_replaced(self, cls: VClass, old_own, old_version: int) -> None:
+        for key, idx in list(self.indexes.items()):
+            if cls.oid not in idx.deps.extents:
+                continue
+            if (cls is idx.cls and not cls.includes
+                    and len(idx.deps.extents) == 1):
+                new_own = cls.own
+                added = [e for e in new_own.elems
+                         if value_key(e) not in old_own.keys]
+                removed = frozenset(old_own.keys - new_own.keys)
+                idx.pending.append((added, removed, old_version,
+                                    cls.version))
+            else:
+                del self.indexes[key]
+
+    def location_written(self, loc: Location) -> None:
+        # Only indexes whose *build* read the location depend on it (an
+        # include predicate over a mutable field); key cells are never
+        # locations.
+        for key, idx in list(self.indexes.items()):
+            if loc.id in idx.deps.locations:
+                del self.indexes[key]
+
+    # -- lookup -------------------------------------------------------------
+
+    def get(self, cls: VClass, label: str) -> HashIndex | None:
+        """A valid index for ``(cls, label)``, building or rebuilding as
+        needed; None when the pair is ineligible."""
+        key = (cls.oid, label)
+        if key in self.blacklist:
+            return None
+        idx = self.indexes.get(key)
+        if idx is not None:
+            if self._refresh(idx):
+                return idx
+            del self.indexes[key]
+            self.rebuilds += 1
+        idx = self._build(cls, label)
+        if idx is None:
+            self.blacklist.add(key)
+            return None
+        self.indexes[key] = idx
+        self.builds += 1
+        return idx
+
+    def register_reads(self, idx: HashIndex) -> None:
+        """Register the index's dependencies with the store's current
+        tracker — an indexed read must enter the same OCC read set the
+        scan it replaces would have."""
+        t = self.machine.store.tracker
+        if t is None:
+            return
+        for cls, _version in idx.deps.extents.values():
+            t.did_read_extent(cls)
+        for loc, _version in idx.deps.locations.values():
+            t.did_read(loc)
+
+    # -- internals ----------------------------------------------------------
+
+    def _build(self, cls: VClass, label: str) -> HashIndex | None:
+        with recording_reads(self.machine.store) as deps:
+            extent = self.machine.class_extent(cls)
+        idx = HashIndex(cls, label, deps)
+        for obj in extent.elems:
+            if not idx.add(obj):
+                return None
+        return idx
+
+    def _refresh(self, idx: HashIndex) -> bool:
+        """Apply queued deltas, then validate every recorded version."""
+        for added, removed, old_version, new_version in idx.pending:
+            dep = idx.deps.extents.get(idx.cls.oid)
+            if dep is None or dep[1] != old_version:
+                return False
+            for src_key in removed:
+                idx.remove(src_key)
+            for obj in added:
+                if not idx.add(obj):
+                    return False
+            idx.deps.extents[idx.cls.oid] = (idx.cls, new_version)
+            self.deltas += 1
+        idx.pending.clear()
+        for cls, version in idx.deps.extents.values():
+            if cls.version != version:
+                return False
+        for loc, version in idx.deps.locations.values():
+            if loc.version != version:
+                return False
+        return True

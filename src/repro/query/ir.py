@@ -1,0 +1,549 @@
+"""The set-algebra IR and the ``hom``-shape recognizer.
+
+The surface language compiles every derived set operation to ``hom``
+(:mod:`repro.objects.algebra`): ``map``/``filter`` fold with ``union``,
+``select … from … where`` fuses the two, ``relation`` and ``intersect``
+fold over a ``prod``.  The recognizer inverts those constructions — it
+takes a raw term and, when the term *is* one of the emitted shapes, lifts
+it into a first-class pipeline:
+
+    Pipeline(source, stages, finish)
+
+where ``source`` names where the elements come from (a class extent, a
+product, an opaque term) and each stage is a per-element operation whose
+function/predicate/view is kept as a *term* (evaluated once to a closure
+at execution time, exactly like the naive ``hom`` evaluation does).
+
+Recognition is deliberately conservative.  It fails (returning ``None``,
+which means "evaluate naively") whenever:
+
+* a stage term mentions a pipeline-bound set variable (the stage could
+  not be evaluated outside the fold);
+* one of the structural names (``hom``, ``union``, ``map``, ``filter``,
+  ``eq``) is shadowed by a binder in scope — the shape would no longer
+  mean what the algebra meant;
+* an unrecognized sub-term still mentions a pipeline variable.
+
+Whether the *runtime* bindings of those structural names are still the
+pristine builtins/prelude closures is checked later, by the engine,
+against the executing environment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core import terms as T
+from ..core.terms import free_vars
+
+__all__ = [
+    "Source", "ExtentSource", "TermSource", "ProductSource",
+    "Stage", "MapStage", "ViewStage", "FilterStage", "SelectStage",
+    "RelationStage", "FuseStage", "Pipeline", "recognize",
+    "STRUCTURAL_NAMES", "equality_key",
+]
+
+#: Names whose *shape* the recognizer trusts; the engine re-verifies that
+#: their runtime bindings are the pristine values before using a plan.
+STRUCTURAL_NAMES = frozenset({"hom", "union", "map", "filter", "eq"})
+
+
+# ---------------------------------------------------------------------------
+# plan nodes
+# ---------------------------------------------------------------------------
+
+class Source:
+    """Base class of element sources."""
+
+    __slots__ = ()
+
+
+@dataclass(eq=False)
+class ExtentSource(Source):
+    """Elements are the extent of a class (``c-query``'s set argument)."""
+
+    cls_term: T.Term
+
+    def describe(self) -> str:
+        from ..syntax.pretty import pretty_term
+        return f"extent({pretty_term(self.cls_term)})"
+
+
+@dataclass(eq=False)
+class TermSource(Source):
+    """An opaque set-valued term, evaluated naively."""
+
+    term: T.Term
+
+    def describe(self) -> str:
+        from ..syntax.pretty import pretty_term
+        text = pretty_term(self.term)
+        return f"set({text if len(text) <= 40 else text[:37] + '...'})"
+
+
+@dataclass(eq=False)
+class ProductSource(Source):
+    """``prod`` of sub-pipelines; yields fresh tuple records row-major."""
+
+    parts: list["Pipeline"]
+
+    def describe(self) -> str:
+        return "prod(" + ", ".join(p.source.describe()
+                                   for p in self.parts) + ")"
+
+
+class Stage:
+    """Base class of per-element pipeline stages."""
+
+    __slots__ = ()
+
+
+@dataclass(eq=False)
+class MapStage(Stage):
+    """Apply a function to every element (``map``)."""
+
+    fn: T.Term
+
+    def describe(self) -> str:
+        from ..syntax.pretty import pretty_term
+        return f"map {pretty_term(self.fn)}"
+
+
+@dataclass(eq=False)
+class ViewStage(Stage):
+    """``map (fn x => x as v)`` — re-view every object.
+
+    ``views`` is a list so the view-flattening rewrite can merge adjacent
+    stages: ``[v1, v2]`` composes ``v1`` then ``v2`` onto each object via
+    a single composed viewing function.
+    """
+
+    views: list[T.Term]
+
+    def describe(self) -> str:
+        from ..syntax.pretty import pretty_term
+        return "as " + " ; ".join(pretty_term(v) for v in self.views)
+
+
+@dataclass(eq=False)
+class FilterStage(Stage):
+    """Keep the elements satisfying a predicate (``filter``)."""
+
+    pred: T.Term
+
+    def describe(self) -> str:
+        from ..syntax.pretty import pretty_term
+        return f"filter {pretty_term(self.pred)}"
+
+
+@dataclass(eq=False)
+class SelectStage(Stage):
+    """The fused ``select as view from S where pred`` (one traversal)."""
+
+    view: T.Term
+    pred: T.Term
+
+    def describe(self) -> str:
+        from ..syntax.pretty import pretty_term
+        return (f"select as {pretty_term(self.view)} "
+                f"where {pretty_term(self.pred)}")
+
+
+@dataclass(eq=False)
+class RelationStage(Stage):
+    """``relation [fields] from binders where pred`` over product tuples."""
+
+    binders: list[str]
+    fields: list[tuple[str, T.Term]]
+    pred: T.Term
+
+    def describe(self) -> str:
+        from ..syntax.pretty import pretty_term
+        labels = ", ".join(l for l, _ in self.fields)
+        return (f"relation [{labels}] from {', '.join(self.binders)} "
+                f"where {pretty_term(self.pred)}")
+
+
+@dataclass(eq=False)
+class FuseStage(Stage):
+    """``fuse(x.1, ..., x.n)`` over product tuples (``intersect``)."""
+
+    arity: int
+    #: Set by the product-elimination rewrite: execute as a hash join on
+    #: raw-object identity instead of materializing the product.
+    hash_join: bool = False
+
+    def describe(self) -> str:
+        how = "hash-join" if self.hash_join else "product"
+        return f"fuse/{self.arity} ({how})"
+
+
+@dataclass(eq=False)
+class Pipeline:
+    """A recognized query: a source, per-element stages, optional finish.
+
+    ``finish`` is a function term applied to the final *set* (e.g. the
+    ``size`` in ``c-query(fn S => size(filter(p, S)), C)``).
+    """
+
+    source: Source
+    stages: list[Stage] = field(default_factory=list)
+    finish: T.Term | None = None
+    #: Structural names whose runtime bindings the engine must verify.
+    needs: set[str] = field(default_factory=set)
+
+    def extent_sources(self) -> list[ExtentSource]:
+        out: list[ExtentSource] = []
+        if isinstance(self.source, ExtentSource):
+            out.append(self.source)
+        elif isinstance(self.source, ProductSource):
+            for part in self.source.parts:
+                out.extend(part.extent_sources())
+        return out
+
+    def render(self, indent: int = 0) -> str:
+        pad = "  " * indent
+        lines = [f"{pad}pipeline"]
+        if isinstance(self.source, ProductSource):
+            lines.append(f"{pad}  source: prod")
+            for part in self.source.parts:
+                lines.append(part.render(indent + 2))
+        else:
+            lines.append(f"{pad}  source: {self.source.describe()}")
+        for stage in self.stages:
+            lines.append(f"{pad}  stage: {stage.describe()}")
+        if self.finish is not None:
+            from ..syntax.pretty import pretty_term
+            lines.append(f"{pad}  finish: {pretty_term(self.finish)}")
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# recognition
+# ---------------------------------------------------------------------------
+
+def _spread_app(term: T.Term) -> tuple[T.Term, list[T.Term]]:
+    """Uncurry nested applications: ``((f a) b) c`` -> ``f, [a, b, c]``."""
+    args: list[T.Term] = []
+    while isinstance(term, T.App):
+        args.append(term.arg)
+        term = term.fn
+    args.reverse()
+    return term, args
+
+
+def _is_name(term: T.Term, name: str, bound: frozenset[str]) -> bool:
+    """A structural-name occurrence that is not shadowed by a binder."""
+    return (isinstance(term, T.Var) and term.name == name
+            and name not in bound)
+
+
+def _empty_set(term: T.Term) -> bool:
+    return isinstance(term, T.SetExpr) and not term.elems
+
+
+def _singleton_var(term: T.Term, name: str) -> bool:
+    return (isinstance(term, T.SetExpr) and len(term.elems) == 1
+            and isinstance(term.elems[0], T.Var)
+            and term.elems[0].name == name)
+
+
+def _match_cons(term: T.Term, bound: frozenset[str]) -> bool:
+    """``fn x => fn r => union({x}, r)`` — the mk_map accumulator."""
+    if not (isinstance(term, T.Lam) and isinstance(term.body, T.Lam)):
+        return False
+    x, inner = term.param, term.body
+    r = inner.param
+    fn, args = _spread_app(inner.body)
+    return (len(args) == 2 and _is_name(fn, "union", bound | {x, r})
+            and _singleton_var(args[0], x)
+            and isinstance(args[1], T.Var) and args[1].name == r)
+
+
+class _Recognizer:
+    """One recognition attempt over one top-level term."""
+
+    def __init__(self) -> None:
+        self.needs: set[str] = set()
+
+    # -- entry --------------------------------------------------------------
+
+    def recognize(self, term: T.Term) -> Pipeline | None:
+        pipe = self._set_pipeline(term, {}, frozenset())
+        if pipe is None and isinstance(term, T.CQuery):
+            pipe = self._cquery(term, {}, frozenset())
+        if pipe is not None:
+            pipe.needs = self.needs
+        return pipe
+
+    def _cquery(self, term: T.CQuery, srcmap: dict[str, Source],
+                bound: frozenset[str]) -> Pipeline | None:
+        fn = term.fn
+        if not isinstance(fn, T.Lam):
+            return None
+        if srcmap and free_vars(term.cls) & srcmap.keys():
+            # The class term could not be evaluated outside the fold.
+            return None
+        param = fn.param
+        # Extend (not replace) the enclosing map, so a nested c-query body
+        # can still name the outer query's extent variable.
+        inner_srcmap = dict(srcmap)
+        inner_srcmap[param] = ExtentSource(term.cls)
+        inner_bound = bound | {param}
+        pipe = self._set_pipeline(fn.body, inner_srcmap, inner_bound)
+        if pipe is not None:
+            return pipe
+        # fn S => g(recognized-pipeline-over-S): the finish wrapper.
+        if isinstance(fn.body, T.App):
+            g, inner = fn.body.fn, fn.body.arg
+            if not (free_vars(g) & inner_srcmap.keys()):
+                pipe = self._set_pipeline(inner, inner_srcmap, inner_bound)
+                if pipe is not None and pipe.finish is None:
+                    pipe.finish = g
+                    return pipe
+        return None
+
+    # -- set-valued expressions --------------------------------------------
+
+    def _set_pipeline(self, term: T.Term, srcmap: dict[str, Source],
+                      bound: frozenset[str]) -> Pipeline | None:
+        """Recognize ``term`` as a pipeline; ``srcmap`` maps pipeline-bound
+        set variables (the ``S`` of a ``c-query`` function) to sources."""
+        if isinstance(term, T.Var) and term.name in srcmap:
+            return Pipeline(srcmap[term.name])
+        if isinstance(term, T.CQuery):
+            # A nested extent query used as a source.
+            inner = self._cquery(term, srcmap, bound)
+            if inner is not None and inner.finish is None:
+                return inner
+            return None
+        fn, args = _spread_app(term)
+        if _is_name(fn, "map", bound) and len(args) == 2:
+            self.needs.add("map")
+            return self._stage(MapStage(args[0]), args[1], srcmap, bound)
+        if _is_name(fn, "filter", bound) and len(args) == 2:
+            self.needs.add("filter")
+            return self._stage(FilterStage(args[0]), args[1], srcmap, bound)
+        if _is_name(fn, "hom", bound) and len(args) == 4:
+            pipe = self._hom(args, srcmap, bound)
+            if pipe is not None:
+                self.needs.add("hom")
+            return pipe
+        return self._opaque(term, srcmap, bound)
+
+    def _opaque(self, term: T.Term, srcmap: dict[str, Source],
+                bound: frozenset[str]) -> Pipeline | None:
+        """An unrecognized source term: either a ``prod`` whose components
+        recognize, or an opaque term that does not touch a pipeline-bound
+        variable (it will be evaluated outside the fold)."""
+        if isinstance(term, T.Prod):
+            parts = []
+            for s in term.sets:
+                part = self._set_pipeline(s, srcmap, bound)
+                if part is None or part.finish is not None:
+                    return None
+                parts.append(part)
+            return Pipeline(ProductSource(parts))
+        if srcmap and free_vars(term) & srcmap.keys():
+            return None
+        return Pipeline(TermSource(term))
+
+    def _stage(self, stage: Stage, source_term: T.Term,
+               srcmap: dict[str, Source],
+               bound: frozenset[str]) -> Pipeline | None:
+        """Attach ``stage`` to the recognized pipeline of ``source_term``.
+
+        This *is* the hom/hom fusion point: a nested recognized pipeline
+        contributes its stages directly, so ``map(f, filter(p, S))``
+        becomes one pipeline with two stages instead of two folds with a
+        materialized intermediate.
+        """
+        terms = _stage_terms(stage)
+        if srcmap and any(free_vars(t) & srcmap.keys() for t in terms):
+            return None
+        inner = self._set_pipeline(source_term, srcmap, bound)
+        if inner is None or inner.finish is not None:
+            return None
+        stage_view = _as_view_stage(stage)
+        inner.stages.append(stage_view if stage_view is not None else stage)
+        return inner
+
+    # -- the raw hom shapes -------------------------------------------------
+
+    def _hom(self, args: list[T.Term], srcmap: dict[str, Source],
+             bound: frozenset[str]) -> Pipeline | None:
+        source_term, f, op, z = args
+        if not _empty_set(z):
+            return None
+        # mk_map: hom(S, f, fn x => fn r => union({x}, r), {})
+        if _match_cons(op, bound):
+            self.needs.add("union")
+            return self._stage(MapStage(f), source_term, srcmap, bound)
+        if not _is_name(op, "union", bound):
+            return None
+        self.needs.add("union")
+        if not isinstance(f, T.Lam):
+            return None
+        x, body = f.param, f.body
+        # mk_filter / mk_select: fn x => if P then {x} / {x as v} else {}
+        if (isinstance(body, T.If) and _empty_set(body.else_)
+                and isinstance(body.then, T.SetExpr)
+                and len(body.then.elems) == 1):
+            kept = body.then.elems[0]
+            pred = self._pred_of(body.cond, x)
+            if pred is None:
+                return None
+            if isinstance(kept, T.Var) and kept.name == x:
+                return self._stage(FilterStage(pred), source_term,
+                                   srcmap, bound)
+            if (isinstance(kept, T.AsView) and isinstance(kept.obj, T.Var)
+                    and kept.obj.name == x
+                    and x not in free_vars(kept.view)):
+                return self._stage(SelectStage(kept.view, pred),
+                                   source_term, srcmap, bound)
+            return None
+        # mk_relation: fn t => let x1 = t.1 in ... if P then {relobj} ...
+        rel = self._relation(x, body)
+        if rel is not None:
+            return self._stage(rel, source_term, srcmap, bound)
+        # mk_intersect: fn x => fuse(x.1, ..., x.n)
+        if isinstance(body, T.Fuse):
+            arity = len(body.objs)
+            for i, proj in enumerate(body.objs):
+                if not (isinstance(proj, T.Dot) and proj.label == str(i + 1)
+                        and isinstance(proj.expr, T.Var)
+                        and proj.expr.name == x):
+                    return None
+            return self._stage(FuseStage(arity), source_term, srcmap, bound)
+        return None
+
+    def _pred_of(self, cond: T.Term, x: str) -> T.Term | None:
+        """Normalize a filter condition to a predicate term.
+
+        ``mk_filter`` emits ``App(pred, Var x)`` (the predicate applied to
+        the element); the sugar sometimes inlines the application.  Both
+        normalize to a term to apply per element; an inlined body is
+        re-abstracted over ``x``.
+        """
+        if (isinstance(cond, T.App) and isinstance(cond.arg, T.Var)
+                and cond.arg.name == x and x not in free_vars(cond.fn)):
+            return cond.fn
+        return T.Lam(x, cond)
+
+    def _relation(self, tup: str, body: T.Term) -> RelationStage | None:
+        binders: list[str] = []
+        while isinstance(body, T.Let):
+            bind = body.bound
+            if not (isinstance(bind, T.Dot)
+                    and isinstance(bind.expr, T.Var) and bind.expr.name == tup
+                    and bind.label == str(len(binders) + 1)):
+                return None
+            binders.append(body.name)
+            body = body.body
+        if not binders:
+            return None
+        if not (isinstance(body, T.If) and _empty_set(body.else_)
+                and isinstance(body.then, T.SetExpr)
+                and len(body.then.elems) == 1
+                and isinstance(body.then.elems[0], T.RelObj)):
+            return None
+        relobj = body.then.elems[0]
+        used = set(free_vars(body.cond))
+        for _, e in relobj.fields:
+            used |= free_vars(e)
+        if tup in used:
+            return None
+        return RelationStage(binders, list(relobj.fields), body.cond)
+
+
+def _stage_terms(stage: Stage) -> list[T.Term]:
+    if isinstance(stage, MapStage):
+        return [stage.fn]
+    if isinstance(stage, ViewStage):
+        return list(stage.views)
+    if isinstance(stage, FilterStage):
+        return [stage.pred]
+    if isinstance(stage, SelectStage):
+        return [stage.view, stage.pred]
+    if isinstance(stage, RelationStage):
+        return [stage.pred] + [e for _, e in stage.fields]
+    return []
+
+
+def _as_view_stage(stage: Stage) -> ViewStage | None:
+    """Recognize ``map (fn x => x as v)`` as a :class:`ViewStage`."""
+    if not isinstance(stage, MapStage):
+        return None
+    fn = stage.fn
+    if (isinstance(fn, T.Lam) and isinstance(fn.body, T.AsView)
+            and isinstance(fn.body.obj, T.Var)
+            and fn.body.obj.name == fn.param
+            and fn.param not in free_vars(fn.body.view)):
+        return ViewStage([fn.body.view])
+    return None
+
+
+def recognize(term: T.Term) -> Pipeline | None:
+    """Lift ``term`` into a :class:`Pipeline`, or ``None`` if it is not a
+    recognized query shape."""
+    return _Recognizer().recognize(term)
+
+
+# ---------------------------------------------------------------------------
+# equality-predicate recognition (for the index path)
+# ---------------------------------------------------------------------------
+
+def _eq_shape(body: T.Term, elem: str,
+              bound: frozenset[str]) -> tuple[str, T.Term] | None:
+    """``eq(v.l, c)`` / ``eq(c, v.l)`` with ``c`` independent of ``v``."""
+    fn, args = _spread_app(body)
+    if not (_is_name(fn, "eq", bound) and len(args) == 2):
+        return None
+    for probe, const in ((args[0], args[1]), (args[1], args[0])):
+        if (isinstance(probe, T.Dot) and isinstance(probe.expr, T.Var)
+                and probe.expr.name == elem
+                and elem not in free_vars(const)):
+            return probe.label, const
+    return None
+
+
+def equality_key(pred: T.Term) -> tuple[str, T.Term, bool] | None:
+    """Recognize an index-serving equality in a filter predicate.
+
+    Returns ``(label, const_term, exact)`` when ``pred`` constrains a
+    field of the *materialized view* of each object to a constant:
+
+    * ``fn o => query(fn v => eq(v.l, c), o)`` — exact: the predicate is
+      the equality, so index candidates need no residual check;
+    * ``fn o => query(fn v => if eq(v.l, c) then rest else false, o)``
+      (surface ``andalso``) — the equality leads a conjunction: the index
+      narrows candidates and the full predicate runs as residual.
+
+    The constant must not mention the element variable.  Whether ``eq``
+    is still the builtin is the engine's runtime check (recognition only
+    rules out *syntactic* shadowing).
+    """
+    if not isinstance(pred, T.Lam):
+        return None
+    o, body = pred.param, pred.body
+    if not (isinstance(body, T.Query) and isinstance(body.obj, T.Var)
+            and body.obj.name == o and isinstance(body.fn, T.Lam)):
+        return None
+    v, qbody = body.fn.param, body.fn.body
+    bound = frozenset({o, v})
+    hit = _eq_shape(qbody, v, bound)
+    if hit is not None:
+        label, const = hit
+        if o in free_vars(const):
+            return None
+        return label, const, True
+    # andalso: if eq-shape then rest else false
+    if (isinstance(qbody, T.If) and isinstance(qbody.else_, T.Const)
+            and qbody.else_.value is False):
+        hit = _eq_shape(qbody.cond, v, bound)
+        if hit is not None:
+            label, const = hit
+            if o in free_vars(const):
+                return None
+            return label, const, False
+    return None

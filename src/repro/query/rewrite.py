@@ -1,0 +1,167 @@
+"""Result-equivalent rewrite passes over the recognized pipeline IR.
+
+Every pass preserves the naive ``hom`` evaluation's *result* — same
+elements, same set order (the calculus' left-biased dedup makes order
+observable through ``hom`` itself) — provided the stage functions are
+pure, which the engine guarantees before any plan runs (impure terms are
+never planned).  The equivalence arguments live with each pass; the
+hypothesis suite in ``tests/query/test_equivalence.py`` checks them
+mechanically against randomized programs.
+
+Passes (names appear in ``explain()`` output and the golden tests):
+
+``hom-fusion``
+    performed by the recognizer itself — nested folds (``map`` over
+    ``filter`` over ...) become one pipeline with several stages, so each
+    intermediate set is produced once per *stage boundary* instead of once
+    per accumulator step.  This pass only reports it.
+
+``view-flattening``
+    adjacent ``as``-mapping stages merge: ``map (as v2) . map (as v1)``
+    re-views each object twice, building an intermediate set in between;
+    the merged stage composes ``v1`` then ``v2`` onto each element in one
+    traversal.  Objects keep their raw identity under ``as``, so the
+    intermediate dedup (objeq on raws) removes nothing the final dedup
+    would not.
+
+``select-fusion``
+    ``map (as v) . filter p`` becomes the fused ``select``-shaped stage
+    (one traversal, view applied only to survivors) — the inverse of how
+    ``mk_select`` is *defined* from filter+map in Section 3.1.
+
+``predicate-pushdown``
+    a ``relation``'s ``where`` is split on ``andalso`` (which parses to
+    ``if c1 then c2 else false``); any conjunct mentioning exactly one
+    binder moves to a filter on that binder's source, shrinking the
+    product.  Rows surviving the pushed filters are exactly the rows on
+    which the original conjunction can hold, the residual conjunction
+    re-checks the rest, and filtering sources preserves the row-major
+    order of the surviving tuples.
+
+``product-elimination``
+    ``intersect`` recognizes as ``fuse`` over a product; since each source
+    is a set (one element per raw object), a tuple fuses successfully iff
+    its raw appears in *every* source, so the |S1|x...x|Sn| product
+    collapses to a hash join on raw identity.  Successful tuples are one
+    per common raw, ordered row-major — i.e. by first-source position —
+    which is exactly the hash join's output order.
+"""
+
+from __future__ import annotations
+
+from ..core import terms as T
+from ..core.terms import free_vars
+from ..core.types import BOOL
+from .ir import (FilterStage, FuseStage, Pipeline, ProductSource,
+                 RelationStage, SelectStage, Stage, ViewStage)
+
+__all__ = ["apply_rewrites", "split_conjuncts"]
+
+
+def split_conjuncts(pred: T.Term) -> list[T.Term]:
+    """Split an ``andalso`` chain (``if c1 then c2 else false``)."""
+    out: list[T.Term] = []
+    while (isinstance(pred, T.If) and isinstance(pred.else_, T.Const)
+           and pred.else_.value is False):
+        out.append(pred.cond)
+        pred = pred.then
+    out.append(pred)
+    return out
+
+
+def _join_conjuncts(conjuncts: list[T.Term]) -> T.Term:
+    if not conjuncts:
+        return T.Const(True, BOOL)
+    pred = conjuncts[-1]
+    for c in reversed(conjuncts[:-1]):
+        pred = T.If(c, pred, T.Const(False, BOOL))
+    return pred
+
+
+def _count_fold_stages(pipe: Pipeline) -> int:
+    """How many distinct ``hom`` folds contributed stages to this plan."""
+    n = len(pipe.stages)
+    if isinstance(pipe.source, ProductSource):
+        n += sum(_count_fold_stages(p) for p in pipe.source.parts)
+    return n
+
+
+def _flatten_views(stages: list[Stage], applied: set[str]) -> list[Stage]:
+    out: list[Stage] = []
+    for stage in stages:
+        if (isinstance(stage, ViewStage) and out
+                and isinstance(out[-1], ViewStage)):
+            out[-1].views.extend(stage.views)
+            applied.add("view-flattening")
+        else:
+            out.append(stage)
+    return out
+
+
+def _fuse_selects(stages: list[Stage], applied: set[str]) -> list[Stage]:
+    out: list[Stage] = []
+    for stage in stages:
+        if (isinstance(stage, ViewStage) and len(stage.views) == 1 and out
+                and isinstance(out[-1], FilterStage)):
+            out[-1] = SelectStage(stage.views[0], out[-1].pred)
+            applied.add("select-fusion")
+        else:
+            out.append(stage)
+    return out
+
+
+def _push_predicates(pipe: Pipeline, applied: set[str]) -> None:
+    source = pipe.source
+    if not (isinstance(source, ProductSource) and pipe.stages
+            and isinstance(pipe.stages[0], RelationStage)):
+        return
+    rel = pipe.stages[0]
+    if len(rel.binders) != len(source.parts):
+        return
+    position = {b: i for i, b in enumerate(rel.binders)}
+    residual: list[T.Term] = []
+    pushed = False
+    for conjunct in split_conjuncts(rel.pred):
+        used = free_vars(conjunct) & position.keys()
+        if len(used) == 1:
+            binder = used.pop()
+            source.parts[position[binder]].stages.append(
+                FilterStage(T.Lam(binder, conjunct)))
+            pushed = True
+        else:
+            residual.append(conjunct)
+    if pushed:
+        rel.pred = _join_conjuncts(residual)
+        applied.add("predicate-pushdown")
+
+
+def _eliminate_products(pipe: Pipeline, applied: set[str]) -> None:
+    source = pipe.source
+    if (isinstance(source, ProductSource) and pipe.stages
+            and isinstance(pipe.stages[0], FuseStage)
+            and pipe.stages[0].arity == len(source.parts)
+            and pipe.stages[0].arity >= 2):
+        pipe.stages[0].hash_join = True
+        applied.add("product-elimination")
+
+
+def apply_rewrites(pipe: Pipeline) -> tuple[Pipeline, list[str]]:
+    """Run every pass over ``pipe`` (in place); returns the rewrite names
+    applied, in the canonical order used by ``explain()``."""
+    applied: set[str] = set()
+    if _count_fold_stages(pipe) >= 2:
+        applied.add("hom-fusion")
+    _rewrite_pipe(pipe, applied)
+    order = ["hom-fusion", "view-flattening", "select-fusion",
+             "predicate-pushdown", "product-elimination"]
+    return pipe, [name for name in order if name in applied]
+
+
+def _rewrite_pipe(pipe: Pipeline, applied: set[str]) -> None:
+    pipe.stages = _flatten_views(pipe.stages, applied)
+    pipe.stages = _fuse_selects(pipe.stages, applied)
+    _push_predicates(pipe, applied)
+    _eliminate_products(pipe, applied)
+    if isinstance(pipe.source, ProductSource):
+        for part in pipe.source.parts:
+            _rewrite_pipe(part, applied)

@@ -231,9 +231,21 @@ class ClientTransaction:
             mutating=False)
 
     def query(self, class_name: str, fn_src: str):
-        """A set-level query against a class extent."""
+        """A set-level query against a class extent.
+
+        On a server with query optimization enabled, an indexed or
+        cached-view read registers the same extent/location reads in
+        this transaction's OCC read set that the scan it replaced would
+        have — so it conflicts with concurrent updates exactly like a
+        naive query."""
         return self._statement(
             lambda s: self._server.catalog.query(class_name, fn_src),
+            mutating=False)
+
+    def explain(self, class_name: str, fn_src: str) -> str:
+        """Render the plan :meth:`query` would use (read-only)."""
+        return self._statement(
+            lambda s: self._server.catalog.explain(class_name, fn_src),
             mutating=False)
 
 
@@ -304,7 +316,7 @@ class Server:
     def __init__(self, catalog: Catalog | None = None, *,
                  wal: str | None = None, snapshot: str | None = None,
                  config: ServerConfig | None = None,
-                 wal_fsync: bool = True):
+                 wal_fsync: bool = True, optimize: bool = False):
         self.config = config if config is not None else ServerConfig()
         self.recovery: RecoveryReport | None = None
         if catalog is None:
@@ -313,6 +325,11 @@ class Server:
                     wal, snapshot_path=snapshot, fsync=wal_fsync)
             else:
                 catalog = Catalog()
+        if optimize:
+            # The planner consults this flag per evaluation, so enabling
+            # it after recovery replay is safe (and means replay itself
+            # ran naively, building no stale plan state).
+            catalog.session.optimize = True
         self.catalog = catalog
         self.session = catalog.session
         self._lock = catalog.lock

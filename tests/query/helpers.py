@@ -1,0 +1,76 @@
+"""Shared helpers for the query-planner test suite.
+
+The central tool is :func:`norm`, which renders a value into a plain
+Python structure with object identities replaced by first-seen sequence
+numbers.  Raw-record and object oids come from a process-global counter,
+so two sessions (or two runs in one session, for queries that allocate
+fresh records) can only be compared up to a renaming of oids — the same
+equivalence that relates any two naive runs to each other.
+"""
+
+from __future__ import annotations
+
+from repro.eval.store import Location
+from repro.eval.values import (VBool, VBuiltin, VClass, VClosure, VInt,
+                               VObject, VRecord, VSet, VString, VUnit)
+
+__all__ = ["norm", "SETUP", "make_sessions"]
+
+
+def norm(value, table=None):
+    """Render ``value`` with oids normalized to first-seen indices."""
+    if table is None:
+        table = {}
+
+    def oid(o):
+        if o not in table:
+            table[o] = len(table)
+        return table[o]
+
+    if isinstance(value, VUnit):
+        return ("unit",)
+    if isinstance(value, VInt):
+        return ("int", value.value)
+    if isinstance(value, VBool):
+        return ("bool", value.value)
+    if isinstance(value, VString):
+        return ("str", value.value)
+    if isinstance(value, VRecord):
+        cells = {}
+        for label in sorted(value.labels()):
+            cell = value.cells[label]
+            cells[label] = norm(
+                cell.value if isinstance(cell, Location) else cell, table)
+        return ("rec", oid(value.oid), cells, sorted(value.mutable_labels))
+    if isinstance(value, VObject):
+        return ("obj", norm(value.raw, table))
+    if isinstance(value, VSet):
+        return ("set", [norm(e, table) for e in value.elems])
+    if isinstance(value, VClass):
+        return ("class", oid(value.oid), norm(value.own, table))
+    if isinstance(value, (VClosure, VBuiltin)):
+        return ("fn",)
+    raise AssertionError(f"norm: unhandled value {value!r}")
+
+
+#: A small two-class world used across the planner tests.
+SETUP = '''
+    val a0 = IDView([Name = "Ada", Dept = "eng", Salary := 10])
+    val a1 = IDView([Name = "Bob", Dept = "ops", Salary := 7])
+    val a2 = IDView([Name = "Cyd", Dept = "eng", Salary := 12])
+    val A = class {a0, a1, a2} end
+    val B = class {a1, a2} end
+    val v1 = fn x => [Name = x.Name, Dept = x.Dept]
+    val v2 = fn x => [Name = x.Name]
+'''
+
+
+def make_sessions(setup: str = SETUP):
+    """A (naive, optimized) pair of sessions over the same setup."""
+    from repro import Session
+
+    naive = Session()
+    opt = Session(optimize=True)
+    naive.exec(setup)
+    opt.exec(setup)
+    return naive, opt

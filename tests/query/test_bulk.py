@@ -1,0 +1,84 @@
+"""Bulk extent population."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Session
+from repro.errors import EvalError
+from repro.eval.store import Location
+from repro.eval.values import VBool, VInt, VString
+from repro.query import bulk_insert
+
+_SEED = '''
+    val seed = IDView([Name = "Seed", Dept = "eng", Salary := 1])
+    val C = class {seed} end
+'''
+
+
+def _session():
+    s = Session()
+    s.exec(_SEED)
+    return s
+
+
+def test_bulk_insert_counts_and_extends():
+    s = _session()
+    n = bulk_insert(s, "C",
+                    [{"Name": f"e{i}", "Dept": "ops", "Salary": i}
+                     for i in range(5)], mutable=("Salary",))
+    assert n == 5
+    assert len(s.eval("c-query(fn S => S, C)").elems) == 6
+
+
+def test_bulk_insert_cell_kinds():
+    s = _session()
+    bulk_insert(s, "C",
+                [{"Name": "x", "Dept": "ops", "Salary": 3, "Senior": True}],
+                mutable=("Salary",))
+    cls = s.runtime_env.lookup("C")
+    raw = cls.own.elems[-1].raw
+    assert isinstance(raw.cells["Name"], VString)
+    assert isinstance(raw.cells["Senior"], VBool)       # bool, not VInt
+    assert isinstance(raw.cells["Salary"], Location)
+    assert isinstance(raw.cells["Salary"].value, VInt)
+    assert raw.mutable_labels == frozenset({"Salary"})
+
+
+def test_bulk_inserted_objects_usable_from_surface():
+    s = _session()
+    bulk_insert(s, "C", [{"Name": "y", "Dept": "qa", "Salary": 9}],
+                mutable=("Salary",))
+    out = s.eval('c-query(fn S => filter('
+                 'fn o => query(fn v => v.Dept = "qa", o), S), C)')
+    assert [o.raw.read("Name").value for o in out.elems] == ["y"]
+    s.exec('c-query(fn S => map(fn o => '
+           'query(fn v => update(v, Salary, 100), o), S), C)')
+    assert all(o.raw.read("Salary").value == 100
+               for o in s.eval("c-query(fn S => S, C)").elems)
+
+
+def test_bulk_insert_rejects_non_class():
+    s = _session()
+    with pytest.raises(EvalError):
+        bulk_insert(s, "seed", [{"Name": "z"}])
+
+
+def test_bulk_insert_rejects_unconvertible_value():
+    s = _session()
+    with pytest.raises(EvalError):
+        bulk_insert(s, "C", [{"Name": object()}])
+
+
+def test_bulk_insert_journaled_by_transactions():
+    s = _session()
+
+    class Boom(Exception):
+        pass
+
+    with pytest.raises(Boom):
+        with s.transaction():
+            bulk_insert(s, "C", [{"Name": "gone", "Dept": "x", "Salary": 0}],
+                        mutable=("Salary",))
+            raise Boom()
+    assert len(s.eval("c-query(fn S => S, C)").elems) == 1

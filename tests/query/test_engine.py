@@ -1,0 +1,127 @@
+"""Planner gates, fallback reasons, stats, and OCC read registration."""
+
+from __future__ import annotations
+
+from repro import Session
+from repro.query.tracking import DepTracker
+
+from .helpers import SETUP, make_sessions, norm
+
+_QUERY = ('c-query(fn S => filter('
+          'fn o => query(fn v => v.Dept = "eng", o), S), A)')
+
+
+def test_disabled_session_never_plans():
+    s = Session()                       # optimize defaults to False
+    s.exec(SETUP)
+    out = s.eval(_QUERY)
+    assert len(out.elems) == 2
+    assert s.planner is None
+
+
+def test_explain_works_on_unoptimized_session():
+    s = Session()
+    s.exec(SETUP)
+    text = s.explain_plan(_QUERY)
+    assert text.startswith("plan: optimized")
+    # Explaining built the planner, but evaluation stays naive.
+    assert s.planner.stats.planned == 0
+
+
+def test_reason_not_a_recognized_shape():
+    _naive, opt = make_sessions()
+    text = opt.explain_plan("c-query(fn S => map(fn o => S, S), A)")
+    assert text == ("plan: naive evaluation — "
+                    "not a recognized query shape")
+
+
+def test_reason_no_class_extent():
+    _naive, opt = make_sessions()
+    assert opt.explain_plan("{1, 2}") == (
+        "plan: naive evaluation — no class extent in the pipeline")
+
+
+def test_reason_effects():
+    naive, opt = make_sessions()
+    src = ('c-query(fn S => map(fn o => '
+           'query(fn v => update(v, Salary, 0), o), S), A)')
+    assert opt.explain_plan(src) == (
+        "plan: naive evaluation — the expression may have effects")
+    # The fallback still runs the effects — equivalently to naive.
+    assert norm(opt.eval(src)) == norm(naive.eval(src))
+    salaries = {o.raw.read("Salary").value
+                for o in opt.eval("c-query(fn S => S, A)").elems}
+    assert salaries == {0}
+
+
+def test_reason_rebound_structural_builtin():
+    naive, opt = make_sessions()
+    for s in (naive, opt):
+        s.exec("fun filter p s = {}")
+    assert opt.explain_plan(_QUERY) == (
+        "plan: naive evaluation — a structural builtin "
+        "(hom/union/map/filter) is rebound")
+    assert norm(opt.eval(_QUERY)) == norm(naive.eval(_QUERY))
+    assert opt.eval(_QUERY).elems == []
+    assert opt.planner.stats.planned == 0
+
+
+def test_stats_lifecycle_and_snapshot():
+    _naive, opt = make_sessions()
+    for _ in range(3):
+        opt.eval(_QUERY)
+    snap = opt.planner.stats.snapshot()
+    assert snap["planned"] == 3
+    assert snap["scans"] == 1
+    assert snap["mv_builds"] == 1
+    assert snap["mv_hits"] == 1
+    assert snap["fallbacks"] == 0 and snap["aborts"] == 0
+
+
+def test_cached_serve_registers_occ_reads():
+    _naive, opt = make_sessions()
+    for _ in range(3):
+        opt.eval(_QUERY)                # entry is cached and serving
+    cls = opt.runtime_env.lookup("A")
+    tracker = DepTracker()
+    opt.machine.store.tracker = tracker
+    try:
+        opt.eval(_QUERY)
+        assert opt.planner.stats.mv_hits >= 2
+        # Serving from cache registered the extent read: a concurrent
+        # insert into A must conflict with this transaction.
+        assert cls.oid in tracker.extents
+    finally:
+        opt.machine.store.tracker = None
+
+
+def test_index_serve_registers_occ_reads():
+    from repro.query import bulk_insert
+    opt = Session(optimize=True)
+    opt.exec('val seed = IDView([Name = "S", Dept = "eng", Salary := 1])\n'
+             'val C = class {seed} end')
+    bulk_insert(opt, "C",
+                [{"Name": f"e{i}", "Dept": "eng", "Salary": i}
+                 for i in range(40)], mutable=("Salary",))
+    opt._ensure_planner().cost.use_materialized_views = False
+    src = ('c-query(fn S => filter('
+           'fn o => query(fn v => v.Dept = "eng", o), S), C)')
+    opt.eval(src)                       # builds the index
+    cls = opt.runtime_env.lookup("C")
+    tracker = DepTracker()
+    opt.machine.store.tracker = tracker
+    try:
+        opt.eval(src)
+        assert opt.planner.stats.index_hits >= 2
+        assert cls.oid in tracker.extents
+    finally:
+        opt.machine.store.tracker = None
+
+
+def test_prepared_query_goes_through_planner():
+    _naive, opt = make_sessions()
+    q = opt.prepare(_QUERY)
+    for _ in range(3):
+        q()
+    assert opt.planner.stats.planned == 3
+    assert opt.planner.stats.mv_hits == 1

@@ -1,0 +1,130 @@
+"""Recognition tests: surface queries to the set-algebra IR."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Session
+from repro.query.ir import (STRUCTURAL_NAMES, ExtentSource, FilterStage,
+                            FuseStage, MapStage, Pipeline, ProductSource,
+                            RelationStage, SelectStage, equality_key,
+                            recognize)
+
+from .helpers import SETUP
+
+
+@pytest.fixture(scope="module")
+def session():
+    s = Session()
+    s.exec(SETUP)
+    return s
+
+
+def _recognized(session, src: str) -> Pipeline:
+    pipe = recognize(session.parse(src))
+    assert pipe is not None, f"expected {src!r} to be recognized"
+    return pipe
+
+
+def test_filter_map_chain_recognized(session):
+    pipe = _recognized(
+        session,
+        'c-query(fn S => map(fn o => query(fn v => v.Name, o), '
+        'filter(fn o => query(fn v => v.Dept = "eng", o), S)), A)')
+    assert isinstance(pipe.source, ExtentSource)
+    assert [type(st) for st in pipe.stages] == [FilterStage, MapStage]
+    assert pipe.finish is None
+    assert pipe.needs and pipe.needs <= STRUCTURAL_NAMES
+
+
+def test_select_sugar_recognized(session):
+    pipe = _recognized(
+        session,
+        'c-query(fn S => select as v2 from S '
+        'where fn o => query(fn v => v.Dept = "eng", o), A)')
+    assert [type(st) for st in pipe.stages] == [SelectStage]
+
+
+def test_finish_wrapper_recognized(session):
+    pipe = _recognized(
+        session,
+        'c-query(fn S => size(filter('
+        'fn o => query(fn v => v.Dept = "eng", o), S)), A)')
+    assert [type(st) for st in pipe.stages] == [FilterStage]
+    assert pipe.finish is not None
+
+
+def test_nested_cquery_intersect_recognized(session):
+    pipe = _recognized(
+        session, 'c-query(fn S => c-query(fn Tt => intersect(S, Tt), B), A)')
+    assert isinstance(pipe.source, ProductSource)
+    assert len(pipe.source.parts) == 2
+    assert all(isinstance(p.source, ExtentSource) for p in pipe.source.parts)
+    assert [type(st) for st in pipe.stages] == [FuseStage]
+
+
+def test_relation_recognized(session):
+    pipe = _recognized(
+        session,
+        'c-query(fn S => c-query(fn D => '
+        'relation [l = x, r = d] from x in S, d in D '
+        'where query(fn v => v.Dept = "eng", x), B), A)')
+    assert isinstance(pipe.source, ProductSource)
+    stage = pipe.stages[0]
+    assert isinstance(stage, RelationStage)
+    assert stage.binders == ["x", "d"]
+    assert [lbl for lbl, _ in stage.fields] == ["l", "r"]
+
+
+def test_non_query_has_no_extent_sources(session):
+    # Arbitrary expressions degenerate to an opaque TermSource pipeline
+    # (or fail recognition outright); either way there is no class extent
+    # for the planner to work with.
+    for src in ("1", "{1, 2}"):
+        pipe = recognize(session.parse(src))
+        assert pipe is None or not pipe.extent_sources()
+
+
+def test_stage_referencing_fold_var_refused(session):
+    # A stage body that captures the fold variable itself is not a
+    # per-element computation; recognition must refuse it.
+    assert recognize(session.parse(
+        "c-query(fn S => map(fn o => S, S), A)")) is None
+
+
+def test_class_term_referencing_fold_var_refused(session):
+    # The inner class position mentions the outer fold variable; that is
+    # not a class extent the planner can resolve up front.
+    assert recognize(session.parse(
+        "c-query(fn S => c-query(fn Tt => Tt, S), A)")) is None
+
+
+def test_equality_key_exact(session):
+    pipe = _recognized(
+        session,
+        'c-query(fn S => filter('
+        'fn o => query(fn v => v.Dept = "eng", o), S), A)')
+    key = equality_key(pipe.stages[0].pred)
+    assert key is not None
+    label, _const, exact = key
+    assert label == "Dept"
+    assert exact is True
+
+
+def test_equality_key_conjunction_is_residual(session):
+    pipe = _recognized(
+        session,
+        'c-query(fn S => filter(fn o => query(fn v => '
+        '(v.Dept = "eng") andalso (v.Name = "Ada"), o), S), A)')
+    key = equality_key(pipe.stages[0].pred)
+    assert key is not None
+    _label, _const, exact = key
+    assert exact is False
+
+
+def test_equality_key_none_for_non_equality(session):
+    pipe = _recognized(
+        session,
+        'c-query(fn S => filter('
+        'fn o => query(fn v => true, o), S), A)')
+    assert equality_key(pipe.stages[0].pred) is None

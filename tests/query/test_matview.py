@@ -1,0 +1,155 @@
+"""Materialized views: build, serve, delta maintenance, invalidation."""
+
+from __future__ import annotations
+
+from repro import Session
+from repro.query import bulk_insert
+
+from .helpers import SETUP, make_sessions, norm
+
+_QUERY = ('c-query(fn S => filter('
+          'fn o => query(fn v => v.Dept = "eng", o), S), A)')
+
+
+def _stats(session):
+    return session._ensure_planner().stats
+
+
+def _same(naive, opt, src: str) -> None:
+    assert norm(opt.eval(src)) == norm(naive.eval(src))
+
+
+def test_scan_then_build_then_hit():
+    naive, opt = make_sessions()
+    for _ in range(3):
+        _same(naive, opt, _QUERY)
+    st = _stats(opt)
+    assert st.scans == 1
+    assert st.mv_builds == 1
+    assert st.mv_hits == 1
+    views = opt.planner.views
+    assert views.builds == 1 and views.hits == 1
+
+
+def test_watermark_short_circuits_validation():
+    _naive, opt = make_sessions()
+    for _ in range(4):
+        opt.eval(_QUERY)
+    # Hits 3 and 4 happen with an unmoved store stamp: the version walk
+    # is skipped but the entry still serves.
+    assert _stats(opt).mv_hits == 2
+
+
+def test_delta_on_insert_and_delete():
+    naive, opt = make_sessions()
+    for _ in range(3):
+        _same(naive, opt, _QUERY)
+    for s in (naive, opt):
+        s.exec('val d0 = IDView([Name = "Dee", Dept = "eng", Salary := 3])')
+        s.exec("insert(d0, A)")
+    _same(naive, opt, _QUERY)
+    for s in (naive, opt):
+        s.exec("delete(a0, A)")
+    _same(naive, opt, _QUERY)
+    views = opt.planner.views
+    assert views.builds == 1            # never recomputed from scratch
+    assert views.deltas >= 2
+    names = {o.raw.read("Name").value for o in opt.eval(_QUERY).elems}
+    assert names == {"Cyd", "Dee"}
+
+
+def test_mutable_write_read_by_predicate_invalidates():
+    naive, opt = make_sessions()
+    src = ('c-query(fn S => filter('
+           'fn o => query(fn v => v.Salary = 10, o), S), A)')
+    for _ in range(3):
+        _same(naive, opt, src)
+    assert _stats(opt).mv_hits == 1
+    # The predicate read every Salary location; writing one cannot be
+    # localized and must drop the entry.
+    for s in (naive, opt):
+        s.exec("query(fn v => update(v, Salary, 12), a1)")
+    _same(naive, opt, src)
+    views = opt.planner.views
+    assert views.invalidations >= 1
+    _same(naive, opt, src)              # re-cached after recomputation
+    assert views.builds >= 2
+
+
+def test_global_rebinding_invalidates():
+    naive, opt = make_sessions()
+    src = "c-query(fn S => map(fn x => x as v2, S), A)"
+    for _ in range(3):
+        _same(naive, opt, src)
+    assert _stats(opt).mv_hits == 1
+    # Rebinding the view changes what the query means without touching
+    # the store; the globals-identity check catches it.
+    for s in (naive, opt):
+        s.exec("val v2 = fn x => [Dept = x.Dept]")
+    _same(naive, opt, src)
+    views = opt.planner.views
+    assert views.invalidations >= 1
+    # The query re-caches under the new binding and serves again.
+    _same(naive, opt, src)
+    _same(naive, opt, src)
+    assert views.builds >= 2 and views.hits >= 2
+    first = opt.eval(src).elems[0]
+    dept = opt.machine.apply(first.view, first.raw)
+    assert sorted(dept.labels()) == ["Dept"]
+
+
+def test_rollback_invalidates_cached_view():
+    naive, opt = make_sessions()
+    for _ in range(3):
+        _same(naive, opt, _QUERY)
+
+    class Boom(Exception):
+        pass
+
+    for s in (naive, opt):
+        s.exec('val d1 = IDView([Name = "Doom", Dept = "eng", Salary := 0])')
+        try:
+            with s.transaction():
+                s.exec("insert(d1, A)")
+                raise Boom()
+        except Boom:
+            pass
+    _same(naive, opt, _QUERY)
+    names = {o.raw.read("Name").value for o in opt.eval(_QUERY).elems}
+    assert "Doom" not in names
+
+
+def test_relation_results_cached_without_delta_plan():
+    # A relation stage allocates fresh records per run: cacheable, but
+    # not element-wise, so the entry has no delta plan and any source
+    # write drops it.
+    naive, opt = make_sessions()
+    src = ('c-query(fn S => c-query(fn D => '
+           'relation [l = x, r = d] from x in S, d in D '
+           'where query(fn v => v.Dept = "eng", x), B), A)')
+    for _ in range(3):
+        _same(naive, opt, src)
+    views = opt.planner.views
+    assert views.builds == 1 and views.hits == 1
+    entry = next(iter(views.entries.values()))
+    assert entry.pairs is None and entry.results is not None
+    for s in (naive, opt):
+        s.exec('val d2 = IDView([Name = "New", Dept = "eng", Salary := 1])')
+        s.exec("insert(d2, B)")
+    _same(naive, opt, src)
+    assert views.invalidations >= 1
+
+
+def test_bulk_insert_replaces_extent_once():
+    s = Session(optimize=True)
+    s.exec(SETUP)
+    for _ in range(3):
+        s.eval(_QUERY)
+    n = bulk_insert(s, "A",
+                    [{"Name": f"b{i}", "Dept": "eng", "Salary": i}
+                     for i in range(10)], mutable=("Salary",))
+    assert n == 10
+    out = s.eval(_QUERY)
+    assert len(out.elems) == 12         # Ada, Cyd + ten bulk rows
+    views = s.planner.views
+    assert views.builds == 1 and views.deltas >= 1

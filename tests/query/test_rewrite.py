@@ -1,0 +1,138 @@
+"""Golden ``explain()`` output per rewrite rule.
+
+These pin the rendered plan text exactly: the rule names reported, the
+pipeline shape after rewriting, and the access-path lines.  The fixture
+extents are tiny on purpose so the access lines show the below-threshold
+full-scan wording.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Session
+
+_SETUP = '''
+    val a0 = IDView([Name = "A0", Dept = "eng", Salary := 10])
+    val b0 = IDView([Name = "B0", Dept = "ops", Salary := 5])
+    val A = class {a0} end
+    val B = class {b0, a0} end
+    val v1 = fn x => [Name = x.Name, Dept = x.Dept]
+    val v2 = fn x => [Name = x.Name]
+'''
+
+
+@pytest.fixture(scope="module")
+def session():
+    s = Session(optimize=True)
+    s.exec(_SETUP)
+    return s
+
+
+def test_hom_fusion(session):
+    assert session.explain_plan(
+        'c-query(fn S => map(fn o => query(fn v => v.Name, o), '
+        'filter(fn o => query(fn v => v.Dept = "eng", o), S)), A)') == (
+        "plan: optimized\n"
+        "pipeline\n"
+        "  source: extent(A)\n"
+        '  stage: filter fn o => query(fn v => (eq v.Dept) "eng", o)\n'
+        "  stage: map fn o => query(fn v => v.Name, o)\n"
+        "rewrites: hom-fusion\n"
+        "access: full scan of A (extent ~1 below index threshold 32)")
+
+
+def test_view_flattening(session):
+    assert session.explain_plan(
+        'c-query(fn S => map(fn x => x as v2, '
+        'map(fn x => x as v1, S)), A)') == (
+        "plan: optimized\n"
+        "pipeline\n"
+        "  source: extent(A)\n"
+        "  stage: as v1 ; v2\n"
+        "rewrites: hom-fusion, view-flattening\n"
+        "access: full scan of A (extent ~1)")
+
+
+def test_select_fusion(session):
+    assert session.explain_plan(
+        'c-query(fn S => map(fn x => x as v2, '
+        'filter(fn o => query(fn v => v.Dept = "eng", o), S)), A)') == (
+        "plan: optimized\n"
+        "pipeline\n"
+        "  source: extent(A)\n"
+        "  stage: select as v2 where fn o => "
+        'query(fn v => (eq v.Dept) "eng", o)\n'
+        "rewrites: hom-fusion, select-fusion\n"
+        "access: full scan of A (extent ~1 below index threshold 32)")
+
+
+def test_predicate_pushdown(session):
+    assert session.explain_plan(
+        'c-query(fn S => c-query(fn D => '
+        'relation [l = x, r = d] from x in S, d in D '
+        'where (query(fn v => v.Dept = "eng", x)) andalso '
+        '(query(fn w => w.Dept = "ops", d)), B), A)') == (
+        "plan: optimized\n"
+        "pipeline\n"
+        "  source: prod\n"
+        "    pipeline\n"
+        "      source: extent(A)\n"
+        '      stage: filter fn x => query(fn v => (eq v.Dept) "eng", x)\n'
+        "    pipeline\n"
+        "      source: extent(B)\n"
+        '      stage: filter fn d => query(fn w => (eq w.Dept) "ops", d)\n'
+        "  stage: relation [l, r] from x, d where true\n"
+        "rewrites: predicate-pushdown\n"
+        "access: full scan of A (extent ~1 below index threshold 32)\n"
+        "access: full scan of B (extent ~2 below index threshold 32)")
+
+
+def test_product_elimination(session):
+    assert session.explain_plan(
+        'c-query(fn S => c-query(fn Tt => intersect(S, Tt), B), A)') == (
+        "plan: optimized\n"
+        "pipeline\n"
+        "  source: prod\n"
+        "    pipeline\n"
+        "      source: extent(A)\n"
+        "    pipeline\n"
+        "      source: extent(B)\n"
+        "  stage: fuse/2 (hash-join)\n"
+        "rewrites: product-elimination\n"
+        "access: hash join on raw-object identity\n"
+        "access: full scan of A (extent ~1)\n"
+        "access: full scan of B (extent ~2)")
+
+
+def test_no_rewrites_needed(session):
+    # ``select`` sugar arrives pre-fused: nothing for the rewriter to do.
+    assert session.explain_plan(
+        'c-query(fn S => select as v2 from S '
+        'where fn o => query(fn v => v.Dept = "eng", o), A)') == (
+        "plan: optimized\n"
+        "pipeline\n"
+        "  source: extent(A)\n"
+        "  stage: select as v2 where fn o => "
+        'query(fn v => (eq v.Dept) "eng", o)\n'
+        "rewrites: (none)\n"
+        "access: full scan of A (extent ~1 below index threshold 32)")
+
+
+def test_finish_wrapper_rendered(session):
+    assert session.explain_plan(
+        'c-query(fn S => size(filter('
+        'fn o => query(fn v => v.Dept = "eng", o), S)), A)') == (
+        "plan: optimized\n"
+        "pipeline\n"
+        "  source: extent(A)\n"
+        '  stage: filter fn o => query(fn v => (eq v.Dept) "eng", o)\n'
+        "  finish: size\n"
+        "rewrites: (none)\n"
+        "access: full scan of A (extent ~1 below index threshold 32)")
+
+
+def test_naive_fallback_rendered(session):
+    out = session.explain_plan("1")
+    assert out == ("plan: naive evaluation — "
+                   "no class extent in the pipeline")

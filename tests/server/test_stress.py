@@ -16,6 +16,7 @@ import pytest
 
 from repro.db.catalog import Catalog
 from repro.errors import ConflictError
+from repro.query import bulk_insert
 from repro.server import Server, ServerConfig
 from repro.server.retry import RetryPolicy
 
@@ -189,3 +190,148 @@ def test_stress_survives_worker_deaths():
         assert server.stats.worker_deaths == 1
         count = cat.session.eval_py("query(fn x => x.Count, ctr)")
         assert count == ok[0] == total
+
+
+# -- indexed queries under concurrency ------------------------------------
+
+_ENG_NAMES = ('fn S => map(fn o => query(fn v => v.Name, o), '
+              'filter(fn o => query(fn v => v.Dept = "eng", o), S))')
+
+
+def _indexed_catalog(n=48):
+    """An optimizing catalog with a Staff extent big enough to index."""
+    cat = Catalog(optimize=True)
+    cat.new_object("ctr", Name="counter", mutable={"Count": 0})
+    cat.new_object("seed", Name="seed", Dept="eng", mutable={"Salary": 1})
+    cat.define_class("Staff", own=["seed"])
+    bulk_insert(cat.session, "Staff",
+                [{"Name": f"e{i}", "Dept": ["eng", "ops", "qa"][i % 3],
+                  "Salary": i} for i in range(n)],
+                mutable=("Salary",))
+    return cat
+
+
+@pytest.mark.slow
+def test_indexed_query_conflicts_with_concurrent_insert():
+    # The regression this pins: an index serves a query from a structure
+    # built *before* the transaction, so serving must re-register the
+    # extent read in the OCC read set.  If it does not, the reader below
+    # commits a count taken from a stale extent and never notices the
+    # concurrent insert.
+    cat = _indexed_catalog()
+    config = ServerConfig(
+        workers=2, retry=RetryPolicy(max_attempts=8, base_delay=0.0005,
+                                     max_delay=0.01))
+    with Server(cat, config=config) as server:
+        client = server.connect()
+        client.run(lambda t: t.query("Staff", _ENG_NAMES))  # builds index
+        assert "index lookup on" in client.run(
+            lambda t: t.explain("Staff", _ENG_NAMES))
+
+        gate = threading.Barrier(2)
+        done = threading.Event()
+        waited = [False]
+
+        def reader(txn):
+            names = txn.query("Staff", _ENG_NAMES)
+            if not waited[0]:
+                # First attempt parks between its indexed read and its
+                # write while the writer commits an insert.
+                waited[0] = True
+                gate.wait(timeout=30)
+                assert done.wait(timeout=30)
+            txn.update_object("ctr", "Count", len(names))
+
+        def writer():
+            gate.wait(timeout=30)
+            w = server.connect()
+
+            def body(txn):
+                txn.exec('val late = IDView([Name = "late", '
+                         'Dept = "eng", Salary := 9])')
+                txn.insert("Staff", "late")
+
+            w.run(body, timeout=60)
+            done.set()
+
+        wt = threading.Thread(target=writer)
+        wt.start()
+        client.run(reader, timeout=120)
+        wt.join(timeout=120)
+        assert not wt.is_alive()
+
+        # 16 bulk "eng" rows + seed + the concurrent insert.
+        count = cat.session.eval_py("query(fn x => x.Count, ctr)")
+        assert count == 18
+        assert server.stats.conflicts >= 1
+        planner = cat.session.planner
+        assert planner is not None and planner.stats.index_hits >= 1
+
+
+@pytest.mark.slow
+def test_stress_indexed_queries_with_writes():
+    # A round of the mixed workload where the reads go through indexes
+    # and materialized views while writers churn extent membership and
+    # mutable fields.  Every successful query must see a consistent
+    # snapshot: all "eng" rows, nothing else, never a torn delta.
+    cat = _indexed_catalog()
+    config = ServerConfig(
+        workers=8, queue_size=2048,
+        retry=RetryPolicy(max_attempts=12, base_delay=0.0005,
+                          max_delay=0.01))
+    book_lock = threading.Lock()
+    book = {"inserts": 0, "conflicts": 0}
+    errors = []
+    rounds = max(4, TXNS_PER_THREAD // 2)
+
+    def client_thread(seed):
+        rng = random.Random(1000 + seed)
+        client = server.connect()
+        for i in range(rounds):
+            roll = rng.random()
+            try:
+                if roll < 0.5:
+                    names = client.run(
+                        lambda t: t.query("Staff", _ENG_NAMES), timeout=60)
+                    assert len(names) >= 17
+                    assert all(n == "seed" or n.startswith(("e", "w"))
+                               for n in names)
+                elif roll < 0.75:
+                    name = f"w{seed}_{i}"
+
+                    def body(txn, name=name):
+                        txn.exec(f'val {name} = IDView([Name = "{name}", '
+                                 'Dept = "eng", Salary := 0])')
+                        txn.insert("Staff", name)
+
+                    client.run(body, timeout=60)
+                    with book_lock:
+                        book["inserts"] += 1
+                else:
+                    client.run(
+                        lambda t: t.update_object(
+                            "seed", "Salary", rng.randrange(100)),
+                        timeout=60)
+            except ConflictError:
+                with book_lock:
+                    book["conflicts"] += 1
+            except BaseException as exc:
+                errors.append(exc)
+                raise
+
+    with Server(cat, config=config) as server:
+        threads = [threading.Thread(target=client_thread, args=(seed,))
+                   for seed in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=300)
+        assert not any(t.is_alive() for t in threads), "stress run hung"
+        assert errors == []
+
+        final = cat.session.eval_py(f"c-query({_ENG_NAMES}, Staff)")
+        assert len(final) == 17 + book["inserts"]
+        planner = cat.session.planner
+        assert planner is not None
+        assert planner.stats.aborts == 0
+        assert planner.stats.index_hits + planner.stats.mv_hits >= 1
