@@ -6,7 +6,8 @@ Two kinds of input:
     stand-alone surface-language programs.  Linted with the full front
     half of the pipeline: parse errors become ``RP001``, declarations are
     type-checked against a fresh session environment (prelude loaded) and
-    failures become ``RP002``, then all four passes run.
+    failures become ``RP002``, then the default passes run (plus the
+    footprint pass under ``--regions``).
 
 ``*.py``
     the repository's examples embed surface-language programs in Python
@@ -17,6 +18,8 @@ Two kinds of input:
     ``.py`` file.
 
 Exit status: 2 if any error-severity finding, 1 if any warning, else 0.
+With ``--strict``, info-severity findings also exit 1 — the CI gate uses
+this so a clean tree means *zero* findings, not merely zero warnings.
 """
 
 from __future__ import annotations
@@ -30,7 +33,7 @@ from typing import Iterator, Optional
 
 from ..core.terms import Pos
 from .diagnostics import Diagnostic, Severity
-from .engine import LintResult, lint_source
+from .engine import DEFAULT_PASSES, LintResult, lint_source
 from .render import render_diagnostics
 
 __all__ = ["main", "lint_path", "lint_python_file"]
@@ -54,10 +57,11 @@ def _session_env():
 
 
 def lint_mql_file(path: Path, type_env=None,
-                  latent: set[str] | None = None) -> LintResult:
+                  latent: set[str] | None = None,
+                  passes: list[str] | None = None) -> LintResult:
     src = path.read_text()
     return lint_source(src, str(path), type_env=type_env,
-                       latent_names=latent)
+                       latent_names=latent, passes=passes)
 
 
 def _shift_span(span: Optional[Pos], line0: int, col0: int) -> Optional[Pos]:
@@ -99,7 +103,8 @@ def _expected_failure_lines(tree: ast.AST) -> list[tuple[int, int]]:
     return ranges
 
 
-def lint_python_file(path: Path) -> LintResult:
+def lint_python_file(path: Path,
+                     passes: list[str] | None = None) -> LintResult:
     """Lint every embedded surface-language string literal of a ``.py``."""
     source = path.read_text()
     result = LintResult(str(path), source)
@@ -123,36 +128,36 @@ def lint_python_file(path: Path) -> LintResult:
         if (node.lineno <= len(lines)
                 and "repro-lint: skip" in lines[node.lineno - 1]):
             continue
-        fragment = lint_source(text, str(path))
-        if not fragment.diagnostics or fragment.codes() == {"RP001"}:
-            # prose, or nothing to report
+        fragment = lint_source(text, str(path), passes=passes)
+        # A string that does not parse is prose, not a finding; drop
+        # RP001 once, here, so every path below sees the same list.
+        diags = [d for d in fragment.diagnostics if d.code != "RP001"]
+        if not diags:
             continue
         # locate the literal's content to map spans to file coordinates
         idx = source.find(text, search_from)
         if idx < 0:
             idx = source.find(text)
         if idx < 0:
-            result.diagnostics.extend(
-                d for d in fragment.diagnostics if d.code != "RP001")
+            result.diagnostics.extend(diags)
             continue
         search_from = idx + 1
         prefix = source[:idx]
         line0 = prefix.count("\n") + 1
         col0 = idx - (prefix.rfind("\n") + 1)
-        for d in fragment.diagnostics:
-            if d.code == "RP001":
-                continue
-            result.diagnostics.append(dataclasses.replace(
-                d, span=_shift_span(d.span, line0, col0)))
+        result.diagnostics.extend(
+            dataclasses.replace(d, span=_shift_span(d.span, line0, col0))
+            for d in diags)
     result.diagnostics.sort(key=Diagnostic._sort_key)
     return result
 
 
 def lint_path(path: Path, type_env=None,
-              latent: set[str] | None = None) -> LintResult:
+              latent: set[str] | None = None,
+              passes: list[str] | None = None) -> LintResult:
     if path.suffix == ".py":
-        return lint_python_file(path)
-    return lint_mql_file(path, type_env, latent)
+        return lint_python_file(path, passes)
+    return lint_mql_file(path, type_env, latent, passes)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -169,25 +174,31 @@ def main(argv: list[str] | None = None) -> int:
     ap.add_argument("--no-typecheck", action="store_true",
                     help="skip type inference on .mql files "
                          "(passes still run)")
+    ap.add_argument("--strict", action="store_true",
+                    help="exit nonzero on any finding, not just errors")
+    ap.add_argument("--regions", action="store_true",
+                    help="also run the footprint pass (RP5xx reports)")
     args = ap.parse_args(argv)
     floor = Severity(args.min_severity)
+    passes = DEFAULT_PASSES + ["regions"] if args.regions else None
 
     type_env = latent = None
     files = list(_iter_files(args.paths))
     if not args.no_typecheck and any(f.suffix == ".mql" for f in files):
         type_env, latent = _session_env()
 
-    errors = warnings = 0
+    errors = warnings = infos = 0
     for path in files:
         if not path.exists():
             print(f"repro-lint: no such file: {path}", file=sys.stderr)
             return 2
-        result = lint_path(path, type_env, latent)
+        result = lint_path(path, type_env, latent, passes)
         diags = [d for d in result.diagnostics if d.severity >= floor]
         if diags:
             print(render_diagnostics(diags, result.source, result.filename))
         errors += sum(d.severity is Severity.ERROR for d in diags)
         warnings += sum(d.severity is Severity.WARNING for d in diags)
+        infos += sum(d.severity is Severity.INFO for d in diags)
 
     n = len(files)
     if errors or warnings:
@@ -195,7 +206,11 @@ def main(argv: list[str] | None = None) -> int:
               f"in {n} file(s)")
     else:
         print(f"{n} file(s) clean")
-    return 2 if errors else (1 if warnings else 0)
+    if errors:
+        return 2
+    if warnings or (args.strict and infos):
+        return 1
+    return 0
 
 
 if __name__ == "__main__":

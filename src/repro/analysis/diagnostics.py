@@ -82,6 +82,10 @@ RP401 = _register("RP401", Severity.ERROR,
 RP402 = _register("RP402", Severity.ERROR,
                   "impure viewing function in include clause")
 RP403 = _register("RP403", Severity.WARNING, "impure include predicate")
+# -- regions / footprints --------------------------------------------------
+RP501 = _register("RP501", Severity.INFO, "program footprint")
+RP502 = _register("RP502", Severity.INFO,
+                  "footprint is not statically bounded")
 
 
 @dataclass(frozen=True)

@@ -1,6 +1,6 @@
 """The pass driver: run every analysis over a term or a source program.
 
-``analyze_term`` runs the four passes over one AST; ``lint_source`` runs
+``analyze_term`` runs the default passes over one AST; ``lint_source`` runs
 the full front half of the pipeline — parse, (optionally) type inference
 against a caller-supplied environment, then the passes — turning pipeline
 failures into ``RP001``/``RP002`` diagnostics instead of exceptions, so a
@@ -22,12 +22,13 @@ from ..errors import (KindError, LexError, ParseError, RecursiveClassError,
 from .deadcode import dead_code_pass
 from .diagnostics import Diagnostic, DiagnosticSink, Severity
 from .effects import PurityEnv, effect_pass, expression_is_impure
+from .regions import regions_pass
 from .render import render_diagnostics
 from .sharing import sharing_pass
 from .views import view_update_pass
 
-__all__ = ["PASSES", "analyze_term", "lint_term", "lint_source",
-           "LintResult"]
+__all__ = ["PASSES", "DEFAULT_PASSES", "analyze_term", "lint_term",
+           "lint_source", "LintResult"]
 
 # Every pass has the same shape: (term, sink, latent_names) -> None.
 Pass = Callable[[T.Term, DiagnosticSink, Optional[set]], None]
@@ -37,16 +38,21 @@ PASSES: dict[str, Pass] = {
     "view-update": view_update_pass,
     "dead-code": dead_code_pass,
     "effects": effect_pass,
+    "regions": regions_pass,
 }
+
+# The regions pass reports a footprint for *every* term (info severity),
+# so it is opt-in (``repro-lint --regions``) rather than a default.
+DEFAULT_PASSES = ["sharing", "view-update", "dead-code", "effects"]
 
 
 def analyze_term(term: T.Term, sink: Optional[DiagnosticSink] = None,
                  latent_names: set[str] | None = None,
                  passes: Optional[list[str]] = None) -> DiagnosticSink:
-    """Run the requested passes (default: all four) over one term."""
+    """Run the requested passes (default: the four finding passes)."""
     if sink is None:  # NB: an empty sink is falsy (it has __len__)
         sink = DiagnosticSink()
-    for name in passes or list(PASSES):
+    for name in passes or DEFAULT_PASSES:
         PASSES[name](term, sink, latent_names)
     return sink
 
@@ -97,7 +103,8 @@ def _strip_suffix(message: str) -> str:
 def lint_source(src: str, filename: str = "<input>",
                 type_env=None,
                 latent_names: set[str] | None = None,
-                min_severity: Severity = Severity.INFO) -> LintResult:
+                min_severity: Severity = Severity.INFO,
+                passes: Optional[list[str]] = None) -> LintResult:
     """Parse, optionally type-check, and run all passes over a program.
 
     ``type_env``: a :class:`repro.core.infer.TypeEnv`; when given, every
@@ -125,13 +132,13 @@ def lint_source(src: str, filename: str = "<input>",
             # a mutual group is typed through its record encoding, like
             # Session._exec_fun_group; the passes still see each body.
             for name, term in _decl_terms(decl, sink):
-                analyze_term(term, sink, purity.snapshot())
+                analyze_term(term, sink, purity.snapshot(), passes)
                 purity.mark(name, expression_is_impure(term, purity))
             if env is not None:
                 env = _typecheck_fun_group(decl.bindings, env, sink)
             continue
         for name, term in _decl_terms(decl, sink):
-            analyze_term(term, sink, purity.snapshot())
+            analyze_term(term, sink, purity.snapshot(), passes)
             if env is not None:
                 env = _typecheck(name, term, env, sink)
             if name is not None:

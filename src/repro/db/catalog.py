@@ -127,7 +127,7 @@ class Catalog:
     # -- atomicity and the WAL ---------------------------------------------
 
     @contextmanager
-    def _atomic(self):
+    def _atomic(self, snapshot_specs: bool = True):
         """Make one catalog operation all-or-nothing.
 
         Wraps the operation in a session transaction and snapshots the
@@ -135,16 +135,24 @@ class Catalog:
         WAL append fault, an injected fault — restores both, so the
         catalog never holds a spec whose definition did not take effect
         (or vice versa).
+
+        ``snapshot_specs=False`` skips the registry deepcopies for
+        operations that provably never touch ``objects``/``classes``
+        (currently :meth:`update_object`, which only writes a store
+        location): the session transaction already rolls the store back,
+        and there is nothing else to restore.
         """
         with self.lock:
-            saved_objects = copy.deepcopy(self.objects)
-            saved_classes = copy.deepcopy(self.classes)
+            if snapshot_specs:
+                saved_objects = copy.deepcopy(self.objects)
+                saved_classes = copy.deepcopy(self.classes)
             try:
                 with self.session.transaction():
                     yield
             except BaseException:
-                self.objects = saved_objects
-                self.classes = saved_classes
+                if snapshot_specs:
+                    self.objects = saved_objects
+                    self.classes = saved_classes
                 raise
 
     def _log(self, op: str, **args) -> None:
@@ -336,7 +344,7 @@ class Catalog:
             raise ReproError(
                 f"object '{object_name}' has no field '{label}' "
                 f"(fields: {known})")
-        with self._atomic():
+        with self._atomic(snapshot_specs=False):
             self.session.eval(
                 f"query(fn x => update(x, {label}, {_literal(value)}), "
                 f"{object_name})")

@@ -45,7 +45,14 @@ def value_key(v: Value):
     if isinstance(v, (VClosure, VBuiltin)):
         return ("function", id(v))
     if isinstance(v, VSet):
-        return ("set", frozenset(v.keys))
+        # Membership is fixed at construction, so the frozenset key is
+        # computed once per set — nested-set formation and ``member``
+        # checks on the same set were quadratic without this.
+        k = v._key_cache
+        if k is None:
+            k = ("set", frozenset(v.keys))
+            v._key_cache = k
+        return k
     if isinstance(v, VClass):
         return ("class", v.oid)
     if isinstance(v, VLval):

@@ -181,7 +181,22 @@ class Machine:
             self.tracer.enter("extent", f"class#{cls.oid}")
         inner = visiting | {cls.oid}
         elems: list[Value] = list(cls.own.elems)
+        purity_memo: dict | None = None
         for clause in cls.includes:
+            if clause.dead:
+                # A constant-false predicate (RP302) filters every
+                # candidate, so the clause's sources are unreachable from
+                # this extent.  Skipping them entirely — including their
+                # OCC extent-read registrations — is sound only when the
+                # skipped computation was provably pure: predicates run
+                # during extent computation, so every predicate in the
+                # transitive source graph must be effect-free.
+                from ..analysis.regions import class_extent_is_pure
+                if purity_memo is None:
+                    purity_memo = {}
+                if all(class_extent_is_pure(s, purity_memo)
+                       for s in clause.sources):
+                    continue
             source_extents = [self._extent(s, inner) for s in clause.sources]
             for candidate in self._fuse_extents(source_extents):
                 verdict = self.apply(clause.pred, candidate)
@@ -360,6 +375,8 @@ class Machine:
         if t is not None:
             # May raise ConflictError — before any mutation.
             t.will_write_extent(cls)
+        elif store.write_hook is not None:
+            store.write_hook.will_write_extent(cls)
         if store.journaling:
             def undo(c=cls, o=cls.own, v=cls.version):
                 c.own = o
@@ -368,6 +385,9 @@ class Machine:
         old_own, old_version = cls.own, cls.version
         cls.version = store.next_stamp()
         cls.own = new_own
+        # Extent membership changed: state reachable from the class (and
+        # anything including it) may have grown.
+        store.reach_epoch += 1
         obs = store.observer
         if obs is not None:
             obs.extent_replaced(cls, old_own, old_version)
@@ -449,10 +469,17 @@ class Machine:
         for clause in term.includes:
             sources = [self._eval_class(s, env, "include")
                        for s in clause.sources]
+            # A syntactically constant-false predicate can never admit a
+            # candidate; mark the clause so extent computation may skip
+            # its sources (see Machine._extent).
+            dead = (isinstance(clause.pred, T.Lam)
+                    and isinstance(clause.pred.body, T.Const)
+                    and clause.pred.body.value is False)
             includes.append(ResolvedInclude(
                 sources,
                 self.eval(clause.view, env),
-                self.eval(clause.pred, env)))
+                self.eval(clause.pred, env),
+                dead=dead))
         shell.own = own
         shell.includes = includes
 

@@ -41,6 +41,12 @@ class Value:
 
     __slots__ = ()
 
+    #: True for leaf values (no reachable store state): storing one into
+    #: a location cannot *grow* what is reachable from any root, so the
+    #: interference layer's resolution cache survives such writes (see
+    #: ``Store.reach_epoch``).
+    reach_atomic = False
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         from ..syntax.pretty import pretty_value
         return pretty_value(self)
@@ -50,6 +56,7 @@ class VUnit(Value):
     """The unit value ``()``."""
 
     __slots__ = ()
+    reach_atomic = True
 
 
 UNIT_VALUE = VUnit()
@@ -57,6 +64,7 @@ UNIT_VALUE = VUnit()
 
 class VInt(Value):
     __slots__ = ("value",)
+    reach_atomic = True
 
     def __init__(self, value: int):
         self.value = value
@@ -64,6 +72,7 @@ class VInt(Value):
 
 class VBool(Value):
     __slots__ = ("value",)
+    reach_atomic = True
 
     def __init__(self, value: bool):
         self.value = value
@@ -75,6 +84,7 @@ FALSE = VBool(False)
 
 class VString(Value):
     __slots__ = ("value",)
+    reach_atomic = True
 
     def __init__(self, value: str):
         self.value = value
@@ -183,7 +193,7 @@ class VSet(Value):
     holds two views of the same raw object.
     """
 
-    __slots__ = ("elems", "keys")
+    __slots__ = ("elems", "keys", "_key_cache")
 
     def __init__(self, elems: list[Value], require_same_view: bool = False):
         """Build a set, deduplicating by :func:`value_key`.
@@ -197,6 +207,11 @@ class VSet(Value):
         from .equality import value_key
         self.elems: list[Value] = []
         self.keys: set = set()
+        # ``value_key(self)`` computed lazily; safe to cache because a
+        # set's membership is fixed at construction (``keys`` is never
+        # mutated afterwards — values are immutable up to L-value cells,
+        # which keys deliberately ignore).
+        self._key_cache = None
         first_by_key: dict = {}
         for e in elems:
             k = value_key(e)
@@ -232,12 +247,17 @@ class VObject(Value):
 class ResolvedInclude:
     """A resolved ``include`` clause of a class value."""
 
-    __slots__ = ("sources", "view", "pred")
+    __slots__ = ("sources", "view", "pred", "dead")
 
-    def __init__(self, sources: list["VClass"], view: Value, pred: Value):
+    def __init__(self, sources: list["VClass"], view: Value, pred: Value,
+                 dead: bool = False):
         self.sources = sources
         self.view = view
         self.pred = pred
+        #: True when the predicate is syntactically constant-false: the
+        #: clause can never contribute, and extent computation may skip
+        #: its (provably pure) sources — see ``Machine._extent``.
+        self.dead = dead
 
 
 class VClass(Value):

@@ -348,6 +348,19 @@ class Session:
         return lint_source(src, filename, type_env=self.type_env,
                            latent_names=self.purity.snapshot())
 
+    def explain_footprint(self, src: str) -> str:
+        """Render the conservative static footprint of a program.
+
+        The footprint (:mod:`repro.analysis.regions`) is the set of
+        session-bound names whose reachable state the program may read
+        or write — the fact the server's OCC fast path admits
+        transactions on.  ``writes: ⊤`` means the analysis could not
+        bound the writes and the server would fall back to dynamic
+        validation.  Nothing is evaluated.
+        """
+        from ..analysis.regions import program_footprint
+        return program_footprint(src, self.purity.snapshot()).render()
+
     def prepare(self, src: str) -> "PreparedQuery":
         """Parse and type-check once; run many times.
 

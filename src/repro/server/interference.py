@@ -1,0 +1,167 @@
+"""Static interference admission — the footprint consumer of the server.
+
+The regions analysis (:mod:`repro.analysis.regions`) summarizes a program
+as the *global names* it may read or write.  At admission time, under the
+server lock, each root name is resolved against the live session: every
+store location and class extent reachable from the name's current value
+becomes an atom of the transaction's :class:`ResolvedFootprint`.  A name
+that does not resolve (not yet bound) or a ⊤ write summary resolves to
+``None`` — the "don't know" footprint that overlaps everything.
+
+The :class:`InterferenceTable` then decides, per attempt:
+
+* **fast** — the footprint is bounded and disjoint from *every* in-flight
+  transaction: the transaction runs latch-free, records no read set, and
+  skips backward validation entirely.  This is sound because (a) no
+  concurrent writer can touch state the fast transaction reads or writes,
+  and (b) state *reachable* from its roots cannot change while it runs —
+  reachability from a root changes only through writes to that root's own
+  atoms, which disjointness excludes.
+* **blocked** — the footprint overlaps (or is ⊤ against) an in-flight
+  *fast* transaction: admission raises a retriable
+  :class:`~repro.errors.ConflictError` immediately, because a fast
+  transaction's safety argument assumes nothing overlapping runs beside
+  it.  The normal server retry loop re-admits after backoff.
+* **dynamic** — everything else: full OCC with latches, read tracking
+  and backward validation, exactly the pre-existing protocol.
+
+Resolution is a point-in-time snapshot, which is why admission happens
+under the same lock that serializes commits: the snapshot cannot be
+concurrently invalidated while it is being taken.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..analysis.regions import FootprintSummary, reachable_state
+from ..errors import ConflictError
+
+__all__ = ["ResolvedFootprint", "resolve_footprint", "InterferenceTable"]
+
+
+class ResolvedFootprint:
+    """A footprint resolved to concrete state atoms.
+
+    Atoms are ``("loc", location id)`` and ``("ext", class oid)``;
+    ``reads`` always includes ``writes``.  An *empty* footprint overlaps
+    nothing — a pure computation can run fast beside anything.
+    """
+
+    __slots__ = ("reads", "writes")
+
+    def __init__(self, reads: frozenset, writes: frozenset):
+        self.reads = reads
+        self.writes = writes
+
+    def overlaps(self, other: Optional["ResolvedFootprint"]) -> bool:
+        if other is None:
+            return True
+        return bool(self.writes & (other.reads | other.writes)
+                    or other.writes & self.reads)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"ResolvedFootprint(reads={len(self.reads)}, "
+                f"writes={len(self.writes)})")
+
+
+def resolve_footprint(summary: Optional[FootprintSummary],
+                      session,
+                      cache: Optional[dict] = None
+                      ) -> Optional[ResolvedFootprint]:
+    """Resolve a static summary against the live session.
+
+    Returns ``None`` (⊤) when the summary is missing, its write set is
+    unbounded, or any root name is not currently bound.  Must be called
+    under the server lock — the result is a snapshot of reachability.
+
+    ``cache`` (optional, server-owned) memoizes resolutions keyed by the
+    summary's name sets.  An entry is valid only while (a) the store's
+    ``reach_epoch`` is unchanged — no mutation since could have grown
+    any value's reachable state — and (b) every root name is still bound
+    to the *same* value object.  Both are exact for the common serving
+    workload (scalar RMW transactions), where admission then costs a
+    couple of dictionary probes instead of a full reachability walk.
+    """
+    if summary is None or summary.writes is None:
+        return None
+    store = session.machine.store
+    frame = session._global_frame
+    epoch = store.reach_epoch
+    key = bindings = None
+    if cache is not None:
+        key = (summary.reads, summary.writes)
+        entry = cache.get(key)
+        if (entry is not None and entry[0] == epoch
+                and all(frame.get(n) is v for n, v in entry[1])):
+            return entry[2]
+        bindings = []
+
+    atoms: dict = {}
+
+    def resolve(names) -> Optional[set]:
+        out: set = set()
+        for name in names:
+            got = atoms.get(name)
+            if got is None:
+                value = frame.get(name)
+                if value is None:
+                    return None  # unbound at admission time: don't know
+                if bindings is not None:
+                    bindings.append((name, value))
+                locs, exts = reachable_state(value)
+                got = {("loc", i) for i in locs}
+                got.update(("ext", o) for o in exts)
+                atoms[name] = got
+            out |= got
+        return out
+
+    writes = resolve(summary.writes)
+    if writes is None:
+        return None
+    reads = resolve(summary.reads)
+    if reads is None:
+        return None
+    fp = ResolvedFootprint(frozenset(reads | writes), frozenset(writes))
+    if cache is not None:
+        if len(cache) >= 512:
+            cache.clear()
+        cache[key] = (epoch, tuple(bindings), fp)
+    return fp
+
+
+class InterferenceTable:
+    """In-flight footprints, keyed by request attempt.
+
+    Not thread-safe on its own: the server calls ``admit`` and
+    ``release`` under its lock.
+    """
+
+    def __init__(self) -> None:
+        self._inflight: dict = {}  # key -> (footprint | None, fast)
+
+    def __len__(self) -> int:
+        return len(self._inflight)
+
+    def admit(self, key, fp: Optional[ResolvedFootprint]) -> bool:
+        """Register an attempt; True means the fast path is licensed.
+
+        Raises a retriable :class:`ConflictError` — before registering
+        anything — when the attempt overlaps an in-flight *fast*
+        transaction (a ⊤ footprint overlaps everything).
+        """
+        can_fast = fp is not None
+        for ofp, ofast in self._inflight.values():
+            overlap = fp is None or fp.overlaps(ofp)
+            if not overlap:
+                continue
+            if ofast:
+                raise ConflictError(
+                    "static interference: footprint overlaps an "
+                    "in-flight fast-path transaction")
+            can_fast = False
+        self._inflight[key] = (fp, can_fast)
+        return can_fast
+
+    def release(self, key) -> None:
+        self._inflight.pop(key, None)

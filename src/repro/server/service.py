@@ -39,11 +39,13 @@ import threading
 import time
 from dataclasses import dataclass, field
 
+from ..analysis.regions import FootprintSummary, program_footprint
 from ..db.catalog import Catalog
 from ..errors import ConflictError, OverloadedError, ReadOnlyError
 from ..runtime.budget import Budget
 from ..runtime.faults import fire
 from .admission import AdmissionQueue, CircuitBreaker
+from .interference import InterferenceTable, resolve_footprint
 from .occ import LatchTable, OCCTransaction
 from .recover import RecoveryReport, recover
 from .retry import RetryPolicy
@@ -65,6 +67,10 @@ class ServerConfig:
     breaker_cooldown: float = 0.5
     #: How often idle workers wake to check for shutdown (seconds).
     poll_interval: float = 0.05
+    #: Admit statically-disjoint transactions on the latch-free fast
+    #: path (see repro.server.interference).  False restores the
+    #: pre-analysis behavior: every transaction runs full dynamic OCC.
+    static_interference: bool = True
 
 
 class ServerStats:
@@ -72,7 +78,7 @@ class ServerStats:
 
     FIELDS = ("submitted", "committed", "conflicts", "retries", "shed",
               "failed", "read_only_rejected", "worker_deaths",
-              "wal_failures")
+              "wal_failures", "fast_commits", "interference_blocked")
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
@@ -91,13 +97,17 @@ class ServerStats:
 class _Request:
     """One submitted transaction and its completion slot."""
 
-    __slots__ = ("seq", "fn", "budget", "done", "result", "error",
-                 "abandoned")
+    __slots__ = ("seq", "fn", "budget", "footprint", "done", "result",
+                 "error", "abandoned")
 
-    def __init__(self, fn, budget: Budget | None):
+    def __init__(self, fn, budget: Budget | None, footprint=None):
         self.seq = next(_request_ids)
         self.fn = fn
         self.budget = budget
+        # Static footprint evidence for fast-path admission: None (no
+        # evidence — opaque Python body), ("src", program) to summarize
+        # server-side, or a ready FootprintSummary.
+        self.footprint = footprint
         self.done = threading.Event()
         self.result = None
         self.error: BaseException | None = None
@@ -161,7 +171,12 @@ class ClientTransaction:
         with server._lock:
             session = server.session
             store = session.machine.store
-            store.tracker = self._txn
+            if self._txn.fast:
+                # Fast path: reads are untracked (free); writes still
+                # pass through for undo capture.
+                store.write_hook = self._txn
+            else:
+                store.tracker = self._txn
             server.catalog._log_sink = self._wal_buffer
             try:
                 if mutating:
@@ -177,6 +192,7 @@ class ClientTransaction:
                         return run(session)
             finally:
                 store.tracker = None
+                store.write_hook = None
                 server.catalog._log_sink = None
 
     def eval_py(self, src: str):
@@ -262,37 +278,49 @@ class ClientSession:
         self._server = server
 
     def run(self, fn, budget: Budget | None = None,
-            timeout: float | None = None):
+            timeout: float | None = None, footprint=None):
         """Run ``fn(txn)`` as one retried, atomic transaction.
 
         ``fn`` must be re-runnable: on conflict it is called again from
         scratch against a rolled-back view of the catalog.  Returns
         ``fn``'s result once the transaction commits.
+
+        A Python-callable body is opaque to the static footprint
+        analysis, so it always runs full dynamic OCC; the one-shot
+        helpers below supply footprint evidence and are eligible for
+        the fast path.
         """
-        return self._server.call(fn, budget=budget, timeout=timeout)
+        return self._server.call(fn, budget=budget, timeout=timeout,
+                                 footprint=footprint)
 
     def exec(self, src: str, budget: Budget | None = None,
              timeout: float | None = None):
         """One-shot write transaction around a single program."""
         return self.run(lambda txn: txn.exec(src), budget=budget,
-                        timeout=timeout)
+                        timeout=timeout, footprint=("src", src))
 
     def eval_py(self, src: str, budget: Budget | None = None,
                 timeout: float | None = None):
         """One-shot read transaction around a single expression."""
         return self.run(lambda txn: txn.eval_py(src), budget=budget,
-                        timeout=timeout)
+                        timeout=timeout, footprint=("src", src))
 
     def update_object(self, name: str, label: str, value,
                       budget: Budget | None = None,
                       timeout: float | None = None) -> None:
+        # The catalog helper only ever reads and writes the named
+        # object, so its footprint needs no program analysis.
         self.run(lambda txn: txn.update_object(name, label, value),
-                 budget=budget, timeout=timeout)
+                 budget=budget, timeout=timeout,
+                 footprint=FootprintSummary(frozenset([name]),
+                                            frozenset([name])))
 
     def extent(self, class_name: str, budget: Budget | None = None,
                timeout: float | None = None) -> list[dict]:
         return self.run(lambda txn: txn.extent(class_name), budget=budget,
-                        timeout=timeout)
+                        timeout=timeout,
+                        footprint=FootprintSummary(frozenset([class_name]),
+                                                   frozenset()))
 
 
 class Server:
@@ -334,6 +362,13 @@ class Server:
         self.session = catalog.session
         self._lock = catalog.lock
         self._latches = LatchTable()
+        self._interference = InterferenceTable()
+        # Footprint summaries per (source, purity snapshot): a summary
+        # computed while a name was pure must not be reused after the
+        # name is rebound to something impure.
+        self._summaries: dict = {}
+        # Resolved footprints, epoch-validated (see resolve_footprint).
+        self._resolved: dict = {}
         self._queue = AdmissionQueue(self.config.queue_size)
         self._breaker = CircuitBreaker(self.config.breaker_threshold,
                                        self.config.breaker_cooldown)
@@ -350,7 +385,8 @@ class Server:
         """A new client handle (cheap; one per client thread is idiomatic)."""
         return ClientSession(self)
 
-    def submit(self, fn, budget: Budget | None = None) -> _Request:
+    def submit(self, fn, budget: Budget | None = None,
+               footprint=None) -> _Request:
         """Admit a transaction; returns immediately with its request.
 
         Raises :class:`~repro.errors.OverloadedError` (shed load) when
@@ -359,7 +395,7 @@ class Server:
         if self._stop.is_set():
             raise RuntimeError("server is closed")
         self.stats.incr("submitted")
-        req = _Request(fn, budget)
+        req = _Request(fn, budget, footprint)
         if budget is not None:
             budget.note_enqueued()
         try:
@@ -384,9 +420,11 @@ class Server:
         return req.result
 
     def call(self, fn, budget: Budget | None = None,
-             timeout: float | None = None):
+             timeout: float | None = None, footprint=None):
         """``submit`` + ``wait`` in one step."""
-        return self.wait(self.submit(fn, budget=budget), timeout=timeout)
+        return self.wait(self.submit(fn, budget=budget,
+                                     footprint=footprint),
+                         timeout=timeout)
 
     def execute_exclusive(self, fn):
         """Run ``fn(catalog)`` serially, excluding every transaction.
@@ -485,13 +523,28 @@ class Server:
         rng = random.Random(req.seq)
         attempt = 0
         while True:
-            txn = OCCTransaction(self._latches)
+            try:
+                fast = self._admit(req)
+            except ConflictError as exc:
+                # Blocked by an in-flight fast-path transaction before
+                # anything executed; retry like any other conflict.
+                self.stats.incr("conflicts")
+                if (attempt + 1 < policy.max_attempts
+                        and not req.abandoned and not self._stop.is_set()):
+                    self.stats.incr("retries")
+                    time.sleep(policy.backoff(attempt, rng))
+                    attempt += 1
+                    continue
+                self.stats.incr("failed")
+                req.fail(exc)
+                return
+            txn = OCCTransaction(self._latches, fast=fast)
             handle = ClientTransaction(self, txn, budget)
             try:
                 result = req.fn(handle)
-                self._commit(txn, handle)
+                self._commit(txn, handle, req)
             except BaseException as exc:
-                self._rollback(txn, handle)
+                self._rollback(txn, handle, req)
                 if isinstance(exc, ConflictError):
                     self.stats.incr("conflicts")
                 if (policy.is_retriable(exc)
@@ -507,10 +560,54 @@ class Server:
             else:
                 handle._finished = True
                 self.stats.incr("committed")
+                if txn.fast:
+                    self.stats.incr("fast_commits")
                 req.finish(result)
                 return
 
-    def _commit(self, txn: OCCTransaction, handle: ClientTransaction) -> None:
+    # -- static interference admission --------------------------------------
+
+    def _admit(self, req: _Request) -> bool:
+        """Register this attempt's footprint; True licenses the fast path.
+
+        Raises a retriable :class:`ConflictError` when the footprint
+        overlaps an in-flight fast transaction (whose safety argument
+        assumes nothing overlapping runs beside it).
+        """
+        if not self.config.static_interference:
+            return False
+        with self._lock:
+            fp = resolve_footprint(self._summary_of(req), self.session,
+                                   self._resolved)
+            try:
+                return self._interference.admit(req.seq, fp)
+            except ConflictError:
+                self.stats.incr("interference_blocked")
+                raise
+
+    def _summary_of(self, req: _Request) -> FootprintSummary | None:
+        spec = req.footprint
+        if spec is None:
+            return None
+        if isinstance(spec, FootprintSummary):
+            return spec
+        return self._summarize(spec[1])
+
+    def _summarize(self, src: str) -> FootprintSummary:
+        # Keyed by the purity snapshot too: a summary computed while a
+        # name was pure is unsound once the name is rebound impure.
+        latent = frozenset(self.session.purity.snapshot())
+        key = (src, latent)
+        hit = self._summaries.get(key)
+        if hit is None:
+            hit = program_footprint(src, set(latent))
+            if len(self._summaries) >= 256:
+                self._summaries.clear()
+            self._summaries[key] = hit
+        return hit
+
+    def _commit(self, txn: OCCTransaction, handle: ClientTransaction,
+                req: _Request | None = None) -> None:
         """Validate, flush the WAL, publish — all under the catalog lock."""
         with self._lock:
             fire("server.conflict")
@@ -523,6 +620,8 @@ class Server:
                     self.stats.incr("wal_failures")
                     raise
             txn.finalize()
+            if req is not None:
+                self._interference.release(req.seq)
 
     def _flush_wal(self, buffer: list[tuple[str, dict]]) -> None:
         """Group-commit the transaction's records as one WAL append."""
@@ -535,12 +634,18 @@ class Server:
                                 for op, args in buffer]})
 
     def _rollback(self, txn: OCCTransaction,
-                  handle: ClientTransaction | None = None) -> None:
+                  handle: ClientTransaction | None = None,
+                  req: _Request | None = None) -> None:
         with self._lock:
             txn.rollback()
+            # The restore bypasses Store.write: invalidate resolved
+            # footprints, since restored values may re-link state.
+            self.session.machine.store.reach_epoch += 1
             if handle is not None:
                 for class_name, old_own in reversed(handle._meta_undo):
                     spec = self.catalog.classes.get(class_name)
                     if spec is not None:
                         spec.own = list(old_own)
                 handle._meta_undo.clear()
+            if req is not None:
+                self._interference.release(req.seq)

@@ -1,0 +1,109 @@
+"""CLI behavior: --strict, --regions, and the RP001 prose filter."""
+
+from pathlib import Path
+
+from repro.analysis.cli import lint_python_file, main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+EXAMPLES = REPO_ROOT / "examples"
+
+
+def _write(tmp_path, name, text):
+    f = tmp_path / name
+    f.write_text(text)
+    return f
+
+
+# ---------------------------------------------------------------------------
+# --strict
+# ---------------------------------------------------------------------------
+
+def test_strict_clean_file_exits_zero(tmp_path, capsys):
+    f = _write(tmp_path, "clean.mql", "val x = 1 + 2\n")
+    assert main(["--no-typecheck", "--strict", str(f)]) == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_strict_promotes_info_to_failure(tmp_path, capsys):
+    f = _write(tmp_path, "info.mql", "val x = if true then 1 else 2\n")
+    # Info findings: exit 0 normally, 1 under --strict.
+    assert main(["--no-typecheck", str(f)]) == 0
+    capsys.readouterr()
+    assert main(["--no-typecheck", "--strict", str(f)]) == 1
+    assert "RP303" in capsys.readouterr().out
+
+
+def test_strict_keeps_error_exit_two(tmp_path, capsys):
+    f = _write(tmp_path, "broken.mql", "val x = (\n")
+    assert main(["--no-typecheck", "--strict", str(f)]) == 2
+    capsys.readouterr()
+
+
+def test_strict_warning_still_exits_one(tmp_path, capsys):
+    f = _write(tmp_path, "warn.mql",
+               "val x = let v = IDView([A := 1]) in 3 end\n")
+    assert main(["--no-typecheck", "--strict", str(f)]) == 1
+    capsys.readouterr()
+
+
+def test_examples_pass_the_strict_gate(capsys):
+    # The CI gate: zero findings of any severity across the examples.
+    assert main(["--strict", str(EXAMPLES)]) == 0
+    capsys.readouterr()
+
+
+# ---------------------------------------------------------------------------
+# --regions
+# ---------------------------------------------------------------------------
+
+def test_regions_reports_are_info(tmp_path, capsys):
+    f = _write(tmp_path, "prog.mql",
+               "query(fn x => update(x, Salary, 1), joe)\n")
+    assert main(["--no-typecheck", "--regions", str(f)]) == 0
+    out = capsys.readouterr().out
+    assert "RP501" in out and "writes {joe}" in out
+
+
+def test_regions_with_strict_flags_reports(tmp_path, capsys):
+    f = _write(tmp_path, "prog.mql",
+               "query(fn x => update(x, Salary, 1), joe)\n")
+    assert main(["--no-typecheck", "--regions", "--strict", str(f)]) == 1
+    capsys.readouterr()
+
+
+def test_regions_respects_min_severity(tmp_path, capsys):
+    f = _write(tmp_path, "prog.mql",
+               "query(fn x => update(x, Salary, 1), joe)\n")
+    assert main(["--no-typecheck", "--regions",
+                 "--min-severity", "warning", str(f)]) == 0
+    assert "RP501" not in capsys.readouterr().out
+
+
+# ---------------------------------------------------------------------------
+# RP001 prose filtering in .py fragments (single code path)
+# ---------------------------------------------------------------------------
+
+def test_py_prose_strings_produce_no_rp001(tmp_path):
+    f = _write(tmp_path, "prose.py", '''
+"""A module docstring: just prose, not a program."""
+GREETING = "hello there, this is (unbalanced"
+CODE = "val x = let v = IDView([A := 1]) in 3 end"
+''')
+    result = lint_python_file(f)
+    codes = [d.code for d in result.diagnostics]
+    assert "RP001" not in codes      # non-parsing strings are prose
+    assert codes == ["RP301"]        # the real fragment still lints
+
+
+def test_py_prose_filter_applies_with_custom_passes(tmp_path):
+    # The regression: RP001 used to be filtered in one branch only, so
+    # fragments whose text could not be located in the file leaked
+    # parse errors under non-default pass lists.
+    f = _write(tmp_path, "prose2.py", '''
+X = "this is (unbalanced prose"
+Y = "query(fn x => update(x, Salary, 1), joe)"
+''')
+    result = lint_python_file(f, passes=["regions"])
+    codes = {d.code for d in result.diagnostics}
+    assert "RP001" not in codes
+    assert codes == {"RP501"}

@@ -1,0 +1,217 @@
+"""Unit tests for the footprint analysis (repro.analysis.regions)."""
+
+import pytest
+
+from repro.analysis.diagnostics import DiagnosticSink
+from repro.analysis.engine import lint_source
+from repro.analysis.regions import (FootprintSummary, class_extent_is_pure,
+                                    program_footprint, reachable_state,
+                                    term_footprint, value_may_mutate)
+from repro.db.catalog import Catalog
+from repro.lang.api import Session
+from repro.syntax.parser import parse_expression
+
+
+def fp(src, latent=None):
+    return program_footprint(src, latent)
+
+
+# ---------------------------------------------------------------------------
+# Precise summaries
+# ---------------------------------------------------------------------------
+
+def test_pure_read_has_empty_write_set():
+    s = fp("query(fn x => x.Salary, joe)")
+    assert s.bounded
+    assert s.writes == frozenset()
+    assert s.reads == frozenset(["joe"])
+
+
+def test_direct_update_writes_the_named_root():
+    s = fp("query(fn x => update(x, Salary, 900), joe)")
+    assert s.writes == frozenset(["joe"])
+    assert s.extent_writes == frozenset()
+
+
+def test_alias_through_val_resolves_to_original_root():
+    s = fp("val x = joe; query(fn v => update(v, Salary, 1), x)")
+    assert s.writes == frozenset(["joe"])
+
+
+def test_bound_lambda_applied_to_named_object():
+    s = fp("val bump = fn o => query(fn v => update(v, Salary, 1), o); "
+           "bump joe; "
+           "bump amy")
+    assert s.writes == frozenset(["joe", "amy"])
+
+
+def test_insert_and_delete_are_extent_writes():
+    s = fp("insert(joe, Emp)")
+    assert s.writes == frozenset(["Emp"])
+    assert s.extent_writes == frozenset(["Emp"])
+    s = fp("delete(joe, Emp)")
+    assert s.extent_writes == frozenset(["Emp"])
+
+
+def test_expression_statement_binds_it():
+    s = fp("joe; query(fn v => update(v, Salary, 1), it)")
+    assert s.writes == frozenset(["joe"])
+
+
+def test_if_joins_both_branch_roots():
+    s = fp("query(fn v => update(v, Salary, 1), "
+           "if true then joe else amy)")
+    assert s.writes == frozenset(["joe", "amy"])
+
+
+def test_rec_class_decl_reads_constituents_writes_nothing():
+    s = fp("val Names = class {} includes Emp "
+           "as fn x => [Name = x.Name] where fn o => true end; "
+           "c-query(fn S => size(S), Names)")
+    assert s.bounded
+    assert s.writes == frozenset()
+    assert "Emp" in s.reads
+
+
+def test_term_footprint_matches_program_footprint():
+    term = parse_expression("query(fn x => update(x, Salary, 0), joe)")
+    s = term_footprint(term)
+    assert s.writes == frozenset(["joe"])
+
+
+# ---------------------------------------------------------------------------
+# ⊤ widening
+# ---------------------------------------------------------------------------
+
+def test_parse_error_is_top():
+    s = fp("val = = =")
+    assert not s.bounded
+    assert "program does not parse" in s.reasons
+
+
+def test_latent_name_application_is_top():
+    s = fp("f joe", latent={"f"})
+    assert not s.bounded
+    assert any("not statically known" in r for r in s.reasons)
+
+
+def test_pure_unknown_application_stays_bounded():
+    # An unknown function that the purity environment says is pure
+    # cannot write: the footprint stays bounded.
+    s = fp("f joe", latent=set())
+    assert s.bounded
+    assert s.writes == frozenset()
+    assert {"f", "joe"} <= s.reads
+
+
+def test_builtin_hof_with_mutating_lambda_is_top():
+    s = fp("c-query(fn S => map(fn x => "
+           "query(fn v => update(v, Salary, 0), x), S), Emp)")
+    assert not s.bounded
+
+
+def test_update_through_unresolvable_target_is_top():
+    # The RMW target comes out of an unknown function's result.
+    s = fp("query(fn v => update(v, Salary, 1), f joe)", latent=set())
+    assert not s.bounded
+    assert any("update target" in r for r in s.reasons)
+
+
+def test_top_still_reports_reads():
+    s = fp("f joe", latent={"f"})
+    assert "joe" in s.reads and "f" in s.reads
+
+
+# ---------------------------------------------------------------------------
+# Rendering
+# ---------------------------------------------------------------------------
+
+def test_describe_one_line_format():
+    s = FootprintSummary(frozenset(["b", "a"]), frozenset(["c"]),
+                         frozenset(["D"]))
+    assert s.describe() == ("footprint: reads {a, b}; writes {c}; "
+                            "extent writes {D}")
+    top = FootprintSummary(frozenset(["a"]), None)
+    assert top.describe() == "footprint: reads {a}; writes ⊤"
+
+
+def test_render_multiline_format():
+    s = FootprintSummary(frozenset(["joe"]), frozenset())
+    out = s.render()
+    assert "reads:         joe" in out
+    assert "writes:        (nothing)" in out
+    assert "extent writes: (nothing)" in out
+    top = FootprintSummary(frozenset(), None, reasons=("why",))
+    out = top.render()
+    assert "reads:         (nothing)" in out
+    assert "⊤" in out and "  - why" in out
+
+
+def test_regions_pass_emits_rp501_and_rp502():
+    diags = lint_source("query(fn x => update(x, Salary, 1), joe)",
+                        passes=["regions"]).diagnostics
+    assert [d.code for d in diags] == ["RP501"]
+    assert "writes {joe}" in diags[0].message
+
+    diags = lint_source("f joe", latent_names={"f"},
+                        passes=["regions"]).diagnostics
+    assert [d.code for d in diags] == ["RP502"]
+    assert "not statically bounded" in diags[0].message
+    assert any("dynamic validation" in n for n in diags[0].notes)
+
+
+def test_session_explain_footprint():
+    cat = Catalog()
+    cat.new_object("joe", Name="Joe", mutable={"Salary": 1})
+    out = cat.session.explain_footprint(
+        "query(fn x => update(x, Salary, 2), joe)")
+    assert "writes:        joe" in out
+
+
+# ---------------------------------------------------------------------------
+# reachable_state / value purity
+# ---------------------------------------------------------------------------
+
+def test_reachable_state_walks_objects_and_classes():
+    cat = Catalog()
+    cat.new_object("joe", Name="Joe", mutable={"Salary": 1})
+    cat.define_class("Emp", own=["joe"])
+    session = cat.session
+    locs, exts = reachable_state(session._global_frame["Emp"])
+    jlocs, _ = reachable_state(session._global_frame["joe"])
+    assert jlocs  # the mutable Salary cell
+    assert jlocs <= locs  # the class reaches its members' cells
+    assert session._global_frame["Emp"].oid in exts
+
+
+def test_reachable_state_handles_cycles():
+    cat = Catalog()
+    cat.session.exec("val Loop = class {} includes Loop "
+                     "as fn x => x where fn o => false end")
+    locs, exts = reachable_state(cat.session._global_frame["Loop"])
+    assert cat.session._global_frame["Loop"].oid in exts
+
+
+def test_value_may_mutate():
+    session = Session()
+    pure = session.eval("fn x => x.Salary")
+    impure = session.eval("fn x => update(x, Salary, 0)")
+    assert not value_may_mutate(pure)
+    assert value_may_mutate(impure)
+    # Structural: a record carrying an impure closure may mutate.
+    session.exec("val r = [F = fn x => update(x, A, 1)]")
+    assert value_may_mutate(session._global_frame["r"])
+
+
+def test_class_extent_is_pure():
+    cat = Catalog()
+    cat.new_object("a", Name="A", mutable={"N": 1})
+    cat.define_class("B", own=["a"])
+    s = cat.session
+    s.exec("val Ok = class {} includes B as fn x => x "
+           "where fn o => true end")
+    s.exec("val Bad = class {} includes B as fn x => x "
+           "where fn o => (fn u => true) "
+           "(query(fn v => update(v, N, 0), o)) end")
+    assert class_extent_is_pure(s._global_frame["Ok"], {})
+    assert not class_extent_is_pure(s._global_frame["Bad"], {})

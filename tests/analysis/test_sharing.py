@@ -85,3 +85,53 @@ def test_extract_inside_view_position_is_not_rp102():
     # extract in a *view* shares state on purpose; only query results
     # handing out L-values are flagged
     assert codes("(joe as fn x => [B := extract(x, Bonus)])") == []
+
+
+# ---------------------------------------------------------------------------
+# The under-approximation contract of escape_facts, pinned.
+#
+# escape_facts answers "which parts of the argument does this function
+# *provably* return" — an application's result is treated as fresh, so
+# facts never flow through calls.  Consumers (RP101/RP102, and the copy
+# elision built on them) rely on missing facts meaning "no proof", never
+# "proof of freshness"; these tests freeze that reading.
+# ---------------------------------------------------------------------------
+
+def test_application_results_carry_no_facts():
+    assert facts("fn x => f x") == set()
+    assert facts("fn x => f (g x)") == set()
+    # Even a hom whose step function is the identity: the hom is an
+    # application, so the analysis under-approximates to "no facts".
+    assert facts("fn x => hom({x}, fn y => y, union, {})") == set()
+
+
+def test_escape_through_hom_is_not_flagged():
+    # The whole argument does escape here (the map body captures x), but
+    # the under-approximation cannot prove it — by design RP101 stays
+    # quiet rather than guessing.  The footprint analysis (RP5xx) covers
+    # the soundness side for the concurrency consumers.
+    assert codes("(joe as fn x => hd(map(fn y => x, {1})))") == []
+
+
+def test_sanctioned_extract_assignment_idiom_is_clean():
+    # `Salary := extract(x, Salary)` — the §4.2 mutability-transfer
+    # idiom (staff_view in the FemaleMember example) must never warn.
+    assert facts("fn x => [Salary := extract(x, Salary)]") \
+        == {(LVAL, ("Salary",))}
+    assert codes("(mia as fn x => [Name = x.Name, "
+                 "Salary := extract(x, Salary)])") == []
+
+
+def test_rp102_fires_through_nested_query():
+    # The inner query's function hands out an L-value: flagged once, at
+    # the inner query; the outer result is an application (no facts).
+    assert codes("query(fn v => query(fn w => extract(w, Salary), v), "
+                 "joe)") == ["RP102"]
+    assert codes("query(fn v => query(fn w => w.Name, v), joe)") == []
+
+
+def test_rp102_does_not_fire_through_hom_wrapping():
+    # Wrapping the L-value in a set via map hides it behind an
+    # application: under-approximation again, quiet by design.
+    assert codes("query(fn v => map(fn w => extract(w, Salary), {v}), "
+                 "joe)") == []

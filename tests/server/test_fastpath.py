@@ -1,0 +1,266 @@
+"""The static-interference fast path: admission, safety, consumers.
+
+The regions analysis summarizes each submitted program; transactions
+whose resolved footprints are provably disjoint from everything in
+flight commit latch-free with no backward validation.  These tests pin
+the admission table's invariants, the end-to-end engagement of the fast
+path, and — crucially — that contention still never loses an update.
+"""
+
+import threading
+
+import pytest
+
+from repro.analysis.regions import FootprintSummary, SharingTracer
+from repro.db.catalog import Catalog
+from repro.errors import ConflictError
+from repro.server import Server, ServerConfig
+from repro.server.interference import (InterferenceTable, ResolvedFootprint,
+                                       resolve_footprint)
+
+
+# ---------------------------------------------------------------------------
+# ResolvedFootprint / InterferenceTable units
+# ---------------------------------------------------------------------------
+
+def _fp(reads=(), writes=()):
+    w = frozenset(writes)
+    return ResolvedFootprint(frozenset(reads) | w, w)
+
+
+def test_overlap_semantics():
+    a = _fp(reads=[("loc", 1)], writes=[("loc", 2)])
+    b = _fp(reads=[("loc", 2)])            # reads what a writes
+    c = _fp(reads=[("loc", 9)], writes=[("loc", 1)])  # writes what a reads
+    d = _fp(reads=[("loc", 7)], writes=[("loc", 8)])  # disjoint
+    assert a.overlaps(b) and b.overlaps(a)
+    assert a.overlaps(c) and c.overlaps(a)
+    assert not a.overlaps(d) and not d.overlaps(a)
+    # ⊤ overlaps everything; the empty footprint overlaps nothing.
+    assert a.overlaps(None)
+    empty = _fp()
+    assert not empty.overlaps(a) and not a.overlaps(empty)
+    assert not empty.overlaps(empty)
+
+
+def test_table_licenses_disjoint_fast():
+    table = InterferenceTable()
+    assert table.admit(1, _fp(writes=[("loc", 1)])) is True
+    assert table.admit(2, _fp(writes=[("loc", 2)])) is True
+    assert len(table) == 2
+    table.release(1)
+    table.release(2)
+    assert len(table) == 0
+    table.release(99)  # releasing an unknown key is a no-op
+
+
+def test_table_blocks_overlap_with_inflight_fast():
+    table = InterferenceTable()
+    assert table.admit(1, _fp(writes=[("loc", 1)])) is True
+    with pytest.raises(ConflictError):
+        table.admit(2, _fp(reads=[("loc", 1)]))
+    # The rejected attempt was never registered.
+    assert len(table) == 1
+    with pytest.raises(ConflictError):
+        table.admit(3, None)  # ⊤ overlaps the in-flight fast txn too
+    table.release(1)
+    assert table.admit(2, _fp(reads=[("loc", 1)])) is True
+
+
+def test_table_dynamic_inflight_demotes_but_admits():
+    table = InterferenceTable()
+    # A ⊤ transaction is admitted (dynamically) and poisons the fast
+    # path for everything that runs beside it — but blocks nothing.
+    assert table.admit(1, None) is False
+    assert table.admit(2, _fp(writes=[("loc", 5)])) is False
+    assert len(table) == 2
+    # Two dynamic overlapping attempts coexist: OCC validation decides.
+    assert table.admit(3, _fp(reads=[("loc", 5)])) is False
+
+
+def test_resolve_footprint_against_live_session():
+    cat = Catalog()
+    cat.new_object("joe", Name="Joe", mutable={"Salary": 100})
+    cat.new_object("amy", Name="Amy", mutable={"Salary": 200})
+    session = cat.session
+
+    fp = resolve_footprint(
+        FootprintSummary(frozenset(["joe"]), frozenset(["joe"])), session)
+    assert fp is not None and fp.writes and fp.writes <= fp.reads
+
+    disjoint = resolve_footprint(
+        FootprintSummary(frozenset(["amy"]), frozenset(["amy"])), session)
+    assert disjoint is not None and not fp.overlaps(disjoint)
+
+    # ⊤ write set, missing summary, unbound root: all resolve to None.
+    assert resolve_footprint(
+        FootprintSummary(frozenset(["joe"]), None), session) is None
+    assert resolve_footprint(None, session) is None
+    assert resolve_footprint(
+        FootprintSummary(frozenset(["nope"]), frozenset()), session) is None
+
+    pure = resolve_footprint(
+        FootprintSummary(frozenset(), frozenset()), session)
+    assert pure is not None and not pure.overlaps(fp)
+
+
+# ---------------------------------------------------------------------------
+# End-to-end: the server engages the fast path
+# ---------------------------------------------------------------------------
+
+def _catalog(n=4):
+    cat = Catalog()
+    for i in range(n):
+        cat.new_object(f"e{i}", Name=f"e{i}", mutable={"Bonus": 0})
+    cat.define_class("Emp", own=[f"e{i}" for i in range(n)])
+    return cat
+
+
+def test_disjoint_statements_commit_fast():
+    with Server(_catalog()) as server:
+        client = server.connect()
+        for i in range(4):
+            client.exec(f"query(fn x => update(x, Bonus, x.Bonus + 1), e{i})")
+        client.update_object("e0", "Bonus", 42)
+        assert client.eval_py("query(fn x => x.Bonus, e0)") == 42
+        assert client.eval_py("query(fn x => x.Bonus, e3)") == 1
+        stats = server.stats.snapshot()
+        # Every statement above carried a bounded footprint and nothing
+        # ran beside it: reads and single-object RMWs all go fast.
+        assert stats["fast_commits"] == stats["committed"]
+        assert stats["fast_commits"] >= 7
+
+
+def test_opaque_python_body_stays_dynamic():
+    with Server(_catalog()) as server:
+        client = server.connect()
+        client.run(lambda txn: txn.update_object("e1", "Bonus", 5))
+        stats = server.stats.snapshot()
+        assert stats["committed"] == 1
+        assert stats["fast_commits"] == 0  # no static evidence, no fast path
+
+
+def test_unbounded_footprint_falls_back_to_dynamic():
+    with Server(_catalog()) as server:
+        client = server.connect()
+        # `map` applies a mutating lambda the analysis does not inline
+        # through a builtin: the write set widens to ⊤ and the server
+        # silently runs full OCC — imprecision costs speed, not safety.
+        client.exec("c-query(fn S => map(fn x => "
+                    "query(fn v => update(v, Bonus, 9), x), S), Emp)")
+        assert client.eval_py("query(fn x => x.Bonus, e2)") == 9
+        stats = server.stats.snapshot()
+        assert stats["committed"] == 2
+        assert stats["fast_commits"] == 1  # only the follow-up read
+
+
+def test_static_interference_off_restores_old_behavior():
+    cfg = ServerConfig(static_interference=False)
+    with Server(_catalog(), config=cfg) as server:
+        client = server.connect()
+        for i in range(4):
+            client.exec(f"query(fn x => update(x, Bonus, x.Bonus + 1), e{i})")
+        stats = server.stats.snapshot()
+        assert stats["committed"] == 4
+        assert stats["fast_commits"] == 0
+
+
+def test_contended_counter_never_loses_updates():
+    """Overlapping fast-path candidates bounce at admission and retry;
+    whatever mix of fast/dynamic/blocked attempts results, the counter
+    must equal the number of increments that reported success."""
+    cat = Catalog()
+    cat.new_object("ctr", Name="counter", mutable={"Count": 0})
+    threads, per = 8, 12
+    successes = []
+    with Server(cat) as server:
+        def worker():
+            client = server.connect()
+            for _ in range(per):
+                try:
+                    client.exec(
+                        "query(fn x => update(x, Count, x.Count + 1), ctr)")
+                except ConflictError:
+                    continue
+                successes.append(1)
+        pool = [threading.Thread(target=worker) for _ in range(threads)]
+        for t in pool:
+            t.start()
+        for t in pool:
+            t.join()
+        final = server.connect().eval_py("query(fn x => x.Count, ctr)")
+        stats = server.stats.snapshot()
+    assert final == len(successes)
+    assert final > 0
+    # Everything that committed went through some admissible path.
+    assert stats["committed"] == len(successes) + 1  # + the final read
+
+
+def test_fast_and_dynamic_interleave_safely():
+    """A dynamic (opaque) writer in flight demotes overlapping statements
+    to dynamic OCC; totals still reconcile."""
+    cat = Catalog()
+    cat.new_object("ctr", Name="counter", mutable={"Count": 0})
+    with Server(cat) as server:
+        client = server.connect()
+        entered = threading.Event()
+        release = threading.Event()
+
+        def slow_dynamic(txn):
+            count = txn.eval_py("query(fn x => x.Count, ctr)")
+            entered.set()
+            release.wait(10)
+            txn.update_object("ctr", "Count", count + 1)
+
+        req = server.submit(slow_dynamic)
+        assert entered.wait(10)
+        # This overlapping statement cannot take the fast path while the
+        # dynamic writer holds the counter in flight, but it can run.
+        try:
+            client.exec("query(fn x => update(x, Count, x.Count + 1), ctr)")
+            exec_won = 1
+        except ConflictError:
+            exec_won = 0
+        release.set()
+        try:
+            server.wait(req, timeout=10)
+            slow_won = 1
+        except ConflictError:
+            slow_won = 0
+        final = client.eval_py("query(fn x => x.Count, ctr)")
+        assert final == exec_won + slow_won
+        assert final >= 1
+
+
+# ---------------------------------------------------------------------------
+# The planner consumer: dead includes shrink the traced read set
+# ---------------------------------------------------------------------------
+
+def test_dead_include_skips_source_extent_reads():
+    cat = Catalog()
+    cat.new_object("a0", Name="A0", mutable={"N": 1})
+    cat.new_object("b0", Name="B0", mutable={"N": 2})
+    cat.define_class("B", own=["b0"])
+    session = cat.session
+    session.exec("val Dead = class {a0} includes B "
+                 "as fn x => x where fn o => false end")
+    session.exec("val Live = class {a0} includes B "
+                 "as fn x => x where fn o => true end")
+    b_oid = session._global_frame["B"].oid
+
+    def traced_extent(name):
+        tracer = SharingTracer()
+        store = session.machine.store
+        store.tracker = tracer
+        try:
+            session.eval_py(f"c-query(fn S => size(S), {name})")
+        finally:
+            store.tracker = None
+        return tracer
+
+    dead = traced_extent("Dead")
+    live = traced_extent("Live")
+    # The dead clause is skipped outright: B's extent is never consulted.
+    assert b_oid not in dead.read_extents
+    assert b_oid in live.read_extents
+    assert len(dead.read_extents) < len(live.read_extents)
