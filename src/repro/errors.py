@@ -143,7 +143,18 @@ class OverloadedError(ResourceError):
     before a worker picked it up.  Shed load is not an evaluation
     failure: nothing was executed and nothing needs rolling back —
     clients back off and resubmit.
+
+    ``retry_after`` is the server's explicit backoff hint in seconds
+    (its own estimate of when queue room will exist, derived from queue
+    depth and recent service times).  Retry loops should prefer it over
+    computed jitter — see :meth:`repro.server.retry.RetryPolicy
+    .backoff_for` — because conflict-tuned jitter (milliseconds) would
+    hammer a server that is telling us it is saturated.
     """
+
+    def __init__(self, message: str, retry_after: float | None = None):
+        super().__init__(message)
+        self.retry_after = retry_after
 
 
 class ReadOnlyError(ReproError):
@@ -152,6 +163,35 @@ class ReadOnlyError(ReproError):
     Raised for write transactions while the persistence circuit breaker
     is open (WAL appends kept failing).  Read transactions keep being
     served; writes are accepted again once a probe append succeeds.
+
+    ``retry_after`` is the breaker's remaining cooldown in seconds when
+    known: a client that waits that long hits the half-open probe window
+    instead of burning attempts against a breaker that cannot close yet.
+    """
+
+    def __init__(self, message: str, retry_after: float | None = None):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class ProtocolError(ReproError):
+    """A malformed or out-of-sequence wire-protocol interaction.
+
+    Raised by :mod:`repro.server.protocol` and :mod:`repro.client` for
+    framing violations (bad header, undecodable payload), unknown
+    operations, and transaction-sequencing misuse (``txn.op`` without a
+    ``txn.begin``).  Protocol errors are not retriable: resending the
+    same bytes would fail the same way.
+    """
+
+
+class FrameTooLargeError(ProtocolError):
+    """A wire frame exceeded the configured maximum payload size.
+
+    The server drains and discards the oversized payload, replies with
+    this error as a *structured* frame, and keeps the connection usable
+    — an oversized frame must not kill the stream for requests that
+    follow it.
     """
 
 

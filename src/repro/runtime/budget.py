@@ -91,6 +91,17 @@ class Budget:
         """
         self._enqueued_at = time.monotonic() if now is None else now
 
+    @property
+    def enqueued(self) -> bool:
+        """Whether the wall clock is already anchored at an enqueue time.
+
+        The wire protocol anchors at *frame receipt* — the earliest
+        moment the server knows about the request — and the worker-pool
+        admission then leaves an already-anchored budget alone, so a
+        request's deadline covers protocol parsing and queue wait alike.
+        """
+        return self._enqueued_at is not None
+
     def queue_wait(self, now: float | None = None) -> float:
         """Seconds spent queued so far (0.0 if never enqueued)."""
         if self._enqueued_at is None:

@@ -48,6 +48,16 @@ The registered points, and where they fire:
     the server worker loop, after a request is dequeued but before it
     executes — an injected fault kills the worker thread (worker death);
     the pool must respawn and the request must survive.
+``proto.frame``
+    :mod:`repro.server.protocol`, after a complete frame is decoded but
+    before its request dispatches — an injected fault must surface as a
+    *structured* error reply on a connection that stays usable, with no
+    catalog effect.
+``proto.reply``
+    :mod:`repro.server.protocol`, before a reply frame's bytes are
+    written — an injected fault models the client disconnecting between
+    a commit and its acknowledgement; the commit must stay durable and a
+    same-id retry must observe it exactly once (dedup replay).
 """
 
 from __future__ import annotations
@@ -78,6 +88,8 @@ POINTS = (
     "server.conflict",
     "server.queue",
     "server.worker",
+    "proto.frame",
+    "proto.reply",
 )
 
 

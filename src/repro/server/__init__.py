@@ -3,12 +3,15 @@
 The serving layer for the paper's database model: many clients, one
 shared catalog, with optimistic concurrency control, retry/backoff,
 admission control (load shedding + a persistence circuit breaker) and
-crash recovery on startup.  See ``docs/ROBUSTNESS.md`` §"Concurrency &
-serving" for the protocol.
+crash recovery on startup.  ``repro.server.protocol`` puts an asyncio
+socket front end over it (``repro-server`` on the command line), spoken
+by the blocking client in ``repro.client``.  See ``docs/ROBUSTNESS.md``
+§"Concurrency & serving" and §"Wire protocol" for the protocols.
 """
 
 from .admission import AdmissionQueue, CircuitBreaker
 from .occ import LatchTable, OCCTransaction
+from .protocol import ProtocolConfig, ProtocolServer, ProtocolStats
 from .recover import RecoveryReport, recover
 from .retry import RetryPolicy
 from .service import (ClientSession, ClientTransaction, Server, ServerConfig,
@@ -21,6 +24,9 @@ __all__ = [
     "ClientTransaction",
     "LatchTable",
     "OCCTransaction",
+    "ProtocolConfig",
+    "ProtocolServer",
+    "ProtocolStats",
     "RecoveryReport",
     "RetryPolicy",
     "Server",

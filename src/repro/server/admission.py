@@ -117,6 +117,20 @@ class CircuitBreaker:
         """Whether a write transaction should even start (open = no)."""
         return self.state != "open"
 
+    def retry_after(self) -> float:
+        """Seconds until the breaker can next let a probe through.
+
+        0.0 while closed or already half-open — retrying immediately is
+        then reasonable.  While open this is the remaining cooldown, the
+        honest ``retry_after`` hint for a shed write: retrying sooner is
+        guaranteed to fail without touching the disk.
+        """
+        with self._lock:
+            if self._opened_at is None:
+                return 0.0
+            remaining = self.cooldown - (time.monotonic() - self._opened_at)
+            return max(0.0, remaining)
+
     def run(self, fn):
         """Call ``fn()`` under breaker accounting.
 
@@ -126,10 +140,13 @@ class CircuitBreaker:
         """
         with self._lock:
             if self._state_locked() == "open":
+                remaining = self.cooldown - (time.monotonic()
+                                             - self._opened_at)
                 raise ReadOnlyError(
                     "persistence circuit breaker is open (WAL appends "
                     f"failed {self._failures} times in a row); the server "
-                    "is read-only until a probe append succeeds")
+                    "is read-only until a probe append succeeds",
+                    retry_after=max(0.0, remaining))
         try:
             result = fn()
         except BaseException:

@@ -10,6 +10,15 @@ retriers (see "Exponential Backoff And Jitter", AWS Architecture Blog).
 
 The policy is deliberately tiny and deterministic under test: callers
 pass their own :class:`random.Random` so stress tests can seed it.
+
+Overload is *not* a conflict.  A :class:`~repro.errors.OverloadedError`
+(or :class:`~repro.errors.ReadOnlyError`) may carry an explicit
+``retry_after`` hint — the server's own estimate of when retrying can
+succeed.  Retrying overload with the conflict-tuned envelope
+(milliseconds) would hammer a server that is telling us it is saturated,
+so :meth:`RetryPolicy.backoff_for` prefers the hint over computed
+jitter, adding only a small decorrelating fraction on top so a thousand
+hinted clients do not return in one convoy.
 """
 
 from __future__ import annotations
@@ -60,6 +69,22 @@ class RetryPolicy:
         ceiling = min(self.max_delay, self.base_delay * (2 ** attempt))
         return rng.uniform(0.0, ceiling)
 
+    def backoff_for(self, exc: BaseException, attempt: int,
+                    rng: random.Random) -> float:
+        """The sleep before retrying after ``exc``.
+
+        When the error carries a server-supplied ``retry_after`` hint
+        (overload shedding, read-only degradation), the hint wins over
+        the computed jitter: the server knows its queue depth and
+        service times, the client does not.  A uniform 0–25% is added on
+        top so identically-hinted clients decorrelate instead of
+        stampeding back in one convoy.
+        """
+        hint = getattr(exc, "retry_after", None)
+        if hint is not None and hint > 0:
+            return hint * rng.uniform(1.0, 1.25)
+        return self.backoff(attempt, rng)
+
     def run(self, attempt_fn, rng: random.Random | None = None,
             on_retry=None):
         """Run ``attempt_fn()`` until success or the attempts run out.
@@ -77,5 +102,5 @@ class RetryPolicy:
                     raise
                 if on_retry is not None:
                     on_retry(attempt, exc)
-                time.sleep(self.backoff(attempt, rng))
+                time.sleep(self.backoff_for(exc, attempt, rng))
         raise AssertionError("unreachable")  # pragma: no cover

@@ -37,6 +37,7 @@ import itertools
 import random
 import threading
 import time
+from collections import deque
 from dataclasses import dataclass, field
 
 from ..analysis.regions import FootprintSummary, program_footprint
@@ -74,14 +75,26 @@ class ServerConfig:
 
 
 class ServerStats:
-    """Monotonic service counters (thread-safe)."""
+    """Monotonic service counters plus a service-time sample (thread-safe).
+
+    Counters are listed in ``FIELDS`` (subclasses override it — the wire
+    protocol keeps its own counter set on the same machinery).  Service
+    times land in a bounded ring buffer via :meth:`record_service`; the
+    p50/p99 summary feeds the ``stats`` wire operation and the server's
+    own ``retry_after`` estimates, so the shedding-curve benchmark reads
+    the server's view of its latency rather than re-deriving one.
+    """
 
     FIELDS = ("submitted", "committed", "conflicts", "retries", "shed",
               "failed", "read_only_rejected", "worker_deaths",
               "wal_failures", "fast_commits", "interference_blocked")
 
+    #: Ring-buffer capacity for service-time samples.
+    SERVICE_SAMPLES = 2048
+
     def __init__(self) -> None:
         self._lock = threading.Lock()
+        self._service: deque = deque(maxlen=self.SERVICE_SAMPLES)
         for name in self.FIELDS:
             setattr(self, name, 0)
 
@@ -92,6 +105,34 @@ class ServerStats:
     def snapshot(self) -> dict[str, int]:
         with self._lock:
             return {name: getattr(self, name) for name in self.FIELDS}
+
+    # -- service-time sample ------------------------------------------------
+
+    def record_service(self, seconds: float) -> None:
+        """Record one request's dequeue-to-completion service time."""
+        with self._lock:
+            self._service.append(seconds)
+
+    def service_summary(self) -> dict:
+        """p50/p99 of recorded service times, in milliseconds."""
+        with self._lock:
+            data = sorted(self._service)
+        if not data:
+            return {"samples": 0, "p50_ms": None, "p99_ms": None}
+
+        def pct(p: float) -> float:
+            return data[min(len(data) - 1, int(p * len(data)))] * 1000.0
+
+        return {"samples": len(data),
+                "p50_ms": round(pct(0.50), 3),
+                "p99_ms": round(pct(0.99), 3)}
+
+    def service_p50(self) -> float | None:
+        """Median service time in *seconds* (None before any sample)."""
+        summary = self.service_summary()
+        if not summary["samples"]:
+            return None
+        return summary["p50_ms"] / 1000.0
 
 
 class _Request:
@@ -167,7 +208,8 @@ class ClientTransaction:
             server.stats.incr("read_only_rejected")
             raise ReadOnlyError(
                 "server is read-only (persistence circuit breaker open); "
-                "writes resume once a WAL probe succeeds")
+                "writes resume once a WAL probe succeeds",
+                retry_after=server._breaker.retry_after())
         with server._lock:
             session = server.session
             store = session.machine.store
@@ -396,12 +438,16 @@ class Server:
             raise RuntimeError("server is closed")
         self.stats.incr("submitted")
         req = _Request(fn, budget, footprint)
-        if budget is not None:
+        if budget is not None and not budget.enqueued:
+            # The wire protocol anchors at frame receipt; anchor here
+            # only for direct in-process submissions.
             budget.note_enqueued()
         try:
             self._queue.put(req)
-        except OverloadedError:
+        except OverloadedError as exc:
             self.stats.incr("shed")
+            if exc.retry_after is None:
+                exc.retry_after = self.suggest_retry_after()
             raise
         return req
 
@@ -451,6 +497,20 @@ class Server:
     def pending(self) -> int:
         return len(self._queue)
 
+    def suggest_retry_after(self) -> float:
+        """The explicit backoff hint attached to shed requests (seconds).
+
+        Little's-law flavored: the current backlog divided over the
+        worker pool, priced at the median observed service time — i.e.
+        roughly when the queue will have drained to where a resubmission
+        can be admitted.  Clamped to [5 ms, 2 s] so a cold server never
+        hints zero and a deep backlog never tells clients to vanish.
+        """
+        per_request = self.stats.service_p50() or 0.005
+        depth = len(self._queue)
+        estimate = (depth + 1) * per_request / max(1, self.config.workers)
+        return min(2.0, max(0.005, estimate))
+
     # -- lifecycle ----------------------------------------------------------
 
     def close(self) -> None:
@@ -490,7 +550,9 @@ class Server:
                 if req is None:
                     continue
                 fire("server.worker")  # the worker-death window
+                started = time.perf_counter()
                 self._process(req)
+                self.stats.record_service(time.perf_counter() - started)
                 req = None
         except BaseException:
             # Worker death: self-heal.  The request it held goes back to
@@ -515,7 +577,8 @@ class Server:
             self.stats.incr("shed")
             req.fail(OverloadedError(
                 f"request #{req.seq} spent {budget.queue_wait():.3f}s "
-                "queued, past its deadline; shed without executing"))
+                "queued, past its deadline; shed without executing",
+                retry_after=self.suggest_retry_after()))
             return
         if req.abandoned:
             return
@@ -532,7 +595,7 @@ class Server:
                 if (attempt + 1 < policy.max_attempts
                         and not req.abandoned and not self._stop.is_set()):
                     self.stats.incr("retries")
-                    time.sleep(policy.backoff(attempt, rng))
+                    time.sleep(policy.backoff_for(exc, attempt, rng))
                     attempt += 1
                     continue
                 self.stats.incr("failed")
@@ -551,7 +614,7 @@ class Server:
                         and attempt + 1 < policy.max_attempts
                         and not req.abandoned and not self._stop.is_set()):
                     self.stats.incr("retries")
-                    time.sleep(policy.backoff(attempt, rng))
+                    time.sleep(policy.backoff_for(exc, attempt, rng))
                     attempt += 1
                     continue
                 self.stats.incr("failed")

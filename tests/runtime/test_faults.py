@@ -208,6 +208,52 @@ def _server_worker_scenario(tmp_path, point):
     _assert_wal_replayable(cat)
 
 
+def _proto_frame_scenario(tmp_path, point):
+    # A fault between frame decode and dispatch must come back as a
+    # *structured* error reply on a connection that stays usable, with
+    # no catalog effect.
+    from repro.client import Client
+    from repro.server.protocol import ProtocolServer
+
+    cat = _catalog(tmp_path)
+    before = _observe_catalog(cat)
+    with Server(cat) as server, ProtocolServer(server) as front:
+        client = Client(*front.address)
+        try:
+            with inject(point):
+                with pytest.raises(InjectedFault):
+                    client.update_object("alice", "Salary", 6)
+            assert _observe_catalog(cat) == before
+            # The same pooled connection serves the retry.
+            client.update_object("alice", "Salary", 6)
+            assert cat.extent("Staff")[0]["Salary"] == 6
+        finally:
+            client.close()
+    _assert_wal_replayable(cat)
+
+
+def _proto_reply_scenario(tmp_path, point):
+    # The lost-ack window: the update commits, then the reply write
+    # faults (the client "disconnected" between commit and ack).  The
+    # client's same-id retry must observe the committed outcome exactly
+    # once — a dedup replay, never a second execution.
+    from repro.client import Client
+    from repro.server.protocol import ProtocolServer
+
+    cat = _catalog(tmp_path)
+    with Server(cat) as server, ProtocolServer(server) as front:
+        client = Client(*front.address)
+        try:
+            with inject(point):
+                client.update_object("alice", "Salary", 7)
+            assert cat.extent("Staff")[0]["Salary"] == 7
+            assert front.stats.deduped_replies == 1
+            assert server.stats.committed == 1
+        finally:
+            client.close()
+    _assert_wal_replayable(cat)
+
+
 SCENARIOS = {
     "store.write": lambda tmp, p: _session_scenario(tmp, p),
     "journal.append": lambda tmp, p: _session_scenario(tmp, p),
@@ -220,6 +266,8 @@ SCENARIOS = {
     "server.conflict": _server_conflict_scenario,
     "server.queue": _server_queue_scenario,
     "server.worker": _server_worker_scenario,
+    "proto.frame": _proto_frame_scenario,
+    "proto.reply": _proto_reply_scenario,
 }
 
 
