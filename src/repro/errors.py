@@ -209,3 +209,13 @@ class RecursiveClassError(ReproError):
     """A recursive class definition violates the syntactic restriction of
     Section 4.4 (class identifiers may only appear in include-source
     positions)."""
+
+
+class PartitionError(ReproError):
+    """A workload partition artifact is malformed or unsound.
+
+    Raised when loading a :class:`~repro.analysis.partition.PartitionPlan`
+    whose shards are not disjoint (or otherwise fail schema validation),
+    and when checking a plan against a live catalog whose heap shares
+    state across shard boundaries — a server must refuse such a plan
+    rather than run latch-free lanes over overlapping state."""

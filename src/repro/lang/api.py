@@ -361,6 +361,35 @@ class Session:
         from ..analysis.regions import program_footprint
         return program_footprint(src, self.purity.snapshot()).render()
 
+    def explain_workload(self, programs: dict, shards: int | None = None
+                         ) -> str:
+        """Render the static conflict graph of a workload of named
+        programs — and, with ``shards``, the derived lane partition.
+
+        ``programs`` maps program names to sources.  The graph is built
+        *against this session*: footprint roots are resolved to live
+        heap state, so name-disjoint programs whose roots reach shared
+        objects (a class extent containing a named object) are still
+        connected, and the partition keeps them in one shard.  Anomaly
+        findings (RP6xx) are appended.  Nothing is evaluated.
+        """
+        from ..analysis.workload import (build_conflict_graph,
+                                         render_conflict_graph,
+                                         workload_anomalies)
+        graph = build_conflict_graph(programs, session=self)
+        parts = [render_conflict_graph(graph)]
+        anomalies = workload_anomalies(graph).diagnostics
+        if anomalies:
+            parts.append("\n".join(
+                f"{d.code} {d.severity.value}: {d.message}"
+                for d in anomalies))
+        if shards is not None:
+            from ..analysis.partition import (partition_workload,
+                                              render_partition)
+            plan = partition_workload(graph, shards, session=self)
+            parts.append(render_partition(plan, graph))
+        return "\n\n".join(parts)
+
     def prepare(self, src: str) -> "PreparedQuery":
         """Parse and type-check once; run many times.
 

@@ -20,6 +20,11 @@ robustness layer:
   wedging on a dead disk (:mod:`repro.server.admission`);
 * dead workers are respawned and their in-flight request re-queued, so a
   worker crash is invisible to clients;
+* with ``ServerConfig(partitions=...)`` (a checked
+  :class:`~repro.analysis.partition.PartitionPlan`), each shard gets its
+  own worker **lane**: statically single-shard transactions serialize on
+  their lane and commit latch-free without ever conflicting, while
+  cross-shard and ⊤ transactions stay on the global dynamic-OCC pool;
 * on startup, a WAL path is recovered through the doctor
   (:mod:`repro.server.recover`) before the first request is admitted.
 
@@ -40,6 +45,7 @@ import time
 from collections import deque
 from dataclasses import dataclass, field
 
+from ..analysis.partition import PartitionPlan
 from ..analysis.regions import FootprintSummary, program_footprint
 from ..db.catalog import Catalog
 from ..errors import ConflictError, OverloadedError, ReadOnlyError
@@ -72,6 +78,19 @@ class ServerConfig:
     #: path (see repro.server.interference).  False restores the
     #: pre-analysis behavior: every transaction runs full dynamic OCC.
     static_interference: bool = True
+    #: A :class:`~repro.analysis.partition.PartitionPlan` (or its
+    #: ``to_dict`` form) derived by ``repro.analysis.partition``.  When
+    #: set, the server grows one worker lane per shard: statically
+    #: single-shard transactions are routed to their shard's lane (and
+    #: serialize there, so they commit latch-free without conflicts),
+    #: while cross-shard and ⊤ transactions stay on the global pool.
+    #: The plan is checked against the live heap at startup
+    #: (:class:`~repro.errors.PartitionError` if shards share state).
+    partitions: PartitionPlan | dict | None = None
+    #: Worker threads per shard lane.  1 (the default) serializes each
+    #: lane — the latch-free sweet spot, since in-lane transactions can
+    #: then never conflict with each other.
+    lane_workers: int = 1
 
 
 class ServerStats:
@@ -87,7 +106,8 @@ class ServerStats:
 
     FIELDS = ("submitted", "committed", "conflicts", "retries", "shed",
               "failed", "read_only_rejected", "worker_deaths",
-              "wal_failures", "fast_commits", "interference_blocked")
+              "wal_failures", "fast_commits", "interference_blocked",
+              "single_shard_commits", "cross_shard_commits")
 
     #: Ring-buffer capacity for service-time samples.
     SERVICE_SAMPLES = 2048
@@ -139,7 +159,7 @@ class _Request:
     """One submitted transaction and its completion slot."""
 
     __slots__ = ("seq", "fn", "budget", "footprint", "done", "result",
-                 "error", "abandoned")
+                 "error", "abandoned", "lane")
 
     def __init__(self, fn, budget: Budget | None, footprint=None):
         self.seq = next(_request_ids)
@@ -153,6 +173,8 @@ class _Request:
         self.result = None
         self.error: BaseException | None = None
         self.abandoned = False
+        # Shard-lane index this request was routed to (None = global pool).
+        self.lane: int | None = None
 
     def finish(self, result) -> None:
         self.result = result
@@ -407,8 +429,10 @@ class Server:
         self._interference = InterferenceTable()
         # Footprint summaries per (source, purity snapshot): a summary
         # computed while a name was pure must not be reused after the
-        # name is rebound to something impure.
+        # name is rebound to something impure.  Guarded by its own lock:
+        # submit() routes on summaries without the catalog lock.
         self._summaries: dict = {}
+        self._summaries_lock = threading.Lock()
         # Resolved footprints, epoch-validated (see resolve_footprint).
         self._resolved: dict = {}
         self._queue = AdmissionQueue(self.config.queue_size)
@@ -418,8 +442,23 @@ class Server:
         self._stop = threading.Event()
         self._threads_lock = threading.Lock()
         self._threads: list[threading.Thread] = []
+        # Shard-lane plumbing.  The plan is validated against the live
+        # heap *before* any worker starts: a partition whose shards
+        # reach shared state must be refused, not served.
+        plan = self.config.partitions
+        if isinstance(plan, dict):
+            plan = PartitionPlan.from_dict(plan)
+        self.partitions: PartitionPlan | None = plan
+        self._lanes: list[AdmissionQueue] = []
+        if plan is not None:
+            plan.check(self.session)
+            self._lanes = [AdmissionQueue(self.config.queue_size)
+                           for _ in plan.shards]
         for _ in range(self.config.workers):
-            self._spawn_worker()
+            self._spawn_worker(self._queue)
+        for lane in self._lanes:
+            for _ in range(max(1, self.config.lane_workers)):
+                self._spawn_worker(lane)
 
     # -- client API ---------------------------------------------------------
 
@@ -442,14 +481,32 @@ class Server:
             # The wire protocol anchors at frame receipt; anchor here
             # only for direct in-process submissions.
             budget.note_enqueued()
+        queue = self._route(req)
         try:
-            self._queue.put(req)
+            queue.put(req)
         except OverloadedError as exc:
             self.stats.incr("shed")
             if exc.retry_after is None:
                 exc.retry_after = self.suggest_retry_after()
             raise
         return req
+
+    def _route(self, req: _Request) -> AdmissionQueue:
+        """Pick the admission queue: a shard lane for statically
+        single-shard transactions, the global pool for everything else.
+
+        Routing is advisory — whichever queue a request lands in, the
+        interference table still arbitrates its fast-path admission — so
+        classifying against a summary computed outside the catalog lock
+        is safe.
+        """
+        if self.partitions is None:
+            return self._queue
+        shard = self.partitions.classify(self._summary_of(req))
+        if shard is None:
+            return self._queue
+        req.lane = shard
+        return self._lanes[shard]
 
     def wait(self, req: _Request, timeout: float | None = None):
         """Block for a request's result; re-raises its failure.
@@ -495,7 +552,11 @@ class Server:
         return self._breaker.state
 
     def pending(self) -> int:
-        return len(self._queue)
+        return len(self._queue) + sum(len(q) for q in self._lanes)
+
+    def lane_depths(self) -> list[int]:
+        """Current queue depth per shard lane (empty without partitions)."""
+        return [len(q) for q in self._lanes]
 
     def suggest_retry_after(self) -> float:
         """The explicit backoff hint attached to shed requests (seconds).
@@ -518,10 +579,11 @@ class Server:
         if self._stop.is_set():
             return
         self._stop.set()
-        for req in self._queue.close():
-            self.stats.incr("shed")
-            req.fail(OverloadedError("server shut down before this "
-                                     "request was served"))
+        for queue in [self._queue, *self._lanes]:
+            for req in queue.close():
+                self.stats.incr("shed")
+                req.fail(OverloadedError("server shut down before this "
+                                         "request was served"))
         with self._threads_lock:
             threads = list(self._threads)
         for t in threads:
@@ -535,18 +597,20 @@ class Server:
 
     # -- the worker pool ----------------------------------------------------
 
-    def _spawn_worker(self) -> None:
-        t = threading.Thread(target=self._worker_loop,
-                             name="repro-server-worker", daemon=True)
+    def _spawn_worker(self, queue: AdmissionQueue) -> None:
+        name = ("repro-server-worker" if queue is self._queue
+                else f"repro-server-lane-{self._lanes.index(queue)}")
+        t = threading.Thread(target=self._worker_loop, args=(queue,),
+                             name=name, daemon=True)
         with self._threads_lock:
             self._threads.append(t)
         t.start()
 
-    def _worker_loop(self) -> None:
+    def _worker_loop(self, queue: AdmissionQueue) -> None:
         req: _Request | None = None
         try:
             while not self._stop.is_set():
-                req = self._queue.get(timeout=self.config.poll_interval)
+                req = queue.get(timeout=self.config.poll_interval)
                 if req is None:
                     continue
                 fire("server.worker")  # the worker-death window
@@ -556,13 +620,13 @@ class Server:
                 req = None
         except BaseException:
             # Worker death: self-heal.  The request it held goes back to
-            # the front of the queue (it was already admitted), and a
-            # replacement thread takes this one's place.
+            # the front of its queue (it was already admitted), and a
+            # replacement thread takes this one's place on the same lane.
             self.stats.incr("worker_deaths")
             if not self._stop.is_set():
                 if req is not None and not req.done.is_set():
-                    self._queue.put_front(req)
-                self._spawn_worker()
+                    queue.put_front(req)
+                self._spawn_worker(queue)
         finally:
             with self._threads_lock:
                 me = threading.current_thread()
@@ -625,6 +689,10 @@ class Server:
                 self.stats.incr("committed")
                 if txn.fast:
                     self.stats.incr("fast_commits")
+                if self.partitions is not None:
+                    self.stats.incr("single_shard_commits"
+                                    if req.lane is not None
+                                    else "cross_shard_commits")
                 req.finish(result)
                 return
 
@@ -661,12 +729,14 @@ class Server:
         # name was pure is unsound once the name is rebound impure.
         latent = frozenset(self.session.purity.snapshot())
         key = (src, latent)
-        hit = self._summaries.get(key)
+        with self._summaries_lock:
+            hit = self._summaries.get(key)
         if hit is None:
             hit = program_footprint(src, set(latent))
-            if len(self._summaries) >= 256:
-                self._summaries.clear()
-            self._summaries[key] = hit
+            with self._summaries_lock:
+                if len(self._summaries) >= 256:
+                    self._summaries.clear()
+                self._summaries[key] = hit
         return hit
 
     def _commit(self, txn: OCCTransaction, handle: ClientTransaction,

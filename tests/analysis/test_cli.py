@@ -107,3 +107,41 @@ Y = "query(fn x => update(x, Salary, 1), joe)"
     codes = {d.code for d in result.diagnostics}
     assert "RP001" not in codes
     assert codes == {"RP501"}
+
+
+# ---------------------------------------------------------------------------
+# --format=json (the machine-readable schema the CI lint gate consumes)
+# ---------------------------------------------------------------------------
+
+def test_json_output_schema(tmp_path, capsys):
+    import json
+    f = _write(tmp_path, "warn.mql",
+               "val x = let v = IDView([A := 1]) in 3 end\n")
+    assert main(["--no-typecheck", "--format", "json", str(f)]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["version"] == 1
+    assert (payload["files"], payload["errors"],
+            payload["warnings"], payload["infos"]) == (1, 0, 1, 0)
+    [diag] = payload["diagnostics"]
+    assert diag["file"] == str(f)
+    assert diag["code"] == "RP301"
+    assert diag["severity"] == "warning"
+    assert diag["span"]["line"] == 1 and diag["span"]["column"] == 9
+    assert "never used" in diag["message"]
+    assert isinstance(diag["reasons"], list)
+
+
+def test_json_clean_tree_is_empty_and_exits_zero(tmp_path, capsys):
+    import json
+    f = _write(tmp_path, "clean.mql", "val x = 1 + 2\n")
+    assert main(["--no-typecheck", "--strict", "--format", "json",
+                 str(f)]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["diagnostics"] == []
+    assert payload["errors"] == payload["warnings"] == 0
+
+
+def test_json_keeps_exit_codes(tmp_path, capsys):
+    f = _write(tmp_path, "broken.mql", "val x = (\n")
+    assert main(["--no-typecheck", "--format", "json", str(f)]) == 2
+    capsys.readouterr()

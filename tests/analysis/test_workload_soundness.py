@@ -1,0 +1,104 @@
+"""Property test: conflict-graph edges ⊇ observed conflicts.
+
+The soundness contract of the workload analysis, pinned dynamically:
+for a randomized *pair* of transaction programs, build the
+session-resolved conflict graph first, then run each program under a
+:class:`SharingTracer` and compare their observed read/write sets over
+the pre-existing heap.  If the runs actually conflicted — one's writes
+intersect the other's reads or writes — the graph must have an edge
+between them.  (Fresh allocations are filtered by watermark: state a
+program creates is private until commit, so it cannot conflict.)
+
+The converse direction is deliberately not asserted: the analysis is
+conservative, and a spurious edge costs throughput, never correctness.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.regions import SharingTracer
+from repro.analysis.workload import build_conflict_graph
+from repro.db.catalog import Catalog
+from repro.eval.values import VRecord
+
+_NAMES = ["joe", "amy", "bob"]
+
+# Statement templates; {n} is an object name, {k} an integer constant,
+# {i} a per-program index keeping `val` names distinct.
+_STATEMENTS = [
+    "query(fn x => x.Salary, {n})",
+    "query(fn x => update(x, Salary, x.Salary + {k}), {n})",
+    "query(fn x => update(x, Salary, {k}), {n})",
+    "val a{i} = {n}; query(fn v => update(v, Salary, {k}), a{i})",
+    "c-query(fn S => size(S), Emp)",
+    "c-query(fn S => map(fn o => query(fn v => v.Name, o), S), Names)",
+    "insert({n}, Emp)",
+    "delete({n}, Emp)",
+    'val f{i} = IDView([Name = "f{i}", Salary := {k}]); insert(f{i}, Emp)',
+    # Widens to ⊤: the graph must connect it to everything.
+    "c-query(fn S => map(fn x => "
+    "query(fn v => update(v, Salary, {k}), x), S), Emp)",
+]
+
+_program = st.lists(
+    st.tuples(st.integers(0, len(_STATEMENTS) - 1),
+              st.sampled_from(_NAMES),
+              st.integers(0, 9)),
+    min_size=1, max_size=4)
+
+
+def _session():
+    cat = Catalog()
+    for name in _NAMES:
+        cat.new_object(name, Name=name.title(), mutable={"Salary": 100})
+    cat.define_class("Emp", own=list(_NAMES))
+    cat.session.exec(
+        "val Names = class {} includes Emp "
+        "as fn x => [Name = x.Name] where fn o => true end")
+    return cat.session
+
+
+def _render(ops, base: int) -> str:
+    return "; ".join(_STATEMENTS[ti].format(n=name, k=k, i=base + i)
+                     for i, (ti, name, k) in enumerate(ops))
+
+
+def _trace(session, src: str, loc_wm: int, oid_wm: int):
+    """Run ``src``; observed (reads, writes) over the pre-existing heap."""
+    tracer = SharingTracer()
+    session.machine.store.tracker = tracer
+    try:
+        session.exec(src)
+    except Exception:
+        pass  # partial traces still carry the coverage obligation
+    finally:
+        session.machine.store.tracker = None
+    reads = {("loc", i) for i in tracer.read_locations if i < loc_wm} \
+        | {("ext", o) for o in tracer.read_extents if o < oid_wm}
+    writes = {("loc", i) for i in tracer.written_locations if i < loc_wm} \
+        | {("ext", o) for o in tracer.written_extents if o < oid_wm}
+    return reads, writes
+
+
+@settings(max_examples=25, deadline=None)
+@given(a=_program, b=_program)
+def test_conflict_graph_covers_observed_conflicts(a, b):
+    session = _session()
+    progs = {"A": _render(a, 0), "B": _render(b, 100)}
+
+    # The graph is built *before* anything runs, like a deployment would.
+    graph = build_conflict_graph(progs, session=session)
+
+    loc_wm = session.machine.store._next_id
+    oid_wm = VRecord({}, frozenset()).oid
+
+    ra, wa = _trace(session, progs["A"], loc_wm, oid_wm)
+    rb, wb = _trace(session, progs["B"], loc_wm, oid_wm)
+
+    conflict = (wa & (rb | wb)) | (wb & (ra | wa))
+    if conflict and not graph.has_edge("A", "B"):
+        raise AssertionError(
+            f"observed conflict on {sorted(conflict)} but the conflict "
+            f"graph has no edge:\n  A: {progs['A']}\n  B: {progs['B']}")
