@@ -128,29 +128,47 @@ class PartitionPlan:
     def shard_of(self, root: str) -> Optional[int]:
         return self._root_shard.get(root)
 
-    def classify(self, summary: Optional[FootprintSummary]) -> Optional[int]:
-        """The single shard every root of ``summary`` lives in, else None.
+    def classify_shards(self,
+                        summary: Optional[FootprintSummary]
+                        ) -> Optional[tuple[int, ...]]:
+        """The ordered set of shards ``summary``'s roots live in.
 
-        ``None`` means the transaction must escalate to the global
-        dynamic-OCC path: the summary is missing (opaque Python body),
-        ⊤, touches roots outside the plan, or straddles shards.  A
-        bounded summary with *no* roots also answers ``None`` — it is
-        trivially disjoint from everything and the global fast path
-        already handles it without occupying a lane.
+        Returns the shard indices in **canonical (ascending) order** —
+        the order a coordinator must acquire the lanes in to be
+        deadlock-free by construction.  ``None`` means the plan cannot
+        place the transaction at all: the summary is missing (opaque
+        Python body), ⊤, or touches a root outside every shard.  An
+        empty tuple means a bounded summary with no classifiable roots
+        (trivially disjoint from everything).
         """
         if summary is None or summary.writes is None:
             return None
         roots = (summary.reads - self.ambient - self.shared) \
             | summary.writes
-        if not roots:
-            return None
-        shard: Optional[int] = None
+        shards: set[int] = set()
         for root in roots:
             s = self._root_shard.get(root)
-            if s is None or (shard is not None and s != shard):
+            if s is None:
                 return None
-            shard = s
-        return shard
+            shards.add(s)
+        return tuple(sorted(shards))
+
+    def classify(self, summary: Optional[FootprintSummary]) -> Optional[int]:
+        """The single shard every root of ``summary`` lives in, else None.
+
+        ``None`` means the transaction is not statically single-shard:
+        the summary is missing (opaque Python body), ⊤, touches roots
+        outside the plan, or straddles shards (see
+        :meth:`classify_shards` for the multi-shard breakdown the
+        two-phase coordinator consumes).  A bounded summary with *no*
+        roots also answers ``None`` — it is trivially disjoint from
+        everything and the global fast path already handles it without
+        occupying a lane.
+        """
+        shards = self.classify_shards(summary)
+        if shards is None or len(shards) != 1:
+            return None
+        return shards[0]
 
     # -- the serializable artifact ------------------------------------------
 
@@ -206,54 +224,74 @@ class PartitionPlan:
         before touching state).  Must run under the catalog lock when
         the session is being served.
         """
+        return [set(atoms) for atoms, _owners
+                in self._resolve_attributed(session)]
+
+    def _resolve_attributed(self, session) -> list[tuple[set, dict]]:
+        """Per shard: ``(atoms, atom -> root that reaches it)``.
+
+        The attribution map is what lets :meth:`check` name the
+        *offending roots* of an overlap, not just the anonymous state
+        atom they collide on.
+        """
         from .regions import reachable_state
         frame = session._global_frame
-        out: list[set] = []
+        out: list[tuple[set, dict]] = []
         for shard in self.shards:
             atoms: set = set()
+            owners: dict = {}
             for root in sorted(shard):
                 value = frame.get(root)
                 if value is None:
                     continue
                 locs, exts = reachable_state(value)
-                atoms.update(("loc", i) for i in locs)
-                atoms.update(("ext", o) for o in exts)
-            out.append(atoms)
+                for atom in [("loc", i) for i in locs] \
+                        + [("ext", o) for o in exts]:
+                    atoms.add(atom)
+                    owners.setdefault(atom, root)
+            out.append((atoms, owners))
         return out
 
     def check(self, session) -> None:
         """Validate that shards are disjoint on the *live* heap.
 
         Raises :class:`~repro.errors.PartitionError` naming the first
-        overlapping shard pair — running latch-free lanes over shards
-        that reach shared state would be unsound.  A ``shared`` root
-        may not alias any shard either (two shared roots may alias each
-        other: both are only ever read).
+        overlapping shard pair **and the offending roots** on each side
+        — running latch-free lanes over shards that reach shared state
+        would be unsound, and the fix is re-deriving the plan without
+        separating those roots.  A ``shared`` root may not alias any
+        shard either (two shared roots may alias each other: both are
+        only ever read).
         """
         from .regions import reachable_state
-        resolved = self.resolve_shards(session)
+        resolved = self._resolve_attributed(session)
         seen: dict = {}
-        for i, atoms in enumerate(resolved):
-            for atom in atoms:
+        for i, (atoms, owners) in enumerate(resolved):
+            for atom in sorted(atoms):
                 if atom in seen:
+                    j, other_root = seen[atom]
                     raise PartitionError(
-                        f"shards {seen[atom]} and {i} reach shared state "
-                        f"({atom[0]} {atom[1]}): the partition is unsound "
-                        "for latch-free lanes")
-                seen[atom] = i
+                        f"shards {j} and {i} reach shared state "
+                        f"({atom[0]} {atom[1]}) through roots "
+                        f"'{other_root}' (shard {j}) and "
+                        f"'{owners[atom]}' (shard {i}): the partition "
+                        "is unsound for latch-free lanes")
+                seen[atom] = (i, owners[atom])
         frame = session._global_frame
         for root in sorted(self.shared):
             value = frame.get(root)
             if value is None:
                 continue
             locs, exts = reachable_state(value)
-            for atom in [("loc", i) for i in locs] \
-                    + [("ext", o) for o in exts]:
+            for atom in sorted([("loc", i) for i in locs]
+                               + [("ext", o) for o in exts]):
                 if atom in seen:
+                    j, other_root = seen[atom]
                     raise PartitionError(
-                        f"shared root '{root}' and shard {seen[atom]} "
-                        f"reach shared state ({atom[0]} {atom[1]}): a "
-                        "lane could read state another lane writes")
+                        f"shared root '{root}' and shard {j} reach "
+                        f"shared state ({atom[0]} {atom[1]}) through "
+                        f"root '{other_root}' (shard {j}): a lane "
+                        "could read state another lane writes")
 
 
 # ---------------------------------------------------------------------------

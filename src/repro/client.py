@@ -90,9 +90,17 @@ def exception_from_wire(error: dict) -> BaseException:
     cls = _ERROR_TYPES.get(etype)
     if cls is not None:
         try:
-            return cls(message)
+            exc = cls(message)
         except TypeError:  # a constructor needing extra arguments
             pass
+        else:
+            if retry_after is not None:
+                # Preserve the server's backoff hint on every exception
+                # type that carries one (e.g. a lane-escalation
+                # ConflictError from a cross-shard commit): the retry
+                # policy prefers it over computed jitter.
+                exc.retry_after = retry_after
+            return exc
     return ReproError(f"{etype}: {message}")
 
 

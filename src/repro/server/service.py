@@ -89,7 +89,9 @@ class ServerConfig:
     partitions: PartitionPlan | dict | None = None
     #: Worker threads per shard lane.  1 (the default) serializes each
     #: lane — the latch-free sweet spot, since in-lane transactions can
-    #: then never conflict with each other.
+    #: then never conflict with each other.  With more than one worker,
+    #: the per-shard lane *gate* (which two-phase commits also take)
+    #: still serializes execution within the shard.
     lane_workers: int = 1
 
 
@@ -107,7 +109,8 @@ class ServerStats:
     FIELDS = ("submitted", "committed", "conflicts", "retries", "shed",
               "failed", "read_only_rejected", "worker_deaths",
               "wal_failures", "fast_commits", "interference_blocked",
-              "single_shard_commits", "cross_shard_commits")
+              "single_shard_commits", "cross_shard_commits",
+              "two_phase_commits", "in_doubt_resolved")
 
     #: Ring-buffer capacity for service-time samples.
     SERVICE_SAMPLES = 2048
@@ -159,7 +162,7 @@ class _Request:
     """One submitted transaction and its completion slot."""
 
     __slots__ = ("seq", "fn", "budget", "footprint", "done", "result",
-                 "error", "abandoned", "lane")
+                 "error", "abandoned", "lane", "shards")
 
     def __init__(self, fn, budget: Budget | None, footprint=None):
         self.seq = next(_request_ids)
@@ -175,6 +178,9 @@ class _Request:
         self.abandoned = False
         # Shard-lane index this request was routed to (None = global pool).
         self.lane: int | None = None
+        # Ascending participant shards of a cross-shard (two-phase
+        # commit) request; None for single-shard and global-pool ones.
+        self.shards: tuple[int, ...] | None = None
 
     def finish(self, result) -> None:
         self.result = result
@@ -450,10 +456,20 @@ class Server:
             plan = PartitionPlan.from_dict(plan)
         self.partitions: PartitionPlan | None = plan
         self._lanes: list[AdmissionQueue] = []
+        # One *gate* per shard: a lane worker takes its own shard's gate
+        # around each attempt, and a two-phase commit takes every
+        # participant gate in ascending shard order — so a holder only
+        # ever waits on gates strictly greater than all it holds, and
+        # the lane handshake is deadlock-free by construction.
+        self._gates: list[threading.Lock] = []
         if plan is not None:
             plan.check(self.session)
             self._lanes = [AdmissionQueue(self.config.queue_size)
                            for _ in plan.shards]
+            self._gates = [threading.Lock() for _ in plan.shards]
+        if self.recovery is not None and self.recovery.in_doubt:
+            self.stats.incr("in_doubt_resolved",
+                            len(self.recovery.in_doubt))
         for _ in range(self.config.workers):
             self._spawn_worker(self._queue)
         for lane in self._lanes:
@@ -493,7 +509,10 @@ class Server:
 
     def _route(self, req: _Request) -> AdmissionQueue:
         """Pick the admission queue: a shard lane for statically
-        single-shard transactions, the global pool for everything else.
+        single-shard transactions, the *lowest participant's* lane for
+        two-shard transactions (which commit through the two-phase
+        handshake), the global pool for everything else (⊤, 3+ shards,
+        shared-root writers).
 
         Routing is advisory — whichever queue a request lands in, the
         interference table still arbitrates its fast-path admission — so
@@ -502,11 +521,18 @@ class Server:
         """
         if self.partitions is None:
             return self._queue
-        shard = self.partitions.classify(self._summary_of(req))
-        if shard is None:
+        shards = self.partitions.classify_shards(self._summary_of(req))
+        if not shards:  # None (⊤/unknown/outside the plan) or rootless
             return self._queue
-        req.lane = shard
-        return self._lanes[shard]
+        if len(shards) == 1:
+            req.lane = shards[0]
+            return self._lanes[shards[0]]
+        if len(shards) == 2:
+            # The coordinator runs on the lowest shard's lane and takes
+            # the second participant's gate in ascending order.
+            req.shards = shards
+            return self._lanes[shards[0]]
+        return self._queue
 
     def wait(self, req: _Request, timeout: float | None = None):
         """Block for a request's result; re-raises its failure.
@@ -650,51 +676,121 @@ class Server:
         rng = random.Random(req.seq)
         attempt = 0
         while True:
+            gates: list[threading.Lock] = []
             try:
-                fast = self._admit(req)
-            except ConflictError as exc:
-                # Blocked by an in-flight fast-path transaction before
-                # anything executed; retry like any other conflict.
-                self.stats.incr("conflicts")
-                if (attempt + 1 < policy.max_attempts
-                        and not req.abandoned and not self._stop.is_set()):
-                    self.stats.incr("retries")
-                    time.sleep(policy.backoff_for(exc, attempt, rng))
-                    attempt += 1
-                    continue
-                self.stats.incr("failed")
-                req.fail(exc)
-                return
-            txn = OCCTransaction(self._latches, fast=fast)
-            handle = ClientTransaction(self, txn, budget)
-            try:
-                result = req.fn(handle)
-                self._commit(txn, handle, req)
-            except BaseException as exc:
-                self._rollback(txn, handle, req)
-                if isinstance(exc, ConflictError):
-                    self.stats.incr("conflicts")
-                if (policy.is_retriable(exc)
-                        and attempt + 1 < policy.max_attempts
-                        and not req.abandoned and not self._stop.is_set()):
-                    self.stats.incr("retries")
-                    time.sleep(policy.backoff_for(exc, attempt, rng))
-                    attempt += 1
-                    continue
-                self.stats.incr("failed")
-                req.fail(exc)
-                return
-            else:
-                handle._finished = True
-                self.stats.incr("committed")
-                if txn.fast:
-                    self.stats.incr("fast_commits")
-                if self.partitions is not None:
-                    self.stats.incr("single_shard_commits"
-                                    if req.lane is not None
-                                    else "cross_shard_commits")
-                req.finish(result)
-                return
+                try:
+                    gates = self._acquire_gates(req)
+                    fast = self._admit(req)
+                except BaseException as exc:
+                    # Blocked (or faulted) before anything executed:
+                    # an in-flight fast-path transaction overlaps us, or
+                    # a lane-gate acquisition faulted.  Retry recoverable
+                    # failures like any other conflict.
+                    if isinstance(exc, ConflictError):
+                        self.stats.incr("conflicts")
+                        if (req.shards is not None
+                                and getattr(exc, "retry_after", None)
+                                is None):
+                            # A cross-shard commit blocked at admission:
+                            # hint the server's own drain estimate so
+                            # remote clients back off on it instead of
+                            # hot-retrying into the same interference.
+                            exc.retry_after = self.suggest_retry_after()
+                    if (policy.is_retriable(exc)
+                            and attempt + 1 < policy.max_attempts
+                            and not req.abandoned
+                            and not self._stop.is_set()):
+                        self.stats.incr("retries")
+                        self._release_gates(gates)
+                        gates = []
+                        time.sleep(policy.backoff_for(exc, attempt, rng))
+                        attempt += 1
+                        continue
+                    self.stats.incr("failed")
+                    req.fail(exc)
+                    return
+                txn = OCCTransaction(self._latches, fast=fast)
+                handle = ClientTransaction(self, txn, budget)
+                try:
+                    result = req.fn(handle)
+                    if req.shards is not None:
+                        self._commit_two_phase(txn, handle, req)
+                    else:
+                        self._commit(txn, handle, req)
+                except BaseException as exc:
+                    self._rollback(txn, handle, req)
+                    if isinstance(exc, ConflictError):
+                        self.stats.incr("conflicts")
+                    if (policy.is_retriable(exc)
+                            and attempt + 1 < policy.max_attempts
+                            and not req.abandoned
+                            and not self._stop.is_set()):
+                        self.stats.incr("retries")
+                        self._release_gates(gates)
+                        gates = []
+                        time.sleep(policy.backoff_for(exc, attempt, rng))
+                        attempt += 1
+                        continue
+                    self.stats.incr("failed")
+                    req.fail(exc)
+                    return
+                else:
+                    handle._finished = True
+                    self.stats.incr("committed")
+                    if txn.fast:
+                        self.stats.incr("fast_commits")
+                    if self.partitions is not None:
+                        if req.shards is not None:
+                            self.stats.incr("two_phase_commits")
+                        elif req.lane is not None:
+                            self.stats.incr("single_shard_commits")
+                        else:
+                            self.stats.incr("cross_shard_commits")
+                    req.finish(result)
+                    return
+            finally:
+                self._release_gates(gates)
+
+    # -- shard-lane gates ---------------------------------------------------
+
+    def _acquire_gates(self, req: _Request) -> list[threading.Lock]:
+        """Take the lane gates this attempt's execution excludes.
+
+        A single-shard request takes its own lane's gate; a cross-shard
+        (two-phase) request takes every participant shard's gate in
+        ascending shard order.  Ordered acquisition makes the handshake
+        deadlock-free: a holder only ever waits on a gate strictly
+        greater than every gate it already holds.  Gates acquired before
+        a failure are released by the caller (or here, if the failure
+        happens mid-acquisition).
+        """
+        shards: tuple[int, ...]
+        if req.shards is not None:
+            shards = req.shards
+        elif req.lane is not None:
+            shards = (req.lane,)
+        else:
+            return []
+        held: list[threading.Lock] = []
+        try:
+            for shard in shards:
+                if req.shards is not None:
+                    fire("2pc.lane_acquire")
+                gate = self._gates[shard]
+                gate.acquire()
+                held.append(gate)
+                if req.shards is not None:
+                    fire("2pc.lane_acquire")
+            return held
+        except BaseException:
+            self._release_gates(held)
+            raise
+
+    @staticmethod
+    def _release_gates(gates: list[threading.Lock]) -> None:
+        for gate in reversed(gates):
+            gate.release()
+        gates.clear()
 
     # -- static interference admission --------------------------------------
 
@@ -765,6 +861,85 @@ class Server:
             self.catalog.wal.append(
                 "txn", {"ops": [{"op": op, "args": args}
                                 for op, args in buffer]})
+
+    def _commit_two_phase(self, txn: OCCTransaction,
+                          handle: ClientTransaction,
+                          req: _Request) -> None:
+        """Commit a cross-shard transaction through durable 2PC records.
+
+        All participant lane gates are already held (ascending order, see
+        :meth:`_acquire_gates`) and everything below runs under the
+        catalog lock, so the record sequence *is* the serialization
+        order:
+
+        1. validate, exactly like the one-phase path;
+        2. ``txn.prepare`` — participant shards + the staged ops.  Its
+           LSN is the transaction id: unique per log, even across
+           restarts (truncation empties the log, so no stale prepare
+           survives it);
+        3. ``txn.decide`` commit — **the commit point**.  Any failure
+           before this record is durable aborts cleanly everywhere
+           (presumed abort: recovery treats a prepare without a decision
+           as aborted).  Any failure *after* it is swallowed: the
+           decision is durable, the transaction IS committed, and
+           recovery replays the staged ops idempotently;
+        4. publish in memory, release the interference claim;
+        5. ``txn.ack`` — bookkeeping that spares the recovery doctor an
+           in-doubt resolution; never affects the outcome.
+        """
+        with self._lock:
+            fire("server.conflict")
+            txn.validate()
+            buffer = handle._wal_buffer
+            if not buffer or self.catalog.wal is None:
+                # Nothing durable to coordinate (read-only body, or no
+                # WAL): the in-memory publish is already atomic under
+                # the catalog lock.
+                txn.finalize()
+                self._interference.release(req.seq)
+                return
+            ops = [{"op": op, "args": args} for op, args in buffer]
+            try:
+                tid = self._breaker.run(
+                    lambda: self._append_prepare(req, txn, ops))
+            except BaseException:
+                self.stats.incr("wal_failures")
+                raise  # presumed abort: the caller rolls back
+            txn.mark_prepared()
+            decided = False
+            try:
+                fire("2pc.decide")
+                self._breaker.run(lambda: self.catalog.wal.append(
+                    "txn.decide", {"tid": tid, "outcome": "commit"}))
+                decided = True
+                fire("2pc.decide")
+                txn.finalize()
+                self._interference.release(req.seq)
+                fire("2pc.ack")
+                self.catalog.wal.append("txn.ack", {"tid": tid})
+                fire("2pc.ack")
+            except BaseException:
+                self.stats.incr("wal_failures")
+                if not decided:
+                    raise  # presumed abort, same as a prepare failure
+                # The commit decision is durable: whatever just failed
+                # (the ack append, an injected fault), this transaction
+                # is committed.  Finish the in-memory publish if the
+                # failure preceded it and swallow the exception — the
+                # client must see success, and a restart replays the
+                # staged ops idempotently.
+                if txn.active:
+                    txn.finalize()
+                    self._interference.release(req.seq)
+
+    def _append_prepare(self, req: _Request, txn: OCCTransaction,
+                        ops: list[dict]) -> int:
+        fire("2pc.prepare")
+        lsn = self.catalog.wal.append(
+            "txn.prepare", {"shards": list(req.shards), "ops": ops,
+                            "staged": txn.staged()})
+        fire("2pc.prepare")
+        return lsn
 
     def _rollback(self, txn: OCCTransaction,
                   handle: ClientTransaction | None = None,

@@ -1,6 +1,7 @@
 """The workload interference layer: conflict graphs, RP6xx, partitions."""
 
 import json
+import re
 
 import pytest
 
@@ -325,3 +326,87 @@ def test_render_partition_lists_shared_roots():
     plan = partition_workload(g, shards=2)
     assert ("  shared (read-only): roots {rates} — readable from every "
             "lane") in render_partition(plan, g)
+
+
+# ---------------------------------------------------------------------------
+# classify_shards: the two-phase coordinator's routing oracle
+# ---------------------------------------------------------------------------
+
+def _summary(src):
+    g = build_conflict_graph({"p": src})
+    return g.program("p").summary
+
+
+def _plan3():
+    return PartitionPlan([["joe"], ["amy"], ["bob"]],
+                         ambient=ambient_names())
+
+
+def test_classify_shards_orders_participants_ascending():
+    plan = _plan3()
+    # Program order bob-then-joe; the answer is canonical either way —
+    # the acquisition order that makes the lane handshake deadlock-free.
+    up = _summary("query(fn x => update(x, Salary, "
+                  "query(fn y => y.Salary, bob)), joe)")
+    down = _summary("query(fn x => update(x, Salary, "
+                    "query(fn y => y.Salary, joe)), bob)")
+    assert plan.classify_shards(up) == (0, 2)
+    assert plan.classify_shards(down) == (0, 2)
+    # Multi-shard means not single-shard: classify() still answers None.
+    assert plan.classify(up) is None
+
+
+def test_classify_shards_none_for_unplaceable():
+    plan = _plan3()
+    assert plan.classify_shards(None) is None
+    top = _summary("c-query(fn S => map(fn x => "
+                   "query(fn v => update(v, Salary, 0), x), S), Emp)")
+    assert top.writes is None  # ⊤
+    assert plan.classify_shards(top) is None
+    # `sue` lives outside every shard: the plan cannot place it.
+    assert plan.classify_shards(_summary(RMW.format(n="sue"))) is None
+
+
+def test_classify_shards_empty_for_rootless():
+    # Bounded, but every read is ambient: trivially disjoint from all
+    # lanes — the empty tuple, distinct from None's "cannot place".
+    plan = _plan3()
+    assert plan.classify_shards(_summary("1 + 2")) == ()
+
+
+def test_classify_shards_shared_reads_do_not_count():
+    plan = PartitionPlan([["joe"], ["amy"]], ambient=ambient_names(),
+                         shared=["rates"])
+    s = _summary("query(fn x => update(x, Salary, "
+                 "x.Salary + size(rates)), joe)")
+    assert plan.classify_shards(s) == (0,)
+
+
+# ---------------------------------------------------------------------------
+# check(): golden renders naming the offending roots
+# ---------------------------------------------------------------------------
+
+def test_check_message_names_both_offending_roots():
+    cat = _catalog()
+    cat.define_class("Emp", own=["joe"])
+    plan = PartitionPlan([["joe"], ["Emp"]])
+    with pytest.raises(PartitionError) as excinfo:
+        plan.check(cat.session)
+    assert re.fullmatch(
+        r"shards 0 and 1 reach shared state \((loc|ext) [^)]+\) through "
+        r"roots 'joe' \(shard 0\) and 'Emp' \(shard 1\): the partition "
+        r"is unsound for latch-free lanes",
+        str(excinfo.value))
+
+
+def test_check_message_names_shared_root_and_shard_root():
+    cat = _catalog()
+    cat.define_class("Emp", own=["joe"])
+    plan = PartitionPlan([["joe"], ["amy"]], shared=["Emp"])
+    with pytest.raises(PartitionError) as excinfo:
+        plan.check(cat.session)
+    assert re.fullmatch(
+        r"shared root 'Emp' and shard 0 reach shared state "
+        r"\((loc|ext) [^)]+\) through root 'joe' \(shard 0\): a lane "
+        r"could read state another lane writes",
+        str(excinfo.value))

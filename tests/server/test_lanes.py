@@ -60,7 +60,7 @@ def test_partitioned_contention_zero_lost_updates():
         assert server.lane_depths() == [0, 0, 0, 0]
 
 
-def test_cross_shard_escalates_to_global_pool():
+def test_two_shard_commit_uses_two_phase_not_global_pool():
     cat = _catalog()
     with Server(cat, config=ServerConfig(partitions=_plan(cat))) as server:
         client = server.connect()
@@ -69,7 +69,22 @@ def test_cross_shard_escalates_to_global_pool():
                     "query(fn y => y.Salary, amy)), joe)")
         stats = server.stats.snapshot()
         assert stats["single_shard_commits"] == 1
+        # A two-shard transaction commits through the lane-to-lane
+        # two-phase handshake instead of escalating to the global pool.
+        assert stats["two_phase_commits"] == 1
+        assert stats["cross_shard_commits"] == 0
+
+
+def test_three_shard_transaction_escalates_to_global_pool():
+    cat = _catalog()
+    with Server(cat, config=ServerConfig(partitions=_plan(cat))) as server:
+        client = server.connect()
+        client.exec("query(fn x => update(x, Salary, "
+                    "query(fn y => y.Salary, amy) + "
+                    "query(fn z => z.Salary, bob)), joe)")
+        stats = server.stats.snapshot()
         assert stats["cross_shard_commits"] == 1
+        assert stats["two_phase_commits"] == 0
 
 
 def test_opaque_python_body_stays_on_global_pool():
@@ -132,6 +147,7 @@ def test_wire_stats_expose_lanes_and_counters():
         payload = front.stats_payload()
         assert payload["lanes"] == {"count": 4, "depths": [0, 0, 0, 0]}
         for key in ("fast_commits", "interference_blocked",
-                    "single_shard_commits", "cross_shard_commits"):
+                    "single_shard_commits", "cross_shard_commits",
+                    "two_phase_commits", "in_doubt_resolved"):
             assert key in payload["server"]
         assert payload["server"]["single_shard_commits"] == 1

@@ -1,0 +1,427 @@
+"""Cross-shard two-phase commit: durable coordination records, in-doubt
+recovery, the lane handshake, and the wire client's conflict backoff.
+
+The crash-window × fault-point matrix itself lives in
+``tests/runtime/test_faults.py`` (keyed off ``faults.registered_points()``
+so a new ``2pc.*`` point cannot ship without coverage); this file pins the
+record formats, the recovery doctor's resolutions, and the client-visible
+behavior around them.
+"""
+
+import os
+import random
+import threading
+import time
+
+import pytest
+
+from repro.analysis.partition import partition_workload
+from repro.analysis.regions import FootprintSummary
+from repro.analysis.workload import build_conflict_graph
+from repro.db.catalog import Catalog, resolve_two_phase
+from repro.db.wal import WriteAheadLog, read_wal
+from repro.errors import ConflictError
+from repro.runtime import faults
+from repro.server import Server, ServerConfig
+from repro.server.recover import recover
+from repro.server.retry import RetryPolicy
+
+RMW = "query(fn x => update(x, Salary, x.Salary + 1), {n})"
+PAIR = frozenset({"joe", "amy"})
+XFP = FootprintSummary(PAIR, PAIR)
+
+
+def _catalog(tmp_path, names=("joe", "amy"), fsync=True):
+    wal = str(tmp_path / "2pc.wal")
+    cat = Catalog(wal=WriteAheadLog(wal, fsync=fsync))
+    for n in names:
+        cat.new_object(n, Name=n.title(), mutable={"Salary": 0})
+    return cat, wal
+
+
+def _plan(cat, names=("joe", "amy"), shards=2):
+    graph = build_conflict_graph(
+        {f"t_{n}": RMW.format(n=n) for n in names}, session=cat.session)
+    return partition_workload(graph, shards=shards, session=cat.session)
+
+
+def _set_both(value):
+    def body(txn):
+        txn.update_object("joe", "Salary", value)
+        txn.update_object("amy", "Salary", value)
+    return body
+
+
+def _salaries(session, names=("joe", "amy")):
+    return {n: session.eval_py(f"query(fn x => x.Salary, {n})")
+            for n in names}
+
+
+# -- the durable record sequence -------------------------------------------
+
+def test_commit_writes_prepare_decide_ack(tmp_path):
+    cat, wal = _catalog(tmp_path)
+    with Server(cat, config=ServerConfig(partitions=_plan(cat))) as server:
+        server.connect().run(_set_both(7), footprint=XFP)
+        assert server.stats.snapshot()["two_phase_commits"] == 1
+    records, torn = read_wal(wal)
+    assert not torn
+    assert [r["op"] for r in records] == \
+        ["new_object", "new_object", "txn.prepare", "txn.decide", "txn.ack"]
+    prepare, decide, ack = records[2], records[3], records[4]
+    # The prepare's LSN is the transaction id; unique even across
+    # restarts on the same log, since truncation empties it.
+    assert decide["args"] == {"tid": prepare["lsn"], "outcome": "commit"}
+    assert ack["args"] == {"tid": prepare["lsn"]}
+    assert prepare["args"]["shards"] == [0, 1]
+    assert prepare["args"]["staged"] == {"locations": 2, "extents": 0}
+    assert [o["op"] for o in prepare["args"]["ops"]] == \
+        ["update_object", "update_object"]
+
+
+def test_single_shard_commit_stays_one_phase(tmp_path):
+    cat, wal = _catalog(tmp_path)
+    with Server(cat, config=ServerConfig(partitions=_plan(cat))) as server:
+        server.connect().update_object("joe", "Salary", 3)
+        assert server.stats.snapshot()["single_shard_commits"] == 1
+    ops = [r["op"] for r in read_wal(wal)[0]]
+    assert "txn.prepare" not in ops and "txn.decide" not in ops
+
+
+# -- in-doubt resolution ----------------------------------------------------
+
+_PREPARE_OPS = [
+    {"op": "update_object",
+     "args": {"object": "joe", "label": "Salary", "value": 99}},
+    {"op": "update_object",
+     "args": {"object": "amy", "label": "Salary", "value": 99}},
+]
+
+
+def _stage_in_doubt(tmp_path, decide=False, ack=False):
+    """A WAL holding a prepare whose coordinator crashed mid-handshake."""
+    cat, wal = _catalog(tmp_path)
+    tid = cat.wal.append("txn.prepare", {
+        "shards": [0, 1], "ops": _PREPARE_OPS,
+        "staged": {"locations": 2, "extents": 0}})
+    if decide:
+        cat.wal.append("txn.decide", {"tid": tid, "outcome": "commit"})
+    if ack:
+        cat.wal.append("txn.ack", {"tid": tid})
+    cat.wal.close()
+    return wal, tid
+
+
+def test_prepare_without_decide_is_presumed_abort(tmp_path):
+    wal, tid = _stage_in_doubt(tmp_path)
+    cat, report = recover(wal)
+    assert _salaries(cat.session) == {"joe": 0, "amy": 0}
+    assert report.in_doubt == [{"tid": tid, "shards": [0, 1],
+                                "staged": {"locations": 2, "extents": 0},
+                                "resolution": "abort"}]
+    assert f"tid {tid} -> abort" in report.summary()
+    cat.wal.close()
+
+
+def test_decide_without_ack_replays_idempotently(tmp_path):
+    wal, tid = _stage_in_doubt(tmp_path, decide=True)
+    cat, report = recover(wal)
+    assert _salaries(cat.session) == {"joe": 99, "amy": 99}
+    assert [t["resolution"] for t in report.in_doubt] == ["commit"]
+    cat.wal.close()
+    # Recovery is idempotent: a second doctor pass over the same log
+    # reconciles the already-applied ops instead of re-applying them.
+    cat2, report2 = recover(wal)
+    assert _salaries(cat2.session) == {"joe": 99, "amy": 99}
+    assert [t["resolution"] for t in report2.in_doubt] == ["commit"]
+    cat2.wal.close()
+
+
+def test_acked_commit_is_not_in_doubt(tmp_path):
+    wal, _tid = _stage_in_doubt(tmp_path, decide=True, ack=True)
+    cat, report = recover(wal)
+    assert _salaries(cat.session) == {"joe": 99, "amy": 99}
+    assert report.in_doubt == []
+    cat.wal.close()
+
+
+def test_catalog_recover_resolves_two_phase(tmp_path):
+    # The blind-replay path must not choke on (or half-apply) 2PC
+    # records either: it shares the same resolution pass.
+    wal, _tid = _stage_in_doubt(tmp_path, decide=True)
+    cat = Catalog.recover(wal)
+    assert _salaries(cat.session) == {"joe": 99, "amy": 99}
+    cat.wal.close()
+    sub = tmp_path / "abort-case"
+    sub.mkdir()
+    wal2, _tid = _stage_in_doubt(sub, decide=False)
+    cat2 = Catalog.recover(wal2)
+    assert _salaries(cat2.session) == {"joe": 0, "amy": 0}
+    cat2.wal.close()
+
+
+def test_resolve_two_phase_orders_commit_at_decide_position():
+    records = [
+        {"lsn": 1, "op": "txn.prepare",
+         "args": {"shards": [0, 1], "ops": _PREPARE_OPS,
+                  "staged": {"locations": 2, "extents": 0}}},
+        {"lsn": 2, "op": "update_object",
+         "args": {"object": "joe", "label": "Salary", "value": 5}},
+        {"lsn": 3, "op": "txn.decide", "args": {"tid": 1,
+                                                "outcome": "commit"}},
+        {"lsn": 4, "op": "txn.ack", "args": {"tid": 1}},
+    ]
+    resolved, in_doubt = resolve_two_phase(records)
+    # The decide's log position is the serialization order: the
+    # interleaved single-shard commit replays *before* the 2PC group.
+    assert [(r["op"], r["lsn"]) for r in resolved] == \
+        [("update_object", 2), ("txn", 3)]
+    assert resolved[1]["args"]["ops"] == _PREPARE_OPS
+    assert in_doubt == []
+
+
+def test_server_startup_reports_resolved_in_doubt(tmp_path):
+    wal, tid = _stage_in_doubt(tmp_path, decide=True)
+    with Server(wal=wal) as server:
+        assert server.recovery is not None
+        assert [t["tid"] for t in server.recovery.in_doubt] == [tid]
+        assert server.stats.snapshot()["in_doubt_resolved"] == 1
+        assert _salaries(server.session) == {"joe": 99, "amy": 99}
+
+
+# -- torn tail after a prepare (satellite) ----------------------------------
+
+def test_torn_group_commit_after_prepare_keeps_the_prepare(tmp_path):
+    cat, wal = _catalog(tmp_path)
+    cat.wal.append("txn.prepare", {
+        "shards": [0, 1], "ops": _PREPARE_OPS,
+        "staged": {"locations": 2, "extents": 0}})
+    cat.wal.append("txn", {"ops": [
+        {"op": "update_object",
+         "args": {"object": "joe", "label": "Salary", "value": 42}}]})
+    cat.wal.close()
+    # Tear the tail *inside* the group-commit record that follows the
+    # prepare — the crash window of a flush that never finished.
+    size = os.path.getsize(wal)
+    with open(wal, "ab") as f:
+        f.truncate(size - 10)
+    records, torn = read_wal(wal)
+    assert torn
+    assert records[-1]["op"] == "txn.prepare"
+    cat2, report = recover(wal)
+    assert report.torn_tail
+    # The torn group is dropped; the surviving prepare resolves by
+    # presumed abort — nothing half-applies.
+    assert _salaries(cat2.session) == {"joe": 0, "amy": 0}
+    assert [t["resolution"] for t in report.in_doubt] == ["abort"]
+    cat2.wal.close()
+
+
+# -- lane handshake under contention ----------------------------------------
+
+def test_cross_shard_commits_are_atomic_under_lane_traffic(tmp_path):
+    # Single-shard lane traffic hammers both participants while
+    # cross-shard transactions set joe = amy = k through the handshake;
+    # the pair must never be observed torn by another transaction.
+    cat, wal = _catalog(tmp_path, fsync=False)
+    cfg = ServerConfig(workers=2, partitions=_plan(cat),
+                       retry=RetryPolicy(max_attempts=12,
+                                         base_delay=0.0005, max_delay=0.01))
+    with Server(cat, config=cfg) as server:
+        client = server.connect()
+        stop = threading.Event()
+        errors = []
+
+        def lane_noise(name):
+            fp = FootprintSummary(frozenset({name}), frozenset({name}))
+            try:
+                while not stop.is_set():
+                    client.run(
+                        lambda txn: txn.eval_py(
+                            f"query(fn x => x.Salary, {name})"),
+                        footprint=fp, timeout=60)
+            except BaseException as exc:  # pragma: no cover
+                errors.append(exc)
+
+        def check_pair(txn):
+            vals = [txn.eval_py(f"query(fn x => x.Salary, {n})")
+                    for n in ("joe", "amy")]
+            assert vals[0] == vals[1], f"torn cross-shard state: {vals}"
+
+        noise = [threading.Thread(target=lane_noise, args=(n,))
+                 for n in ("joe", "amy")]
+        for t in noise:
+            t.start()
+        try:
+            for k in range(1, 21):
+                client.run(_set_both(k), footprint=XFP, timeout=60)
+                client.run(check_pair, footprint=XFP, timeout=60)
+        finally:
+            stop.set()
+            for t in noise:
+                t.join(timeout=30)
+        assert errors == []
+        assert server.stats.snapshot()["two_phase_commits"] >= 40
+        assert _salaries(cat.session) == {"joe": 20, "amy": 20}
+
+
+# -- the pooled client backs off on lane-escalation conflicts (satellite) ---
+
+class _RecordingPolicy(RetryPolicy):
+    """Records every (exception, computed backoff) the client sleeps on."""
+
+    def __init__(self):
+        from repro.client import DEFAULT_RETRY_ON
+        super().__init__(max_attempts=40, base_delay=0.002,
+                         max_delay=0.05, retry_on=DEFAULT_RETRY_ON)
+        self.seen = []
+
+    def backoff_for(self, exc, attempt, rng):
+        delay = super().backoff_for(exc, attempt, rng)
+        self.seen.append((exc, delay))
+        # Honor the envelope decision (hint vs jitter) but keep the
+        # test fast.
+        return min(delay, 0.02)
+
+
+def test_wire_client_backs_off_on_cross_shard_conflict(tmp_path):
+    from repro.client import Client
+    from repro.server.protocol import ProtocolServer
+
+    cat, wal = _catalog(tmp_path, names=("joe", "amy", "zed"), fsync=False)
+    plan = _plan(cat)  # joe/amy only: zed stays outside every shard
+    with Server(cat, config=ServerConfig(partitions=plan)) as server:
+        started = threading.Event()
+        release = threading.Event()
+
+        def blocker(txn):
+            started.set()
+            assert release.wait(timeout=30)
+            return txn.eval_py("query(fn x => x.Salary, zed)")
+
+        # A fast-path global transaction holding joe's footprint: the
+        # cross-shard commit below overlaps it at admission and must be
+        # turned away with a retriable, *hinted* ConflictError.
+        blocker_req = server.submit(
+            blocker, footprint=FootprintSummary(frozenset({"joe", "zed"}),
+                                                frozenset({"zed"})))
+        assert started.wait(timeout=30)
+        policy = _RecordingPolicy()
+        with ProtocolServer(server) as front:
+            client = Client(*front.address, retry=policy)
+            try:
+                releaser = threading.Timer(0.2, release.set)
+                releaser.start()
+                client.exec("query(fn x => update(x, Salary, "
+                            "query(fn y => y.Salary, amy) + 1), joe)")
+            finally:
+                release.set()
+                client.close()
+        server.wait(blocker_req, timeout=30)
+        conflicts = [(exc, delay) for exc, delay in policy.seen
+                     if isinstance(exc, ConflictError)]
+        assert conflicts, "the cross-shard commit never hit the blocker"
+        for exc, delay in conflicts:
+            # The server's drain-estimate hint survived the wire and the
+            # policy backed off on it — no hot retry.
+            assert exc.retry_after is not None and exc.retry_after > 0
+            assert delay >= exc.retry_after
+        assert server.stats.snapshot()["interference_blocked"] >= 1
+        assert _salaries(cat.session)["joe"] == 1
+
+
+# -- chaos: prepare/decide faults + worker kills under 16 clients -----------
+
+THREADS = int(os.environ.get("REPRO_STRESS_THREADS", "16"))
+TXNS_PER_THREAD = int(os.environ.get("REPRO_STRESS_TXNS", "50")) // 5
+
+
+@pytest.mark.slow
+def test_stress_two_phase_chaos(tmp_path):
+    """The 2pc-chaos round: 16 clients mixing cross-shard increments with
+    single-shard lane traffic while a chaos thread arms prepare/decide
+    faults and worker kills.  Invariant: joe and amy stay equal — every
+    cross-shard transaction commits everywhere or nowhere — and the
+    final value equals the number of *reported* successes, in memory and
+    after recovery."""
+    from repro.runtime.faults import InjectedFault
+
+    cat, wal = _catalog(tmp_path, names=("joe", "amy", "bob"), fsync=False)
+    cfg = ServerConfig(workers=4, queue_size=2048,
+                       partitions=_plan(cat, names=("joe", "amy", "bob"),
+                                        shards=3),
+                       retry=RetryPolicy(max_attempts=12, base_delay=0.0005,
+                                         max_delay=0.01))
+
+    def cross_increment(txn):
+        value = txn.eval_py("query(fn x => x.Salary, joe)")
+        txn.update_object("joe", "Salary", value + 1)
+        txn.update_object("amy", "Salary", value + 1)
+
+    book_lock = threading.Lock()
+    book = {"cross": 0, "bob": 0, "aborted": 0}
+    errors = []
+    stop = threading.Event()
+
+    def chaos_thread():
+        rng = random.Random(7)
+        while not stop.is_set():
+            point = rng.choice(["2pc.prepare", "2pc.decide",
+                                "2pc.ack", "2pc.lane_acquire",
+                                "server.worker"])
+            with faults.inject(point, at=rng.randint(1, 2)):
+                time.sleep(0.005)
+
+    def client_thread(seed):
+        rng = random.Random(seed)
+        client = server.connect()
+        for _ in range(TXNS_PER_THREAD):
+            try:
+                if rng.random() < 0.6:
+                    client.run(cross_increment, footprint=XFP, timeout=120)
+                    with book_lock:
+                        book["cross"] += 1
+                else:
+                    client.run(lambda txn: txn.update_object(
+                        "bob", "Salary", rng.randint(1, 9)),
+                        footprint=FootprintSummary(frozenset({"bob"}),
+                                                   frozenset({"bob"})),
+                        timeout=120)
+                    with book_lock:
+                        book["bob"] += 1
+            except (ConflictError, InjectedFault):
+                with book_lock:
+                    book["aborted"] += 1
+            except BaseException as exc:  # pragma: no cover
+                errors.append(exc)
+                raise
+
+    with Server(cat, config=cfg) as server:
+        chaos = threading.Thread(target=chaos_thread)
+        chaos.start()
+        threads = [threading.Thread(target=client_thread, args=(seed,))
+                   for seed in range(THREADS)]
+        try:
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=600)
+            assert not any(t.is_alive() for t in threads), "chaos run hung"
+        finally:
+            stop.set()
+            chaos.join(timeout=30)
+            faults.reset()
+        assert errors == []
+        # Commit-everywhere or abort-everywhere, never mixed — and the
+        # ledger balances: successes all visible, aborts all invisible.
+        live = _salaries(cat.session)
+        assert live["joe"] == live["amy"] == book["cross"]
+        stats = server.stats.snapshot()
+        assert stats["two_phase_commits"] == book["cross"]
+    # The log agrees with memory after a full recovery pass.
+    recovered, report = recover(wal)
+    vals = _salaries(recovered.session)
+    assert vals["joe"] == vals["amy"] == book["cross"]
+    for t in report.in_doubt:
+        assert t["resolution"] in ("abort", "commit")
+    recovered.wal.close()
