@@ -54,6 +54,7 @@ import threading
 import time
 from pathlib import Path
 
+from repro import Session
 from repro.analysis.partition import partition_workload
 from repro.analysis.regions import FootprintSummary
 from repro.analysis.workload import build_conflict_graph
@@ -90,7 +91,13 @@ POLICY = RetryPolicy(max_attempts=64)
 
 
 def _catalog():
-    cat = Catalog()
+    # The interpreter is pinned off here on purpose: this bench measures
+    # the concurrency protocols (dynamic OCC vs partitioned lanes), and
+    # the comparison needs the evaluation-bound workload it was designed
+    # around.  Compiled execution makes each request so cheap that
+    # dispatch, not the protocol, dominates both servers; the closure
+    # compiler has its own bench and gate (bench_compile.py).
+    cat = Catalog(Session(compile="off"))
     rows = ", ".join(f"[A := {i}]" for i in range(PAD_ROWS))
     cat.session.exec(f"val pad = {{{rows}}}")
     for n in NAMES:

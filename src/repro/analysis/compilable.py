@@ -1,0 +1,25 @@
+"""The compile pass: flag programs that fall back to interpretation.
+
+The closure compiler (:mod:`repro.compile`) lowers every construct of the
+core, object and class layers except a small structural remainder; a
+program containing one of those nodes runs on the interpreter instead.
+That is always *correct* — the machine is the semantic oracle — but it
+forfeits the compiled speedup, so RP701 surfaces the decision statically,
+with the same reason string ``Session.explain_plan`` reports at run time.
+"""
+
+from __future__ import annotations
+
+from ..core import terms as T
+from .diagnostics import DiagnosticSink
+
+__all__ = ["compile_pass"]
+
+
+def compile_pass(term: T.Term, sink: DiagnosticSink,
+                 latent_names: set | None = None) -> None:
+    """Emit RP701 for every sub-term the closure compiler cannot lower."""
+    from ..compile.compiler import structural_fallbacks
+    for reason, pos in structural_fallbacks(term):
+        sink.emit("RP701",
+                  f"program falls back to interpretation: {reason}", pos)

@@ -13,7 +13,9 @@ Code blocks by pass:
 * ``RP3xx`` — dead code;
 * ``RP4xx`` — effects (purity of viewing functions and predicates);
 * ``RP5xx`` — footprints (the regions pass, ``--regions``);
-* ``RP6xx`` — workload interference (the workload pass, ``--workload``).
+* ``RP6xx`` — workload interference (the workload pass, ``--workload``);
+* ``RP7xx`` — compilation (programs the closure compiler hands back to
+  the interpreter).
 """
 
 from __future__ import annotations
@@ -95,6 +97,9 @@ RP602 = _register("RP602", Severity.WARNING,
                   "write-skew cycle among fast-path candidates")
 RP603 = _register("RP603", Severity.WARNING,
                   "⊤-footprint program serializes the workload")
+# -- compilation -----------------------------------------------------------
+RP701 = _register("RP701", Severity.INFO,
+                  "program falls back to interpretation")
 
 
 @dataclass(frozen=True)

@@ -19,6 +19,7 @@ from typing import Callable, Optional
 from ..core import terms as T
 from ..errors import (KindError, LexError, ParseError, RecursiveClassError,
                       TypeInferenceError)
+from .compilable import compile_pass
 from .deadcode import dead_code_pass
 from .diagnostics import Diagnostic, DiagnosticSink, Severity
 from .effects import PurityEnv, effect_pass, expression_is_impure
@@ -39,11 +40,15 @@ PASSES: dict[str, Pass] = {
     "dead-code": dead_code_pass,
     "effects": effect_pass,
     "regions": regions_pass,
+    "compile": compile_pass,
 }
 
 # The regions pass reports a footprint for *every* term (info severity),
-# so it is opt-in (``repro-lint --regions``) rather than a default.
-DEFAULT_PASSES = ["sharing", "view-update", "dead-code", "effects"]
+# so it is opt-in (``repro-lint --regions``) rather than a default.  The
+# compile pass only fires on the structural fallback remainder, so it
+# rides along by default.
+DEFAULT_PASSES = ["sharing", "view-update", "dead-code", "effects",
+                  "compile"]
 
 
 def analyze_term(term: T.Term, sink: Optional[DiagnosticSink] = None,

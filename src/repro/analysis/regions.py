@@ -509,8 +509,8 @@ def reachable_state(value) -> tuple[set[int], set[int]]:
     and closure environments (captured free variables).
     """
     from ..eval.store import Location
-    from ..eval.values import (VBuiltin, VClass, VClosure, VLval, VObject,
-                               VRecord, VSet)
+    from ..eval.values import (VBuiltin, VClass, VClosure, VCompiledFn,
+                               VLval, VObject, VRecord, VSet)
 
     locs: set[int] = set()
     exts: set[int] = set()
@@ -541,6 +541,13 @@ def reachable_state(value) -> tuple[set[int], set[int]]:
         elif isinstance(v, VClosure):
             for name in free_vars(v.body) - {v.param}:
                 stack.append(_env_get(v.env, name))
+        elif isinstance(v, VCompiledFn):
+            # A compiled closure reaches exactly what its free bindings
+            # reach (captures + embedded globals) — same walk as a
+            # VClosure, through the compiler's analysis record.
+            for _name, bound in v.free_bindings():
+                stack.append(bound)
+            stack.extend(v.args)
         elif isinstance(v, VBuiltin):
             stack.extend(v.args)
         elif isinstance(v, VLval):
@@ -556,8 +563,8 @@ def value_may_mutate(value, _seen: set[int] | None = None) -> bool:
     """May using this *value* (applying functions reachable from it)
     mutate existing state?  Conservative: unknown shapes answer True."""
     from ..eval.store import Location
-    from ..eval.values import (VBuiltin, VClass, VClosure, VLval, VObject,
-                               VRecord, VSet)
+    from ..eval.values import (VBuiltin, VClass, VClosure, VCompiledFn,
+                               VLval, VObject, VRecord, VSet)
 
     seen = _seen if _seen is not None else set()
     if value is None or id(value) in seen:
@@ -568,6 +575,16 @@ def value_may_mutate(value, _seen: set[int] | None = None) -> bool:
         latent = {n for n in names
                   if value_may_mutate(_env_get(value.env, n), seen)}
         eff = _effect(value.body, latent)
+        return eff.eval or eff.latent
+    if isinstance(value, VCompiledFn):
+        # Same analysis as a VClosure, over the compiled body and the
+        # free bindings recorded by the compiler.  A compiled function
+        # without an analysis record is treated conservatively.
+        if value.source is None:
+            return True
+        latent = {n for n, bound in value.free_bindings()
+                  if value_may_mutate(bound, seen)}
+        eff = _effect(value.source[0], latent)
         return eff.eval or eff.latent
     if isinstance(value, VBuiltin):
         return any(value_may_mutate(a, seen) for a in value.args)

@@ -1,0 +1,19 @@
+"""Closure compilation of typechecked core terms (see docs/COMPILE.md).
+
+Public surface:
+
+* :func:`~repro.compile.compiler.compile_term` — lower one term;
+* :class:`~repro.compile.engine.CompileEngine` — the session-level cache
+  with identity-based invalidation and statistics;
+* :class:`~repro.compile.compiler.CompileFallback` — raised (and recorded)
+  when a term contains a construct the compiler does not lower.
+"""
+
+from .compiler import (CompiledProgram, CompileFallback, compile_closure,
+                       compile_term)
+from .engine import CompileDecision, CompileEngine, CompileStats
+from .layouts import Layout
+
+__all__ = ["compile_term", "compile_closure", "CompiledProgram",
+           "CompileFallback", "CompileEngine", "CompileStats",
+           "CompileDecision", "Layout"]

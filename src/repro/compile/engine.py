@@ -1,0 +1,192 @@
+"""The compile engine: program cache, validity tracking, statistics.
+
+A :class:`CompileEngine` sits between the session and the compiler.  It
+caches :class:`~repro.compile.compiler.CompiledProgram` objects by the
+term's *structural fingerprint* (its pretty-printed source, exactly like
+the query planner's plan fingerprints) and re-validates every cached
+program against its recorded global dependencies before each run — a
+program that embedded ``hom`` or an inlined prelude closure is dropped and
+recompiled the moment the session rebinds that name, mirroring the
+materialized-view cache's identity-based invalidation.
+
+Structural fallbacks (the term contains ``relobj``/``let ... class``) are
+cached too, so a program that cannot compile pays the compile attempt only
+once; environment-dependent fallbacks (an unbound name) are re-attempted,
+since a later binding can make the program compilable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..eval.machine import Machine
+from ..eval.values import Env, Value
+from ..syntax.pretty import pretty_term
+from .compiler import CompileFallback, CompiledProgram, compile_term
+
+__all__ = ["CompileEngine", "CompileStats", "CompileDecision"]
+
+
+@dataclass
+class CompileStats:
+    """Counters surfaced through ``Session.compile_stats`` and the server.
+
+    ``programs_compiled`` counts successful lowerings, ``fallbacks``
+    counts programs handed back to the interpreter (with a reason),
+    ``cache_hits`` counts runs served by a still-valid cached program, and
+    ``invalidations`` counts cached programs dropped because a global they
+    embedded was rebound.
+    """
+
+    programs_compiled: int = 0
+    fallbacks: int = 0
+    cache_hits: int = 0
+    invalidations: int = 0
+    compiled_runs: int = 0
+
+    def snapshot(self) -> dict:
+        return {
+            "programs_compiled": self.programs_compiled,
+            "fallbacks": self.fallbacks,
+            "cache_hits": self.cache_hits,
+            "invalidations": self.invalidations,
+            "compiled_runs": self.compiled_runs,
+        }
+
+
+class CompileDecision:
+    """The engine's verdict for one term: a program, or a reason why not."""
+
+    __slots__ = ("program", "reason")
+
+    def __init__(self, program: "CompiledProgram | None", reason: str | None):
+        self.program = program
+        self.reason = reason
+
+    @property
+    def compiled(self) -> bool:
+        return self.program is not None
+
+    def render(self) -> str:
+        if self.program is not None:
+            return "execution: compiled"
+        return f"execution: interpreted — {self.reason}"
+
+
+class _Fallback:
+    """A cached structural fallback: this term never compiles."""
+
+    __slots__ = ("reason",)
+
+    def __init__(self, reason: str):
+        self.reason = reason
+
+
+class CompileEngine:
+    """Compiles, caches and runs programs for one session."""
+
+    def __init__(self) -> None:
+        self._cache: dict[str, object] = {}
+        #: Compiled-closure memo shared across programs, keyed by
+        #: ``id(VClosure)`` (entries self-validate by identity).
+        self._fn_memo: dict = {}
+        self.stats = CompileStats()
+        #: The decision for the most recent ``decide``/``execute`` call;
+        #: ``Session.explain_plan`` reads it.
+        self.last_decision: "CompileDecision | None" = None
+
+    # -- decisions ---------------------------------------------------------
+
+    def decide(self, term, env: Env,
+               annotations: "dict | None" = None) -> CompileDecision:
+        """Resolve ``term`` to a runnable program or a fallback reason.
+
+        Counts a cache hit only when a cached *program* is still valid;
+        an invalidated program is recompiled in place.
+        """
+        # The structural fingerprint is pure in the term, so memoize it on
+        # the term object: sessions re-submit the same parsed statement
+        # (the REPL caches parses), and re-rendering on every run would
+        # cost more than the compiled program itself for small programs.
+        fingerprint = getattr(term, "_fingerprint", None)
+        if fingerprint is None:
+            fingerprint = pretty_term(term)
+            try:
+                term._fingerprint = fingerprint
+            except AttributeError:  # pragma: no cover - slotted term
+                pass
+        cached = self._cache.get(fingerprint)
+        if isinstance(cached, _Fallback):
+            decision = CompileDecision(None, cached.reason)
+            self.last_decision = decision
+            return decision
+        if isinstance(cached, CompiledProgram):
+            if cached.valid():
+                self.stats.cache_hits += 1
+                decision = CompileDecision(cached, None)
+                self.last_decision = decision
+                return decision
+            self.stats.invalidations += 1
+            del self._cache[fingerprint]
+        try:
+            program = compile_term(term, env, annotations, self._fn_memo)
+        except CompileFallback as fb:
+            self.stats.fallbacks += 1
+            if fb.structural:
+                self._cache[fingerprint] = _Fallback(fb.describe())
+            decision = CompileDecision(None, fb.describe())
+            self.last_decision = decision
+            return decision
+        self.stats.programs_compiled += 1
+        self._cache[fingerprint] = program
+        decision = CompileDecision(program, None)
+        self.last_decision = decision
+        return decision
+
+    # -- execution ---------------------------------------------------------
+
+    def execute(self, machine: Machine, term, env: Env,
+                annotations: "dict | None" = None) -> "Value | None":
+        """Run ``term`` compiled if possible; ``None`` means fall back.
+
+        The caller (the session) runs the interpreter on ``None`` — the
+        machine has not been touched in that case (compilation performs no
+        evaluation), so falling back is always safe.
+        """
+        decision = self.decide(term, env, annotations)
+        if decision.program is None:
+            return None
+        self.stats.compiled_runs += 1
+        return decision.program.run(machine)
+
+    # -- function values ---------------------------------------------------
+
+    def compiled_predicate(self, closure) -> "Value | None":
+        """A compiled equivalent of an interpreted closure, or ``None``.
+
+        Used by the query planner to run filter/map stage functions
+        compiled.  A closure's captured environment chains up to the
+        session's *mutable* global frame, so the compiled function's
+        embedded globals are re-validated here, once per query execution
+        (elements then run without any lookup); a stale entry is dropped
+        from the memo and recompiled against the current bindings.
+        """
+        from ..errors import EvalError
+        from ..eval.values import VClosure
+        from .compiler import compile_closure
+        if not isinstance(closure, VClosure):
+            return None
+        for _attempt in (0, 1):
+            try:
+                fn, deps = compile_closure(closure, self._fn_memo)
+            except CompileFallback:
+                return None
+            try:
+                if all(env.lookup(name) is value
+                       for env, name, value in deps):
+                    return fn
+            except EvalError:
+                pass
+            # Stale: some embedded global was rebound since compilation.
+            self._fn_memo.pop(id(closure), None)
+        return None

@@ -1,0 +1,63 @@
+"""Interned record layouts for compiled code.
+
+Ohori's compilation of record polymorphism specializes field access to a
+fixed offset in a flat representation.  This runtime keeps the cell
+container a dict — twelve call sites across the evaluator, the OCC layer
+and the journaling store address ``VRecord.cells`` by label, and several
+of them (``extract`` sharing, fuse/relobj view synthesis) build records
+whose shapes only exist at runtime — so the compiled analogue is a
+:class:`Layout`: one interned object per record *shape* (label tuple +
+mutability set) that every compiled ``RecordExpr`` of that shape shares.
+
+What interning buys the compiled path:
+
+* one ``frozenset`` of mutable labels per shape instead of one per record
+  value (the interpreter allocates a fresh ``frozenset(mutable)`` on every
+  record construction);
+* `sys.intern`-ed label strings, so the per-access dict lookups in
+  compiled ``Dot``/``Update`` nodes hash by pointer in the common case;
+* a stable identity per shape, which the compiler uses as a cache key for
+  specialized accessors.
+"""
+
+from __future__ import annotations
+
+import sys
+
+__all__ = ["Layout"]
+
+
+class Layout:
+    """The compile-time shape of a record: labels in order + mutability.
+
+    Instances are interned: ``Layout.of(labels, mutable)`` returns the same
+    object for the same shape, so compiled record constructors share one
+    label tuple and one mutable-label frozenset across every record they
+    ever build.
+    """
+
+    __slots__ = ("labels", "mutable_labels", "index")
+
+    _interned: "dict[tuple, Layout]" = {}
+
+    def __init__(self, labels: tuple, mutable_labels: frozenset):
+        self.labels = labels
+        self.mutable_labels = mutable_labels
+        #: label -> position, the fixed-offset table of the paper's
+        #: compilation (consumers index ``labels`` by it).
+        self.index = {label: i for i, label in enumerate(labels)}
+
+    @staticmethod
+    def intern_label(label: str) -> str:
+        return sys.intern(label)
+
+    @classmethod
+    def of(cls, labels: "tuple[str, ...]", mutable: "frozenset[str]"
+           ) -> "Layout":
+        labels = tuple(sys.intern(l) for l in labels)
+        key = (labels, frozenset(sys.intern(l) for l in mutable))
+        layout = cls._interned.get(key)
+        if layout is None:
+            layout = cls(key[0], key[1])
+            cls._interned[key] = layout
+        return layout

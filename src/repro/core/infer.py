@@ -27,7 +27,39 @@ from .types import (BOOL, KRecord, TClass, TFun, TLval, TObj,
 from .unify import ensure_record_field, occurs_adjust, unify
 
 __all__ = ["TypeEnv", "infer", "infer_scheme", "generalize",
-           "is_nonexpansive"]
+           "is_nonexpansive", "record_type_annotations"]
+
+#: When set (see :func:`record_type_annotations`), maps ``id(node)`` of each
+#: ``Dot``/``Update`` node to the inferred type of its record operand.  The
+#: compiler (:mod:`repro.compile`) reads the table *after* inference, when
+#: unification has resolved the operand as far as the program constrains it:
+#: a concrete ``TRecord`` admits offset-style specialization, a record-kinded
+#: variable only the generic path.
+_record_type_sink: "dict[int, Type] | None" = None
+
+
+class record_type_annotations:
+    """Context manager: collect record-operand types during inference.
+
+    >>> with record_type_annotations() as ann:
+    ...     infer(term, env, level=1)
+    ... # ann now maps id(Dot/Update node) -> operand Type
+    """
+
+    __slots__ = ("sink", "_prev")
+
+    def __init__(self, sink: "dict[int, Type] | None" = None):
+        self.sink: dict[int, Type] = {} if sink is None else sink
+
+    def __enter__(self) -> "dict[int, Type]":
+        global _record_type_sink
+        self._prev = _record_type_sink
+        _record_type_sink = self.sink
+        return self.sink
+
+    def __exit__(self, *exc) -> None:
+        global _record_type_sink
+        _record_type_sink = self._prev
 
 
 class TypeEnv:
@@ -162,6 +194,8 @@ def _infer(term: T.Term, env: TypeEnv, level: int) -> Type:
         field_t = TVar(level)
         ensure_record_field(rec_t, term.label, field_t,
                             mutable_required=False)
+        if _record_type_sink is not None:
+            _record_type_sink[id(term)] = rec_t
         return field_t
     if isinstance(term, T.Extract):
         raise TypeInferenceError(
@@ -171,6 +205,8 @@ def _infer(term: T.Term, env: TypeEnv, level: int) -> Type:
         rec_t = infer(term.expr, env, level)
         val_t = infer(term.value, env, level)
         ensure_record_field(rec_t, term.label, val_t, mutable_required=True)
+        if _record_type_sink is not None:
+            _record_type_sink[id(term)] = rec_t
         return UNIT
     if isinstance(term, T.SetExpr):
         elem_t = TVar(level)

@@ -29,8 +29,8 @@ if TYPE_CHECKING:  # pragma: no cover
 
 __all__ = [
     "Value", "VUnit", "UNIT_VALUE", "VInt", "VBool", "VString", "VRecord",
-    "VLval", "VClosure", "VBuiltin", "VSet", "VObject", "VClass",
-    "ResolvedInclude", "Env", "TRUE", "FALSE",
+    "VLval", "VClosure", "VBuiltin", "VCompiledFn", "VSet", "VObject",
+    "VClass", "ResolvedInclude", "Env", "TRUE", "FALSE",
 ]
 
 _oids = itertools.count(1)
@@ -181,6 +181,62 @@ class VBuiltin(Value):
         self.arity = arity
         self.fn = fn
         self.args = args
+
+
+class VCompiledFn(VBuiltin):
+    """A compiled lambda (:mod:`repro.compile`).
+
+    Behaves exactly like a unary :class:`VBuiltin` — ``Machine.apply``
+    dispatches on the base class, so interpreted code can call compiled
+    functions and vice versa — but prints like the closure it was compiled
+    from (``name`` holds the original parameter name).
+
+    ``source`` is ``(body, cap_specs, env)``: the original lambda body,
+    the compile-time map from captured free names to capture-tuple slots,
+    and the environment the compiler resolved globals against.  Together
+    with ``captures`` (this instance's capture tuple) it lets the static
+    analyses (:mod:`repro.analysis.regions`) see a compiled closure's free
+    bindings exactly as they see an interpreted closure's environment —
+    the OCC footprint walk and the extent-purity check stay sound.
+    """
+
+    __slots__ = ("source", "captures")
+
+    def __init__(self, name: str, arity: int, fn: Callable[..., Value],
+                 args: tuple[Value, ...] = (), source=None, captures=()):
+        VBuiltin.__init__(self, name, arity, fn, args)
+        self.source = source
+        self.captures = captures
+
+    def free_bindings(self):
+        """``(name, value)`` for each free variable of the compiled body.
+
+        Mirrors walking ``free_vars(closure.body)`` through an interpreted
+        closure's environment.  A name whose binding is unavailable (an
+        unfilled ``fix`` box) yields ``None``, like an unbound environment
+        lookup.
+        """
+        if self.source is None:
+            return ()
+        from ..core.terms import free_vars
+        body, caps, env = self.source
+        out = []
+        for name in free_vars(body) - {self.name}:
+            ref = caps.get(name)
+            if ref is None:
+                try:
+                    out.append((name, env.lookup(name)))
+                except EvalError:
+                    out.append((name, None))
+            else:
+                cell = self.captures[ref[1]]
+                if ref[0] == "capbox":
+                    boxed = cell[0]
+                    out.append((name,
+                                boxed if isinstance(boxed, Value) else None))
+                else:
+                    out.append((name, cell))
+        return out
 
 
 class VSet(Value):

@@ -61,12 +61,24 @@ class Session:
         planner only ever accelerates pure, recognized query shapes and
         falls back to naive evaluation for everything else, so results
         are identical either way.
+    compile:
+        ``"auto"`` (default) lowers type-checked expressions to Python
+        closures (:mod:`repro.compile`) before running them, caching
+        compiled programs by structural fingerprint and falling back to
+        the interpreter — with a recorded reason — for constructs the
+        compiler does not handle.  ``"off"`` always interprets.  Results,
+        store effects, budgets and error behaviour are identical either
+        way (the differential suite in ``tests/compile`` pins this).
     """
 
     def __init__(self, this_year: int = 1994, load_prelude: bool = True,
                  pure_views: bool = False, object_union: str = "choose",
-                 optimize: bool = False):
+                 optimize: bool = False, compile: str = "auto"):
         from ..objects.effects import PurityEnv
+        if compile not in ("auto", "off"):
+            raise ValueError("compile must be 'auto' or 'off'")
+        self.compile_mode = compile
+        self._compile_engine = None
         self.machine = Machine(this_year, object_union=object_union)
         self.pure_views = pure_views
         self.purity = PurityEnv()
@@ -95,25 +107,63 @@ class Session:
             self.planner = QueryEngine(self, enabled=self.optimize)
         return self.planner
 
-    def _eval_planned(self, term: T.Term) -> Value:
+    @property
+    def compile_engine(self):
+        """The session's :class:`~repro.compile.CompileEngine` (lazy)."""
+        if self._compile_engine is None:
+            from ..compile import CompileEngine
+            self._compile_engine = CompileEngine()
+        return self._compile_engine
+
+    @property
+    def compile_stats(self) -> dict:
+        """Snapshot of the compile engine's counters."""
+        if self._compile_engine is None:
+            from ..compile import CompileStats
+            return CompileStats().snapshot()
+        return self._compile_engine.stats.snapshot()
+
+    def _eval_machine(self, term: T.Term,
+                      annotations: "dict | None" = None) -> Value:
+        """Evaluate on the machine, compiled when the engine can lower it."""
+        if self.compile_mode != "off":
+            result = self.compile_engine.execute(
+                self.machine, term, self.runtime_env, annotations)
+            if result is not None:
+                return result
+        return self.machine.eval(term, self.runtime_env)
+
+    def _eval_planned(self, term: T.Term,
+                      annotations: "dict | None" = None) -> Value:
         """Evaluate through the query planner when optimization is on."""
         if self.optimize:
             return self._ensure_planner().execute(term, self.runtime_env)
-        return self.machine.eval(term, self.runtime_env)
+        return self._eval_machine(term, annotations)
 
     def explain_plan(self, src: str) -> str:
         """Render the query plan the optimizer would use for ``src``.
 
         Works whether or not the session was created with
         ``optimize=True`` (planning is read-only); the expression is
-        type-checked but not executed.
+        type-checked but not executed.  The final ``execution:`` line
+        reports how the machine runs the expression whenever the planner
+        does not take it — ``compiled``, or ``interpreted`` with the
+        compiler's fallback reason.
         """
+        from ..core.infer import record_type_annotations
         from ..core.limits import deep_recursion
         with deep_recursion():
             term = self.parse(src)
-            infer(term, self.type_env, level=1)
-            return self._ensure_planner().plan(
+            with record_type_annotations() as annotations:
+                infer(term, self.type_env, level=1)
+            report = self._ensure_planner().plan(
                 term, self.runtime_env).render()
+            if self.compile_mode == "off":
+                return (report +
+                        "\nexecution: interpreted — compilation disabled")
+            decision = self.compile_engine.decide(
+                term, self.runtime_env, annotations)
+            return report + "\n" + decision.render()
 
     # -- metrics ------------------------------------------------------------
 
@@ -136,14 +186,17 @@ class Session:
         return pretty_scheme(self.typeof(src))
 
     def eval_term(self, term: T.Term, *, typecheck: bool = True) -> Value:
+        from ..core.infer import record_type_annotations
         from ..core.limits import deep_recursion
         with deep_recursion():
+            annotations = None
             if typecheck:
-                infer(term, self.type_env, level=1)
+                with record_type_annotations() as annotations:
+                    infer(term, self.type_env, level=1)
                 if self.pure_views:
                     from ..objects.effects import check_views_pure
                     check_views_pure(term, self.purity)
-            return self._eval_planned(term)
+            return self._eval_planned(term, annotations)
 
     def eval(self, src: str) -> Value:
         """Type-check then evaluate an expression; returns the raw value."""
@@ -272,12 +325,14 @@ class Session:
                     self._exec_rec_classes(decl.bindings)
                 else:
                     assert isinstance(decl, P.ExprDecl)
+                    from ..core.infer import record_type_annotations
                     term = decl.expr
-                    scheme = infer_scheme(term, self.type_env)
+                    with record_type_annotations() as annotations:
+                        scheme = infer_scheme(term, self.type_env)
                     if self.pure_views:
                         from ..objects.effects import check_views_pure
                         check_views_pure(term, self.purity)
-                    last = self._eval_planned(term)
+                    last = self._eval_planned(term, annotations)
                     self._install("it", scheme, last)
         return last
 
@@ -400,14 +455,16 @@ class Session:
         shared), but must already exist and be type-compatible when
         ``prepare`` is called.
         """
+        from ..core.infer import record_type_annotations
         from ..core.limits import deep_recursion
         with deep_recursion():
             term = self.parse(src)
-            scheme = infer_scheme(term, self.type_env)
+            with record_type_annotations() as annotations:
+                scheme = infer_scheme(term, self.type_env)
             if self.pure_views:
                 from ..objects.effects import check_views_pure
                 check_views_pure(term, self.purity)
-        return PreparedQuery(self, term, scheme)
+        return PreparedQuery(self, term, scheme, annotations)
 
     # -- translations -------------------------------------------------------
 
@@ -432,15 +489,17 @@ class PreparedQuery:
     """A parsed, type-checked query bound to a session (see
     :meth:`Session.prepare`)."""
 
-    __slots__ = ("session", "term", "scheme")
+    __slots__ = ("session", "term", "scheme", "annotations")
 
-    def __init__(self, session: Session, term: T.Term, scheme: TypeScheme):
+    def __init__(self, session: Session, term: T.Term, scheme: TypeScheme,
+                 annotations: "dict | None" = None):
         self.session = session
         self.term = term
         self.scheme = scheme
+        self.annotations = annotations
 
     def __call__(self) -> Value:
-        return self.session._eval_planned(self.term)
+        return self.session._eval_planned(self.term, self.annotations)
 
     def run_py(self):
         """Run and convert to Python data."""

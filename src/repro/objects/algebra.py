@@ -124,7 +124,8 @@ def mk_intersect(sets: list[T.Term]) -> T.Term:
 
 def mk_relation(fields: list[tuple[str, T.Term]],
                 binders: list[tuple[str, T.Term]],
-                pred: T.Term) -> T.Term:
+                pred: T.Term,
+                pos: "T.Pos | None" = None) -> T.Term:
     """``relation [l1=e1,...] from x1 in S1, ..., xm in Sm where P``.
 
     Builds ``hom(prod(S1,...,Sm), step, union, {})`` where ``step`` binds
@@ -137,7 +138,7 @@ def mk_relation(fields: list[tuple[str, T.Term]],
         raise ValueError("relation needs at least one 'from' binder")
     tup = gensym("t")
     body: T.Term = T.If(pred,
-                        T.SetExpr([T.RelObj(list(fields))]),
+                        T.SetExpr([T.RelObj(list(fields), pos=pos)]),
                         T.SetExpr([]))
     for i in reversed(range(len(binders))):
         name = binders[i][0]

@@ -34,7 +34,8 @@ from ..core.terms import free_vars
 from ..errors import EvalError
 from ..eval.equality import value_key
 from ..eval.store import Location
-from ..eval.values import (VBool, VClass, VInt, VObject, VRecord, VSet,
+from ..eval.values import (VBool, VClass, VClosure, VInt, VObject,
+                           VRecord, VSet,
                            VString, Value)
 from .cost import CostModel
 from .indexes import IndexManager
@@ -146,24 +147,50 @@ class QueryEngine:
     def execute(self, term: T.Term, env) -> Value:
         """Evaluate ``term`` — planned when possible, naive otherwise."""
         if not self.enabled:
-            return self.machine.eval(term, env)
+            return self._naive(term, env)
         plan = self._plan(term)
         if plan.pipe is None:
             self.stats.fallbacks += 1
-            return self.machine.eval(term, env)
+            return self._naive(term, env)
         try:
             result = self._run(term, plan.pipe, env)
         except PlanAbort:
             self.stats.aborts += 1
-            return self.machine.eval(term, env)
+            return self._naive(term, env)
         except EvalError:
             # Planned execution is effect-free, so re-running naively is
             # safe — and yields the error (or result) the program's own
             # semantics dictate.
             self.stats.aborts += 1
-            return self.machine.eval(term, env)
+            return self._naive(term, env)
         self.stats.planned += 1
         return result
+
+    def _naive(self, term: T.Term, env) -> Value:
+        """Unplanned evaluation: compiled when the session compiles."""
+        session = self.session
+        if getattr(session, "compile_mode", "off") != "off":
+            result = session.compile_engine.execute(
+                self.machine, term, env)
+            if result is not None:
+                return result
+        return self.machine.eval(term, env)
+
+    def _stage_fn(self, term: T.Term, env) -> Value:
+        """Evaluate a stage function, swapping in its compiled form.
+
+        The compiled function is semantically identical (the differential
+        suite pins closure compilation), so per-element application runs
+        the lowered body instead of re-walking the term.
+        """
+        v = self.machine.eval(term, env)
+        session = self.session
+        if (getattr(session, "compile_mode", "off") != "off"
+                and isinstance(v, VClosure)):
+            compiled = session.compile_engine.compiled_predicate(v)
+            if compiled is not None:
+                return compiled
+        return v
 
     def plan(self, term: T.Term, env) -> PlanReport:
         """Render the plan ``execute`` would use, without running it."""
@@ -428,28 +455,28 @@ class QueryEngine:
         machine = self.machine
         out_rev: list[Value] = []
         if isinstance(stage, MapStage):
-            fnv = machine.eval(stage.fn, env)
+            fnv = self._stage_fn(stage.fn, env)
             for e in reversed(elems):
                 out_rev.append(machine.apply(fnv, e))
         elif isinstance(stage, _ViewOnly):
-            viewv = machine.eval(stage.view, env)
+            viewv = self._stage_fn(stage.view, env)
             for e in reversed(elems):
                 out_rev.append(machine.compose_view(
                     viewv, self._as_object(e)))
         elif isinstance(stage, FilterStage):
-            predv = machine.eval(stage.pred, env)
+            predv = self._stage_fn(stage.pred, env)
             for e in reversed(elems):
                 if self._verdict(predv, e):
                     out_rev.append(e)
         elif isinstance(stage, SelectStage):
-            viewv = machine.eval(stage.view, env)
-            predv = machine.eval(stage.pred, env)
+            viewv = self._stage_fn(stage.view, env)
+            predv = self._stage_fn(stage.pred, env)
             for e in reversed(elems):
                 if self._verdict(predv, e):
                     out_rev.append(machine.compose_view(
                         viewv, self._as_object(e)))
         elif isinstance(stage, ViewStage):
-            viewvs = [machine.eval(v, env) for v in stage.views]
+            viewvs = [self._stage_fn(v, env) for v in stage.views]
             for e in reversed(elems):
                 obj = self._as_object(e)
                 for vv in viewvs:

@@ -151,6 +151,28 @@ class Budget:
         if not s & _SLOW_EVERY_MASK:
             self._slow_checks(machine)
 
+    def tick_n(self, machine, n: int) -> None:
+        """Consume ``n`` evaluator steps at once.
+
+        Used by compiled code (:mod:`repro.compile`) when a specialization
+        fuses several term nodes into one closure: the fused closure owes
+        exactly the steps the interpreter would have ticked for the fused
+        plumbing, so step totals — and therefore step-budget exhaustion on
+        successful prefixes — are identical between the two engines.  The
+        slow checks run once per 256-step boundary the batch crosses,
+        preserving the fire count of the per-step path.
+        """
+        prev = self.steps
+        s = prev + n
+        self.steps = s
+        if s > self._step_limit:
+            raise BudgetExceededError(
+                f"evaluation exceeded its step budget of {self.max_steps} "
+                "steps (a non-terminating fix, or raise max_steps)",
+                dimension="steps", limit=self.max_steps)
+        if (s >> 8) != (prev >> 8):
+            self._slow_checks(machine)
+
     def _slow_checks(self, machine) -> None:
         fire("budget.tick")
         if self.max_allocations is not None:

@@ -806,6 +806,7 @@ class ProtocolServer:
             "lanes": {"count": len(server.lane_depths()),
                       "depths": server.lane_depths()},
             "server": server.stats.snapshot(),
+            "compile": server.compile_snapshot(),
             "service": server.stats.service_summary(),
             "protocol": self.stats.snapshot(),
             "wire_service": self.stats.service_summary(),

@@ -584,6 +584,25 @@ class Server:
         """Current queue depth per shard lane (empty without partitions)."""
         return [len(q) for q in self._lanes]
 
+    def compile_snapshot(self) -> dict:
+        """The served session's closure-compilation counters.
+
+        Worker and lane transactions execute through the shared session,
+        so these count the programs the server actually lowered
+        (``compiled_programs``), handed back to the interpreter
+        (``compile_fallbacks``) and served from the program cache
+        (``compile_cache_hits``).  Part of the ``stats`` wire operation
+        and ``repro-server --stats``.
+        """
+        snap = self.session.compile_stats
+        return {
+            "compiled_programs": snap["programs_compiled"],
+            "compile_fallbacks": snap["fallbacks"],
+            "compile_cache_hits": snap["cache_hits"],
+            "compile_invalidations": snap["invalidations"],
+            "compiled_runs": snap["compiled_runs"],
+        }
+
     def suggest_retry_after(self) -> float:
         """The explicit backoff hint attached to shed requests (seconds).
 

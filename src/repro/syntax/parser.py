@@ -642,7 +642,7 @@ class _Parser:
             break
         self.expect_keyword("where")
         pred = self.expression()
-        return A.mk_relation(fields, binders, pred)
+        return A.mk_relation(fields, binders, pred, pos=pos)
 
     # -- programs --------------------------------------------------------
 

@@ -213,8 +213,9 @@ class _Tp:
 
 def pretty_value(v: "Value") -> str:
     from ..eval.store import Location
-    from ..eval.values import (VBool, VBuiltin, VClass, VClosure, VInt,
-                               VLval, VObject, VRecord, VSet, VString, VUnit)
+    from ..eval.values import (VBool, VBuiltin, VClass, VClosure,
+                               VCompiledFn, VInt, VLval, VObject, VRecord,
+                               VSet, VString, VUnit)
     if isinstance(v, VUnit):
         return "()"
     if isinstance(v, VInt):
@@ -235,6 +236,9 @@ def pretty_value(v: "Value") -> str:
         return "{" + ", ".join(pretty_value(e) for e in v.elems) + "}"
     if isinstance(v, VClosure):
         return f"<fn {v.param}>"
+    if isinstance(v, VCompiledFn):
+        # A compiled lambda prints like the closure it was lowered from.
+        return f"<fn {v.name}>"
     if isinstance(v, VBuiltin):
         return f"<builtin {v.name}>"
     if isinstance(v, VObject):

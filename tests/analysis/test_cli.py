@@ -47,8 +47,11 @@ def test_strict_warning_still_exits_one(tmp_path, capsys):
 
 
 def test_examples_pass_the_strict_gate(capsys):
-    # The CI gate: zero findings of any severity across the examples.
-    assert main(["--strict", str(EXAMPLES)]) == 0
+    # The CI gate: zero warnings or errors across the examples.  Info
+    # advisories (RP701: relation objects run interpreted) are expected,
+    # so the strict gate runs at the warning floor.
+    assert main(["--strict", "--min-severity", "warning",
+                 str(EXAMPLES)]) == 0
     capsys.readouterr()
 
 

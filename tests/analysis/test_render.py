@@ -56,3 +56,38 @@ def test_render_multiline_span_underlines_to_line_end():
 
 def test_render_diagnostics_empty():
     assert render_diagnostics([], "src", "f.mql") == ""
+
+
+def test_golden_compile_fallback_relobj():
+    src = "val e = relobj(a = IDView([N = 1]), b = IDView([M = 2]))"
+    result = lint_source(src, "ro.mql")
+    assert result.render() == (
+        "ro.mql:1:9: info[RP701]: program falls back to interpretation: "
+        "relation-object construction (relobj) is not compiled yet\n"
+        "  1 | val e = relobj(a = IDView([N = 1]), b = IDView([M = 2]))\n"
+        "    |         ^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^"
+    )
+
+
+def test_golden_compile_fallback_relation_sugar():
+    # the sugar desugars to hom/prod around a relobj; the span points at
+    # the relation keyword the programmer wrote
+    src = ('val joe = IDView([Name = "Joe"])\n'
+           "val pairs = relation [fst = joe, snd = joe] "
+           "from x in {joe}, y in {joe} where true")
+    result = lint_source(src, "rel.mql")
+    [d] = result.diagnostics
+    assert d.code == "RP701"
+    assert d.span is not None and (d.span.line, d.span.column) == (2, 13)
+    assert "relation-object construction" in d.message
+
+
+def test_golden_compile_fallback_let_classes():
+    src = "let C = class {} end in C end"
+    result = lint_source(src, "lc.mql")
+    codes = [d.code for d in result.diagnostics]
+    assert "RP701" in codes
+    [d] = [d for d in result.diagnostics if d.code == "RP701"]
+    assert d.message == (
+        "program falls back to interpretation: recursive class "
+        "definitions (let ... class) are not compiled yet")

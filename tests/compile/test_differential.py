@@ -1,0 +1,265 @@
+"""Property test: compiled evaluation ≡ interpreted evaluation.
+
+Two sessions over the same setup execute the *same* randomized
+interleaving of expressions and mutations; one runs with the closure
+compiler (``compile="auto"``), the other on the bare machine
+(``compile="off"``, the semantic oracle).  After every step the two must
+agree on
+
+* result values (under :func:`tests.query.helpers.norm` — equality up
+  to the renaming of freshly allocated oids),
+* store effects (later reads observe earlier updates identically),
+* error behaviour (same exception type, same message),
+* effort metrics (``applications`` and friends count identically), and
+* OCC tracking (an installed store tracker sees the same read/write
+  trace on both sides, normalized to first-seen location indices).
+
+Budget parity gets its own test: for every expression the two sessions
+must exhaust a step budget at exactly the same limits — the compiler
+owes precisely one tick per lowered node, matching the interpreter's
+pre-order descent.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Budget, BudgetExceededError, Session
+from repro.errors import EvalError
+
+from ..query.helpers import norm
+
+_SETUP = '''
+    val joe = IDView([Name = "Joe", Age = 21, Salary := 1000])
+    val sue = IDView([Name = "Sue", Age = 35, Salary := 2000])
+    val Emp = class {joe, sue} end
+    val payview = fn x => [Name = x.Name, Pay = x.Salary]
+    fun sumto n = if n < 1 then 0 else n + sumto (n - 1)
+    fun twice f = fn x => f (f x)
+'''
+
+# Expression templates; {n} is a small integer chosen by the strategy.
+# The pool crosses every compiled layer: arithmetic and comparison
+# specializations, closures (plain, curried, recursive, higher-order),
+# records (immutable, mutable, update, extract sharing), sets and hom
+# folds, views and view composition, query, and the class operations.
+_EXPRS = [
+    "1 + 2 * {n} - 7",
+    "({n} < 3) = (not ({n} >= 3))",
+    "sumto ({n} + 3)",
+    "twice (fn x => x * x) ({n} + 2)",
+    "(fn f => fn x => f (f x)) (fn y => y + {n}) 1",
+    "let r = [A := {n}, B = 2] in "
+    "let u = update(r, A, r.B + {n}) in r.A * 100 + r.B end end",
+    "let r = [A := {n}] in let s = [Sh = extract(r, A), C = 1] in "
+    "let u = update(r, A, {n} + 50) in s.Sh end end end",
+    "hom({{1, 2, 3, {n}}}, fn x => x * x, fn a => fn b => a + b, 0)",
+    "size(filter(fn x => x > {n}, {{0, 5, 10, 15}}))",
+    "size(union({{1, {n}}}, {{2, {n} + 1}}))",
+    'member({n}, {{1, 3, 5}})',
+    "query(fn v => v.Pay + {n}, joe as payview)",
+    "query(fn v => v.Name ^ \"!\", sue as payview as fn y => y)",
+    "c-query(fn S => map(fn o => query(fn v => v.Salary + {n}, o), S), "
+    "Emp)",
+    "c-query(fn S => size(filter("
+    "fn o => query(fn v => v.Salary > {n} * 100, o), S)), Emp)",
+    "if {n} < 2 then sumto 3 else sumto 4",
+    "1 div ({n} - 2)",          # EvalError when n = 2
+    "[A = {n}, B = {n} + 1].B mod 3",
+]
+
+# Mutations interleaved between expressions: field updates through
+# views, class extent churn, and global rebinding (the compile cache
+# must notice and recompile, never serve a stale program).
+_update_op = st.tuples(st.just("update"),
+                       st.sampled_from(["joe", "sue"]),
+                       st.integers(0, 5000))
+_insert_op = st.tuples(st.just("insert"), st.integers(0, 9))
+_rebind_op = st.tuples(st.just("rebind"), st.integers(0, 9))
+_eval_op = st.tuples(st.just("eval"),
+                     st.integers(0, len(_EXPRS) - 1),
+                     st.integers(0, 4))
+
+_programs = st.lists(
+    st.one_of(_eval_op, _update_op, _insert_op, _rebind_op),
+    min_size=1, max_size=20)
+
+
+def _pair():
+    interp = Session(compile="off")
+    comp = Session()
+    assert comp.compile_mode == "auto"
+    interp.exec(_SETUP)
+    comp.exec(_SETUP)
+    return interp, comp
+
+
+def _agree(interp, comp, src):
+    """Evaluate ``src`` on both sessions; both sides must agree."""
+    try:
+        expected = norm(interp.eval(src))
+        err = None
+    except EvalError as exc:
+        expected, err = None, str(exc)
+    if err is None:
+        assert norm(comp.eval(src)) == expected
+    else:
+        with pytest.raises(EvalError) as caught:
+            comp.eval(src)
+        assert str(caught.value) == err
+
+
+@settings(max_examples=40, deadline=None)
+@given(ops=_programs)
+def test_compiled_equals_interpreted(ops):
+    interp, comp = _pair()
+    fresh = 0
+    for op in ops:
+        kind = op[0]
+        if kind == "update":
+            _, who, salary = op
+            _agree(interp, comp,
+                   f"query(fn v => update(v, Salary, {salary}), {who})")
+        elif kind == "insert":
+            _, pick = op
+            name = f"e{fresh}"
+            fresh += 1
+            src = (f'val {name} = IDView([Name = "{name}", '
+                   f'Age = {20 + pick}, Salary := {pick * 111}])')
+            for s in (interp, comp):
+                s.exec(src)
+                s.exec(f"insert({name}, Emp)")
+        elif kind == "rebind":
+            _, pick = op
+            src = f"val payview = fn x => [Name = x.Name, Pay = {pick}]"
+            for s in (interp, comp):
+                s.exec(src)
+        else:
+            _, ei, n = op
+            _agree(interp, comp, _EXPRS[ei].format(n=n))
+    # Store effects already compared step by step; close with a full
+    # probe of the world the mutations built.
+    for probe in ("c-query(fn S => map(fn o => "
+                  "query(fn v => v.Salary, o), S), Emp)",
+                  "query(fn v => v.Pay, joe as payview)"):
+        _agree(interp, comp, probe)
+    # Effort metrics: the compiler owes exactly the interpreter's counts.
+    im, cm = interp.machine.metrics, comp.machine.metrics
+    for f in ("records_created", "objects_created",
+              "view_materializations", "applications"):
+        assert getattr(im, f) == getattr(cm, f), f
+    # The run must actually have exercised the compiler.
+    assert comp.compile_stats["compiled_runs"] > 0
+
+
+class _RecordingTracker:
+    """A store tracker that logs the read/write trace, nothing more."""
+
+    def __init__(self):
+        self.events = []
+        self._first_seen = {}
+
+    def _key(self, obj):
+        k = self._first_seen.get(id(obj))
+        if k is None:
+            k = len(self._first_seen)
+            self._first_seen[id(obj)] = k
+        return k
+
+    def did_read(self, loc):
+        self.events.append(("read", self._key(loc)))
+
+    def will_write(self, loc):
+        self.events.append(("write", self._key(loc)))
+
+    def did_read_extent(self, cls):
+        self.events.append(("read-extent", self._key(cls)))
+
+    def will_write_extent(self, cls):
+        self.events.append(("write-extent", self._key(cls)))
+
+
+_TRACKED = [
+    "query(fn v => v.Pay, joe as payview)",
+    "query(fn v => update(v, Salary, v.Salary + {n}), joe)",
+    "c-query(fn S => map(fn o => query(fn v => v.Salary, o), S), Emp)",
+    "let r = [A := {n}] in let u = update(r, A, r.A + 1) in r.A end end",
+    "insert(sue, Emp)",
+    "delete(sue, Emp)",
+]
+
+
+@settings(max_examples=25, deadline=None)
+@given(ei=st.integers(0, len(_TRACKED) - 1), n=st.integers(0, 9))
+def test_occ_tracking_parity(ei, n):
+    # The server's OCC layer observes evaluation through the store
+    # tracker; compiled programs must report the same reads and writes
+    # in the same order, or commit-time validation would diverge.
+    interp, comp = _pair()
+    src = _TRACKED[ei].format(n=n)
+    traces = []
+    for s in (interp, comp):
+        tracker = _RecordingTracker()
+        s.machine.store.tracker = tracker
+        try:
+            s.eval(src)
+        finally:
+            s.machine.store.tracker = None
+        traces.append(tracker.events)
+    assert traces[0] == traces[1]
+    assert comp.compile_stats["compiled_runs"] > 0
+
+
+_BUDGETED = [
+    "sumto 6",
+    "hom({1, 2, 3}, fn x => x * x, fn a => fn b => a + b, 0)",
+    "query(fn v => v.Pay, joe as payview)",
+    "c-query(fn S => size(filter("
+    "fn o => query(fn v => v.Salary > 1500, o), S)), Emp)",
+    "let r = [A := 1, B = 2] in "
+    "let u = update(r, A, r.B + 3) in r.A end end",
+    "twice (twice (fn x => x + 1)) 0",
+]
+
+
+@pytest.mark.parametrize("src", _BUDGETED)
+def test_budget_exhaustion_parity(src):
+    # Find each side's exact exhaustion frontier independently; the
+    # frontiers must coincide — same total fuel, and *both* sides blow
+    # at every limit below it.
+    def frontier(make):
+        for limit in range(1, 10_000):
+            s = make()
+            try:
+                s.exec(src, budget=Budget(max_steps=limit))
+                return limit
+            except BudgetExceededError:
+                continue
+        raise AssertionError("no budget suffices")  # pragma: no cover
+
+    def interp():
+        s = Session(compile="off")
+        s.exec(_SETUP)
+        return s
+
+    def comp():
+        s = Session()
+        s.exec(_SETUP)
+        return s
+
+    assert frontier(interp) == frontier(comp)
+
+
+def test_budget_error_type_and_dimension_parity():
+    outcomes = []
+    for mode in ("off", "auto"):
+        s = Session(compile=mode)
+        s.exec("fun loop x = loop x")
+        with pytest.raises(BudgetExceededError) as exc:
+            s.exec("loop 1", budget=Budget(max_steps=5_000))
+        outcomes.append(exc.value.dimension)
+        assert s.machine.budget is None
+        assert s.eval_py("1 + 2") == 3
+    assert outcomes == ["steps", "steps"]

@@ -32,13 +32,15 @@ def test_reason_not_a_recognized_shape():
     _naive, opt = make_sessions()
     text = opt.explain_plan("c-query(fn S => map(fn o => S, S), A)")
     assert text == ("plan: naive evaluation — "
-                    "not a recognized query shape")
+                    "not a recognized query shape\n"
+                    "execution: compiled")
 
 
 def test_reason_no_class_extent():
     _naive, opt = make_sessions()
     assert opt.explain_plan("{1, 2}") == (
-        "plan: naive evaluation — no class extent in the pipeline")
+        "plan: naive evaluation — no class extent in the pipeline\n"
+        "execution: compiled")
 
 
 def test_reason_effects():
@@ -46,7 +48,8 @@ def test_reason_effects():
     src = ('c-query(fn S => map(fn o => '
            'query(fn v => update(v, Salary, 0), o), S), A)')
     assert opt.explain_plan(src) == (
-        "plan: naive evaluation — the expression may have effects")
+        "plan: naive evaluation — the expression may have effects\n"
+        "execution: compiled")
     # The fallback still runs the effects — equivalently to naive.
     assert norm(opt.eval(src)) == norm(naive.eval(src))
     salaries = {o.raw.read("Salary").value
@@ -60,7 +63,8 @@ def test_reason_rebound_structural_builtin():
         s.exec("fun filter p s = {}")
     assert opt.explain_plan(_QUERY) == (
         "plan: naive evaluation — a structural builtin "
-        "(hom/union/map/filter) is rebound")
+        "(hom/union/map/filter) is rebound\n"
+        "execution: compiled")
     assert norm(opt.eval(_QUERY)) == norm(naive.eval(_QUERY))
     assert opt.eval(_QUERY).elems == []
     assert opt.planner.stats.planned == 0

@@ -39,7 +39,8 @@ def test_hom_fusion(session):
         '  stage: filter fn o => query(fn v => (eq v.Dept) "eng", o)\n'
         "  stage: map fn o => query(fn v => v.Name, o)\n"
         "rewrites: hom-fusion\n"
-        "access: full scan of A (extent ~1 below index threshold 32)")
+        "access: full scan of A (extent ~1 below index threshold 32)\n"
+        "execution: compiled")
 
 
 def test_view_flattening(session):
@@ -51,7 +52,8 @@ def test_view_flattening(session):
         "  source: extent(A)\n"
         "  stage: as v1 ; v2\n"
         "rewrites: hom-fusion, view-flattening\n"
-        "access: full scan of A (extent ~1)")
+        "access: full scan of A (extent ~1)\n"
+        "execution: compiled")
 
 
 def test_select_fusion(session):
@@ -64,7 +66,8 @@ def test_select_fusion(session):
         "  stage: select as v2 where fn o => "
         'query(fn v => (eq v.Dept) "eng", o)\n'
         "rewrites: hom-fusion, select-fusion\n"
-        "access: full scan of A (extent ~1 below index threshold 32)")
+        "access: full scan of A (extent ~1 below index threshold 32)\n"
+        "execution: compiled")
 
 
 def test_predicate_pushdown(session):
@@ -85,7 +88,9 @@ def test_predicate_pushdown(session):
         "  stage: relation [l, r] from x, d where true\n"
         "rewrites: predicate-pushdown\n"
         "access: full scan of A (extent ~1 below index threshold 32)\n"
-        "access: full scan of B (extent ~2 below index threshold 32)")
+        "access: full scan of B (extent ~2 below index threshold 32)\n"
+        "execution: interpreted — relation-object construction "
+        "(relobj) is not compiled yet (line 1, column 33)")
 
 
 def test_product_elimination(session):
@@ -102,7 +107,8 @@ def test_product_elimination(session):
         "rewrites: product-elimination\n"
         "access: hash join on raw-object identity\n"
         "access: full scan of A (extent ~1)\n"
-        "access: full scan of B (extent ~2)")
+        "access: full scan of B (extent ~2)\n"
+        "execution: compiled")
 
 
 def test_no_rewrites_needed(session):
@@ -116,7 +122,8 @@ def test_no_rewrites_needed(session):
         "  stage: select as v2 where fn o => "
         'query(fn v => (eq v.Dept) "eng", o)\n'
         "rewrites: (none)\n"
-        "access: full scan of A (extent ~1 below index threshold 32)")
+        "access: full scan of A (extent ~1 below index threshold 32)\n"
+        "execution: compiled")
 
 
 def test_finish_wrapper_rendered(session):
@@ -129,10 +136,12 @@ def test_finish_wrapper_rendered(session):
         '  stage: filter fn o => query(fn v => (eq v.Dept) "eng", o)\n'
         "  finish: size\n"
         "rewrites: (none)\n"
-        "access: full scan of A (extent ~1 below index threshold 32)")
+        "access: full scan of A (extent ~1 below index threshold 32)\n"
+        "execution: compiled")
 
 
 def test_naive_fallback_rendered(session):
     out = session.explain_plan("1")
     assert out == ("plan: naive evaluation — "
-                   "no class extent in the pipeline")
+                   "no class extent in the pipeline\n"
+                   "execution: compiled")
